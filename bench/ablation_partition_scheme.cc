@@ -1,0 +1,73 @@
+// Ablation: per-mode 1D partitioning (what DisMASTD/DMS-MG use here) versus
+// the medium-grain process-grid decomposition (Smith & Karypis IPDPS'16,
+// improved by CartHP [36]) on the communication working set and the load
+// balance. The 1D scheme replicates factor-row access p-fold per sweep; the
+// grid confines each worker's access to its block's sides — the trade-off
+// the paper's related work discusses.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "partition/grid.h"
+#include "partition/stats.h"
+
+namespace dismastd {
+namespace {
+
+void Run(const DatasetSpec& spec) {
+  const SparseTensor tensor = MakeDatasetTensor(spec);
+  for (uint32_t workers : {8u, 15u}) {
+    // 1D scheme: p = workers partitions per mode.
+    const TensorPartitioning one_dim =
+        PartitionTensor(PartitionerKind::kMaxMin, tensor, workers);
+    double one_dim_imbalance = 0.0;
+    for (const ModePartition& mode : one_dim.modes) {
+      one_dim_imbalance =
+          std::max(one_dim_imbalance, ComputeBalance(mode).imbalance);
+    }
+
+    // Medium-grain: grid with the same worker count.
+    Result<ProcessGrid> grid = ChooseGridShape(workers, tensor.dims());
+    if (!grid.ok()) {
+      std::printf("%-10s %7u  (grid infeasible)\n", spec.name.c_str(),
+                  workers);
+      continue;
+    }
+    const GridPartitioning medium =
+        MediumGrainPartition(tensor, grid.value(), PartitionerKind::kGreedy);
+    const std::vector<uint64_t> loads = CellLoads(tensor, medium);
+    const uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+    const double mean_load =
+        static_cast<double>(tensor.nnz()) / static_cast<double>(workers);
+
+    std::printf("%-10s %7u %10s %14.3f %14.3f %13.1f %13.1f\n",
+                spec.name.c_str(), workers, grid.value().ToString().c_str(),
+                one_dim_imbalance,
+                static_cast<double>(max_load) / mean_load,
+                static_cast<double>(OneDimRowFetchBound(tensor, workers)) /
+                    1e6,
+                static_cast<double>(
+                    MediumGrainRowFetchBound(tensor, medium)) /
+                    1e6);
+  }
+}
+
+}  // namespace
+}  // namespace dismastd
+
+int main() {
+  dismastd::bench::PrintHeader(
+      "Ablation — 1D per-mode partitioning vs medium-grain process grid");
+  std::printf("%-10s %7s %10s %14s %14s %13s %13s\n", "Dataset", "workers",
+              "grid", "1D imbalance", "grid imbal.", "1D rows (M)",
+              "grid rows (M)");
+  std::printf("(rows = upper bound on factor rows moved per ALS sweep, "
+              "in millions)\n");
+  dismastd::bench::PrintRule();
+  for (const auto& spec : dismastd::bench::ScaledPaperDatasets()) {
+    dismastd::Run(spec);
+  }
+  return 0;
+}

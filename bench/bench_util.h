@@ -1,0 +1,91 @@
+#ifndef DISMASTD_BENCH_BENCH_UTIL_H_
+#define DISMASTD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "stream/datasets.h"
+
+namespace dismastd {
+namespace bench {
+
+/// Paper experimental setup (§V-A): R = 10, μ = 0.8, 10 iterations, a
+/// 15-node cluster, partitions = nodes unless swept.
+inline DistributedOptions PaperOptions() {
+  DistributedOptions options;
+  options.als.rank = 10;
+  options.als.mu = 0.8;
+  options.als.max_iterations = 10;
+  options.num_workers = 15;
+  options.partitioner = PartitionerKind::kMaxMin;
+  return options;
+}
+
+/// Optional global scale factor on dataset nnz/dims, via the environment
+/// variable DISMASTD_BENCH_SCALE (e.g. 0.1 for a quick smoke run). The
+/// default of 1.0 reproduces the sizes documented in DESIGN.md §2.
+inline double BenchScale() {
+  const char* env = std::getenv("DISMASTD_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline DatasetSpec ScaledSpec(DatasetSpec spec) {
+  const double scale = BenchScale();
+  if (scale == 1.0) return spec;
+  for (auto& d : spec.dims) {
+    d = std::max<uint64_t>(8, static_cast<uint64_t>(
+                                  static_cast<double>(d) * scale));
+  }
+  spec.nnz = std::max<uint64_t>(
+      64, static_cast<uint64_t>(static_cast<double>(spec.nnz) * scale));
+  return spec;
+}
+
+inline std::vector<DatasetSpec> ScaledPaperDatasets() {
+  std::vector<DatasetSpec> specs = PaperDatasets();
+  for (auto& spec : specs) spec = ScaledSpec(spec);
+  return specs;
+}
+
+/// Appends machine-readable rows next to the stdout tables so the figures
+/// can be re-plotted directly. Silently disabled if the file cannot be
+/// opened (e.g. read-only working directory).
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {}
+
+  template <typename... Cells>
+  void Row(const Cells&... cells) {
+    if (!out_) return;
+    std::ostringstream line;
+    bool first = true;
+    ((line << (first ? "" : ","), line << cells, first = false), ...);
+    out_ << line.str() << "\n";
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+inline void PrintRule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+}  // namespace bench
+}  // namespace dismastd
+
+#endif  // DISMASTD_BENCH_BENCH_UTIL_H_

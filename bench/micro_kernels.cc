@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks for the hot kernels underneath
+// DisMASTD: sparse MTTKRP (the bottleneck operator, §IV-B1), Khatri-Rao and
+// Gram products, the R x R Cholesky normal-equation solve, and the GTP/MTP
+// partitioners.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "la/ops.h"
+#include "la/solve.h"
+#include "partition/gtp.h"
+#include "partition/mtp.h"
+#include "stream/generator.h"
+#include "tensor/mttkrp.h"
+
+namespace dismastd {
+namespace {
+
+SparseTensor MakeTensor(uint64_t nnz) {
+  GeneratorOptions options;
+  options.dims = {20000, 5000, 500};
+  options.nnz = nnz;
+  options.zipf_exponents = {1.0, 1.0, 0.5};
+  options.seed = 42;
+  return GenerateSparseTensor(options).tensor;
+}
+
+void BM_Mttkrp(benchmark::State& state) {
+  const uint64_t nnz = static_cast<uint64_t>(state.range(0));
+  const size_t rank = static_cast<size_t>(state.range(1));
+  const SparseTensor tensor = MakeTensor(nnz);
+  Rng rng(7);
+  std::vector<Matrix> factors;
+  for (uint64_t d : tensor.dims()) {
+    factors.push_back(Matrix::Random(static_cast<size_t>(d), rank, rng));
+  }
+  std::vector<const Matrix*> ptrs;
+  for (const Matrix& f : factors) ptrs.push_back(&f);
+  Matrix out(static_cast<size_t>(tensor.dim(0)), rank);
+  for (auto _ : state) {
+    out.Fill(0.0);
+    MttkrpAccumulate(tensor, ptrs, 0, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tensor.nnz()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Mttkrp)
+    ->Args({10000, 10})
+    ->Args({100000, 10})
+    ->Args({400000, 10})
+    ->Args({100000, 5})
+    ->Args({100000, 20});
+
+void BM_KhatriRao(benchmark::State& state) {
+  Rng rng(1);
+  const Matrix a = Matrix::Random(static_cast<size_t>(state.range(0)), 10, rng);
+  const Matrix b = Matrix::Random(64, 10, rng);
+  for (auto _ : state) {
+    Matrix kr = KhatriRao(a, b);
+    benchmark::DoNotOptimize(kr.data());
+  }
+}
+BENCHMARK(BM_KhatriRao)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Gram(benchmark::State& state) {
+  Rng rng(2);
+  const Matrix a = Matrix::Random(static_cast<size_t>(state.range(0)), 10, rng);
+  for (auto _ : state) {
+    Matrix g = TransposeTimes(a, a);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_Gram)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NormalEquationSolve(benchmark::State& state) {
+  Rng rng(3);
+  const size_t rank = 10;
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const Matrix basis = Matrix::Random(rows + rank, rank, rng);
+  const Matrix gram = TransposeTimes(basis, basis);
+  const Matrix rhs = Matrix::Random(rows, rank, rng);
+  for (auto _ : state) {
+    Matrix x = SolveNormalEquationsRows(gram, rhs);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_NormalEquationSolve)->Arg(1000)->Arg(10000);
+
+void BM_Partitioner(benchmark::State& state) {
+  const size_t slices = static_cast<size_t>(state.range(0));
+  const bool use_mtp = state.range(1) != 0;
+  Rng rng(4);
+  ZipfSampler sampler(slices, 1.1);
+  std::vector<uint64_t> hist(slices, 0);
+  for (size_t draw = 0; draw < slices * 20; ++draw) {
+    ++hist[sampler.Sample(rng)];
+  }
+  for (auto _ : state) {
+    ModePartition p = use_mtp ? MaxMinPartitionMode(hist, 15)
+                              : GreedyPartitionMode(hist, 15);
+    benchmark::DoNotOptimize(p.part_nnz.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(slices) * state.iterations());
+  state.SetLabel(use_mtp ? "MTP" : "GTP");
+}
+BENCHMARK(BM_Partitioner)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,60 @@
+#ifndef DISMASTD_COMMON_LOGGING_H_
+#define DISMASTD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dismastd {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarning so library users are not spammed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLogMessage(LogLevel level, const char* file, int line,
+                    const std::string& message);
+
+/// Stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLogMessage(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DISMASTD_LOG(level)                                                  \
+  if (::dismastd::LogLevel::k##level < ::dismastd::GetLogLevel()) {          \
+  } else                                                                     \
+    ::dismastd::internal::LogMessage(::dismastd::LogLevel::k##level,         \
+                                     __FILE__, __LINE__)
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#ifndef DISMASTD_COMMON_THREAD_POOL_H_
+#define DISMASTD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dismastd {
+
+/// Fixed-size worker pool. The simulated cluster can execute worker compute
+/// steps on real threads when more than one hardware core is available;
+/// with `num_threads == 0` (or 1) everything runs inline on the caller,
+/// which keeps single-core runs deterministic and overhead-free.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `fn(i)` for i in [0, count) and blocks until all complete.
+  /// Tasks may run on any pool thread, or inline when the pool is empty.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable batch_done_;
+  size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+#ifndef DISMASTD_COMMON_TIMER_H_
+#define DISMASTD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dismastd {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_COMMON_TIMER_H_

@@ -1,0 +1,80 @@
+#ifndef DISMASTD_CORE_COMPLETION_H_
+#define DISMASTD_CORE_COMPLETION_H_
+
+#include <vector>
+
+#include "core/cp_als.h"
+#include "core/options.h"
+#include "tensor/coo_tensor.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+
+/// Tensor *completion* extension (beyond the paper's decomposition scope,
+/// but its §I motivation): fit the CP model to the **observed entries
+/// only**, so unobserved coordinates are treated as missing rather than
+/// zero. This is what makes rating prediction meaningful on sparse data —
+/// plain CP decomposition drives the model toward zero on the (vast)
+/// unobserved region.
+///
+/// The solver is row-wise weighted ALS (CP-WOPT / ALS-W style): for each
+/// row i of mode n it solves the *per-row* normal equations built from the
+/// Khatri-Rao rows of that slice's observed entries,
+///   ( Σ_e k_e k_eᵀ + λI ) a_i = Σ_e x_e k_e,   k_e = ∗_{m≠n} A_m[i_m,:],
+/// with Tikhonov regularization λ (unobserved-row factors shrink to 0).
+struct CompletionOptions {
+  size_t rank = 10;
+  size_t max_iterations = 20;
+  /// Ridge term added to every per-row system; also what keeps rows with
+  /// few observations well-posed.
+  double regularization = 1e-2;
+  /// Stop when the relative change of the observed-entry RMSE drops below
+  /// this (0 = always run max_iterations).
+  double tolerance = 1e-4;
+  uint64_t seed = 7;
+};
+
+struct CompletionResult {
+  KruskalTensor factors;
+  /// Observed-entry RMSE after each sweep.
+  std::vector<double> rmse_history;
+  size_t iterations = 0;
+};
+
+/// Fits a CP model to the observed entries of `x` from a random start.
+CompletionResult CompleteCp(const SparseTensor& x,
+                            const CompletionOptions& options);
+
+/// As CompleteCp but warm-started from `init` (dims must match, rank must
+/// equal options.rank). The streaming driver below uses this to carry
+/// factors across snapshots.
+CompletionResult CompleteCpFrom(const SparseTensor& x,
+                                std::vector<Matrix> init,
+                                const CompletionOptions& options);
+
+/// Streaming completion over a multi-aspect snapshot: grows the previous
+/// snapshot's factors with random rows for the new index ranges (exactly
+/// like DTD's initialization) and refines them on the *current snapshot's*
+/// observed entries. A pragmatic streaming-completion baseline in the
+/// spirit of MAST [20]; documented as an extension in DESIGN.md.
+CompletionResult CompleteCpStreaming(const SparseTensor& snapshot,
+                                     const std::vector<uint64_t>& old_dims,
+                                     const KruskalTensor& prev,
+                                     const CompletionOptions& options);
+
+/// Root-mean-squared error of the model on the given observed entries.
+double ObservedRmse(const KruskalTensor& factors, const SparseTensor& x);
+
+/// Splits the entries of `x` into a training tensor and a held-out list
+/// (index tuples + true values), sampling each entry into the holdout with
+/// probability `holdout_fraction`. Deterministic per seed.
+struct HoldoutSplit {
+  SparseTensor train;
+  SparseTensor holdout;
+};
+HoldoutSplit SplitHoldout(const SparseTensor& x, double holdout_fraction,
+                          uint64_t seed);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_CORE_COMPLETION_H_

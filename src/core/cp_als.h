@@ -1,0 +1,34 @@
+#ifndef DISMASTD_CORE_CP_ALS_H_
+#define DISMASTD_CORE_CP_ALS_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "tensor/coo_tensor.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+
+/// Outcome of an ALS run.
+struct AlsResult {
+  KruskalTensor factors;
+  /// Loss after each completed sweep: ‖X - [[A_1..A_N]]‖_F².
+  std::vector<double> loss_history;
+  size_t iterations = 0;
+};
+
+/// Centralized static CP decomposition by alternating least squares: the
+/// textbook algorithm every distributed method in this library is validated
+/// against. Factors are initialized uniformly at random from
+/// `options.seed`; each sweep updates every mode via sparse MTTKRP and an
+/// R x R normal-equation solve, reusing cached Gram matrices.
+AlsResult CpAls(const SparseTensor& x, const DecompositionOptions& options);
+
+/// As CpAls but starting from the supplied factors (must match x's dims and
+/// options.rank). Used for warm starts.
+AlsResult CpAlsFrom(const SparseTensor& x, std::vector<Matrix> init,
+                    const DecompositionOptions& options);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_CORE_CP_ALS_H_

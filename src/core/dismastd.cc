@@ -1,0 +1,411 @@
+#include "core/dismastd.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "core/dtd.h"
+#include "dist/cluster.h"
+#include "la/ops.h"
+#include "la/solve.h"
+#include "partition/factor_assign.h"
+#include "tensor/mttkrp.h"
+
+namespace dismastd {
+
+double DistributedRunMetrics::MeanIterationSeconds() const {
+  if (sim_seconds_per_iteration.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : sim_seconds_per_iteration) sum += s;
+  return sum / static_cast<double>(sim_seconds_per_iteration.size());
+}
+
+namespace {
+
+/// Bytes of one COO entry on the wire: `order` u64 indices + 1 double.
+uint64_t EntryBytes(size_t order) {
+  return order * sizeof(uint64_t) + sizeof(double);
+}
+
+/// Rows of each partition (factor-row ownership induced by the tensor
+/// partition, §IV-A3).
+std::vector<std::vector<uint64_t>> RowsOfParts(const ModePartition& partition) {
+  std::vector<std::vector<uint64_t>> rows(partition.num_parts);
+  for (uint64_t i = 0; i < partition.slice_to_part.size(); ++i) {
+    rows[partition.slice_to_part[i]].push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace
+
+DistributedResult DisMastdDecompose(const SparseTensor& delta,
+                                    const std::vector<uint64_t>& old_dims,
+                                    const KruskalTensor& prev,
+                                    const DistributedOptions& options) {
+  WallTimer wall;
+  const size_t order = delta.order();
+  const size_t rank = options.als.rank;
+  const double mu = options.als.mu;
+  DISMASTD_CHECK(old_dims.size() == order);
+  DISMASTD_CHECK(rank >= 1);
+  DISMASTD_CHECK(options.num_workers >= 1);
+  const uint32_t workers = options.num_workers;
+  const uint32_t parts =
+      options.parts_per_mode == 0 ? workers : options.parts_per_mode;
+
+  bool has_prev = false;
+  for (uint64_t d : old_dims) has_prev = has_prev || d > 0;
+
+  Cluster cluster(workers, options.cost_model);
+  DistributedResult result;
+
+  // ---------------------------------------------------------------------
+  // Phase 1: data partitioning (§IV-A).
+  // ---------------------------------------------------------------------
+  TensorPartitioning partitioning;
+  std::vector<ModePartitionData> mode_data(order);
+  std::vector<std::vector<std::vector<uint64_t>>> rows_of_part(order);
+  {
+    SuperstepAccounting acct = cluster.NewSuperstep();
+    const uint64_t entry_bytes = EntryBytes(order);
+    for (size_t n = 0; n < order; ++n) {
+      const std::vector<uint64_t> slice_nnz = delta.SliceNnzCounts(n);
+      ModePartition mp = PartitionMode(options.partitioner, slice_nnz, parts);
+      result.metrics.balance_per_mode.push_back(ComputeBalance(mp));
+      // Counting pass + boundary assignment cost, spread over workers
+      // (O(nnz + I) for GTP, O(nnz + I log I) for MTP; Theorem 2).
+      const uint64_t slices = slice_nnz.size();
+      const uint64_t assign_cost =
+          options.partitioner == PartitionerKind::kMaxMin
+              ? slices * (64 - static_cast<uint64_t>(
+                                   __builtin_clzll(slices | 1)))
+              : slices;
+      for (uint32_t w = 0; w < workers; ++w) {
+        // Counting pass over the non-zeros (sparse) plus boundary
+        // assignment (dense index work).
+        acct.AddSparseTask(w, delta.nnz() / workers + 1,
+                           assign_cost / workers + 1);
+      }
+      // Ship every non-zero (and the induced factor rows) to its owner
+      // (Theorem 4's O(nnz) + O(NIR) communication terms). A one-worker
+      // cluster keeps everything local.
+      for (uint32_t q = 0; workers > 1 && q < parts; ++q) {
+        const uint32_t dst = q % workers;
+        const uint64_t tensor_bytes = mp.part_nnz[q] * entry_bytes;
+        acct.AddSend((q + 1) % workers, tensor_bytes);
+        acct.AddReceive(dst, tensor_bytes);
+      }
+      partitioning.modes.push_back(std::move(mp));
+    }
+    for (size_t n = 0; n < order; ++n) {
+      rows_of_part[n] = RowsOfParts(partitioning.modes[n]);
+      for (uint32_t q = 0; workers > 1 && q < parts; ++q) {
+        const uint32_t dst = q % workers;
+        const uint64_t row_bytes =
+            RowTransferBytes(rows_of_part[n][q].size(), rank);
+        acct.AddSend((q + 1) % workers, row_bytes);
+        acct.AddReceive(dst, row_bytes);
+      }
+      mode_data[n] = BuildModePartitionData(delta, partitioning, n);
+    }
+    cluster.CommitSuperstep(acct);
+    result.metrics.sim_seconds_partitioning = cluster.ElapsedSimSeconds();
+  }
+
+  // Static per-iteration remote-row fetch plan: plan[n][src][dst] = number
+  // of factor rows worker `dst` must pull from `src` before updating mode n.
+  std::vector<std::vector<std::vector<uint64_t>>> fetch_plan(
+      order, std::vector<std::vector<uint64_t>>(
+                 workers, std::vector<uint64_t>(workers, 0)));
+  for (size_t n = 0; n < order; ++n) {
+    for (uint32_t q = 0; q < parts; ++q) {
+      const uint32_t dst = q % workers;
+      for (size_t k = 0; k < order; ++k) {
+        if (k == n) continue;
+        for (uint64_t row : mode_data[n].needed_rows[q][k]) {
+          const uint32_t owner_part =
+              partitioning.modes[k].slice_to_part[row];
+          const uint32_t src = owner_part % workers;
+          if (src != dst) ++fetch_plan[n][src][dst];
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Phase 2: distributed tensor decomposition (§IV-B).
+  // ---------------------------------------------------------------------
+  std::vector<Matrix> factors =
+      InitializeDtdFactors(delta.dims(), old_dims, prev, options.als);
+
+  // Replicated R x R products (cached on every worker, §IV-B2/3).
+  std::vector<Matrix> g0(order), g1(order), h(order);
+  auto local_products = [&](size_t n) {
+    const size_t old_rows = static_cast<size_t>(old_dims[n]);
+    const Matrix a0 = factors[n].RowSlice(0, old_rows);
+    const Matrix a1 = factors[n].RowSlice(old_rows, factors[n].rows());
+    g0[n] = old_rows > 0 ? TransposeTimes(a0, a0) : Matrix(rank, rank);
+    g1[n] = a1.rows() > 0 ? TransposeTimes(a1, a1) : Matrix(rank, rank);
+    h[n] = old_rows > 0 ? TransposeTimes(prev.factor(n), a0)
+                        : Matrix(rank, rank);
+  };
+  // Initial products: each worker computes partials over its owned rows and
+  // all-to-all reduces them.
+  {
+    SuperstepAccounting acct = cluster.NewSuperstep();
+    for (size_t n = 0; n < order; ++n) {
+      local_products(n);  // canonical values
+      std::vector<Matrix> partial_stub(workers, Matrix(rank, rank));
+      // Account the reduction traffic for the three products per mode.
+      for (int rep = 0; rep < 3; ++rep) {
+        (void)cluster.AllToAllReduceMatrix(partial_stub, &acct);
+      }
+      for (uint32_t q = 0; q < parts; ++q) {
+        acct.AddTask(q % workers,
+                     rows_of_part[n][q].size() * 3 * rank * rank);
+      }
+    }
+    cluster.CommitSuperstep(acct);
+  }
+
+  const double prev_model_norm_sq =
+      has_prev ? prev.NormSquaredViaGrams() : 0.0;
+  const double delta_norm_sq = delta.NormSquared();
+
+  double sim_before_iters = cluster.ElapsedSimSeconds();
+  double prev_loss = -1.0;
+
+  for (size_t iter = 0; iter < options.als.max_iterations; ++iter) {
+    Matrix mttkrp_last;
+    for (size_t n = 0; n < order; ++n) {
+      const size_t old_rows = static_cast<size_t>(old_dims[n]);
+
+      // Hadamard accumulations over k != n, replicated on every worker.
+      Matrix had_h(rank, rank), had_g01(rank, rank), had_g0(rank, rank);
+      bool first = true;
+      for (size_t k = 0; k < order; ++k) {
+        if (k == n) continue;
+        const Matrix g01 = LinearCombine(1.0, g0[k], 1.0, g1[k]);
+        if (first) {
+          had_h = h[k];
+          had_g01 = g01;
+          had_g0 = g0[k];
+          first = false;
+        } else {
+          HadamardInPlace(had_h, h[k]);
+          HadamardInPlace(had_g01, g01);
+          HadamardInPlace(had_g0, g0[k]);
+        }
+      }
+
+      // --- Superstep A: fetch remote rows, MTTKRP, row-wise update. ---
+      SuperstepAccounting acct = cluster.NewSuperstep();
+      for (uint32_t src = 0; src < workers; ++src) {
+        for (uint32_t dst = 0; dst < workers; ++dst) {
+          const uint64_t rows = fetch_plan[n][src][dst];
+          if (rows == 0) continue;
+          const uint64_t bytes = RowTransferBytes(rows, rank);
+          acct.AddSend(src, bytes);
+          acct.AddReceive(dst, bytes);
+        }
+      }
+
+      Matrix mttkrp(factors[n].rows(), rank);
+      std::vector<const Matrix*> factor_ptrs(order);
+      for (size_t k = 0; k < order; ++k) factor_ptrs[k] = &factors[k];
+      for (uint32_t q = 0; q < parts; ++q) {
+        const uint32_t w = q % workers;
+        const SparseTensor& local = mode_data[n].part_tensors[q];
+        // Partition q's slices are disjoint from every other partition's,
+        // so accumulating into the shared buffer is race-free and yields
+        // the same per-row contraction order as the centralized pass.
+        MttkrpAccumulate(local, factor_ptrs, n, &mttkrp);
+        acct.AddSparseTask(w, local.nnz(),
+                           MttkrpFlops(local.nnz(), order, rank));
+      }
+
+      // Row-wise factor update (Eq. 5) on each owner partition.
+      const Matrix denom0 =
+          LinearCombine(1.0, had_g01, -(1.0 - mu), had_g0);
+      for (uint32_t q = 0; q < parts; ++q) {
+        const uint32_t w = q % workers;
+        const auto& rows = rows_of_part[n][q];
+        if (rows.empty()) continue;
+        // Gather this partition's numerator rows, split old/new.
+        std::vector<uint64_t> rows_old, rows_new;
+        for (uint64_t r : rows) {
+          (static_cast<size_t>(r) < old_rows ? rows_old : rows_new)
+              .push_back(r);
+        }
+        if (!rows_old.empty()) {
+          Matrix numerator(rows_old.size(), rank);
+          for (size_t i = 0; i < rows_old.size(); ++i) {
+            const size_t r = static_cast<size_t>(rows_old[i]);
+            const double* prow = prev.factor(n).RowPtr(r);
+            double* out = numerator.RowPtr(i);
+            // numerator = μ Ã[r,:]·had_h + Â[r,:]
+            for (size_t c = 0; c < rank; ++c) {
+              double acc = 0.0;
+              for (size_t f = 0; f < rank; ++f) {
+                acc += prow[f] * had_h(f, c);
+              }
+              out[c] = mu * acc + mttkrp(r, c);
+            }
+          }
+          const Matrix updated = SolveNormalEquationsRows(denom0, numerator);
+          for (size_t i = 0; i < rows_old.size(); ++i) {
+            std::copy(updated.RowPtr(i), updated.RowPtr(i) + rank,
+                      factors[n].RowPtr(static_cast<size_t>(rows_old[i])));
+          }
+        }
+        if (!rows_new.empty()) {
+          Matrix numerator(rows_new.size(), rank);
+          for (size_t i = 0; i < rows_new.size(); ++i) {
+            const size_t r = static_cast<size_t>(rows_new[i]);
+            std::copy(mttkrp.RowPtr(r), mttkrp.RowPtr(r) + rank,
+                      numerator.RowPtr(i));
+          }
+          const Matrix updated =
+              SolveNormalEquationsRows(had_g01, numerator);
+          for (size_t i = 0; i < rows_new.size(); ++i) {
+            std::copy(updated.RowPtr(i), updated.RowPtr(i) + rank,
+                      factors[n].RowPtr(static_cast<size_t>(rows_new[i])));
+          }
+        }
+        acct.AddTask(w, rows.size() * 4 * rank * rank +
+                            rank * rank * rank);
+      }
+      {
+        const double before = cluster.ElapsedSimSeconds();
+        cluster.CommitSuperstep(acct);
+        result.metrics.sim_seconds_mttkrp_update +=
+            cluster.ElapsedSimSeconds() - before;
+      }
+
+      // --- Superstep B: all-to-all reduction of the Gram products. ---
+      SuperstepAccounting reduce_acct = cluster.NewSuperstep();
+      std::vector<Matrix> p_g0(workers, Matrix(rank, rank));
+      std::vector<Matrix> p_g1(workers, Matrix(rank, rank));
+      std::vector<Matrix> p_h(workers, Matrix(rank, rank));
+      for (uint32_t q = 0; q < parts; ++q) {
+        const uint32_t w = q % workers;
+        uint64_t gram_flops = 0;
+        for (uint64_t row : rows_of_part[n][q]) {
+          const size_t r = static_cast<size_t>(row);
+          const double* arow = factors[n].RowPtr(r);
+          if (r < old_rows) {
+            const double* prow = prev.factor(n).RowPtr(r);
+            for (size_t i = 0; i < rank; ++i) {
+              for (size_t j = 0; j < rank; ++j) {
+                p_g0[w](i, j) += arow[i] * arow[j];
+                p_h[w](i, j) += prow[i] * arow[j];
+              }
+            }
+            gram_flops += 2 * rank * rank;
+          } else {
+            for (size_t i = 0; i < rank; ++i) {
+              for (size_t j = 0; j < rank; ++j) {
+                p_g1[w](i, j) += arow[i] * arow[j];
+              }
+            }
+            gram_flops += rank * rank;
+          }
+        }
+        reduce_acct.AddTask(w, gram_flops);
+      }
+      g0[n] = cluster.AllToAllReduceMatrix(p_g0, &reduce_acct);
+      g1[n] = cluster.AllToAllReduceMatrix(p_g1, &reduce_acct);
+      h[n] = cluster.AllToAllReduceMatrix(p_h, &reduce_acct);
+      {
+        const double before = cluster.ElapsedSimSeconds();
+        cluster.CommitSuperstep(reduce_acct);
+        result.metrics.sim_seconds_gram_reduce +=
+            cluster.ElapsedSimSeconds() - before;
+      }
+
+      if (n + 1 == order) mttkrp_last = std::move(mttkrp);
+    }
+
+    // --- Loss superstep (§IV-B4): reuse Grams + the cached MTTKRP. ---
+    SuperstepAccounting loss_acct = cluster.NewSuperstep();
+    Matrix had_g0_all = g0[0];
+    Matrix had_g01_all = LinearCombine(1.0, g0[0], 1.0, g1[0]);
+    Matrix had_h_all = h[0];
+    for (size_t k = 1; k < order; ++k) {
+      HadamardInPlace(had_g0_all, g0[k]);
+      HadamardInPlace(had_g01_all, LinearCombine(1.0, g0[k], 1.0, g1[k]));
+      HadamardInPlace(had_h_all, h[k]);
+    }
+    const double a0_model_norm_sq = SumAll(had_g0_all);
+    const double full_model_norm_sq = SumAll(had_g01_all);
+    const double cross = SumAll(had_h_all);
+
+    // Partial inner products over the last mode's owned rows, reduced.
+    const size_t last = order - 1;
+    std::vector<double> partial_inner(workers, 0.0);
+    for (uint32_t q = 0; q < parts; ++q) {
+      const uint32_t w = q % workers;
+      double local = 0.0;
+      for (uint64_t row : rows_of_part[last][q]) {
+        const size_t r = static_cast<size_t>(row);
+        const double* mrow = mttkrp_last.RowPtr(r);
+        const double* arow = factors[last].RowPtr(r);
+        for (size_t f = 0; f < rank; ++f) local += mrow[f] * arow[f];
+      }
+      partial_inner[w] += local;
+      loss_acct.AddTask(w, rows_of_part[last][q].size() * rank);
+    }
+    double inner = cluster.AllToAllReduceScalar(partial_inner, &loss_acct);
+    if (!options.als.reuse_intermediates) {
+      // Ablation: recompute the inner product by streaming the tensor
+      // again (extra O(nnz·N·R) work and an extra reduction round).
+      inner = KruskalTensor(factors).InnerWithSparse(delta);
+      for (uint32_t q = 0; q < parts; ++q) {
+        const uint32_t w = q % workers;
+        const uint64_t part_nnz = mode_data[last].part_tensors[q].nnz();
+        loss_acct.AddSparseTask(w, part_nnz,
+                                MttkrpFlops(part_nnz, order, rank));
+      }
+      (void)cluster.AllToAllReduceScalar(partial_inner, &loss_acct);
+    }
+    {
+      const double before = cluster.ElapsedSimSeconds();
+      cluster.CommitSuperstep(loss_acct);
+      result.metrics.sim_seconds_loss +=
+          cluster.ElapsedSimSeconds() - before;
+    }
+
+    double loss = 0.0;
+    if (has_prev) {
+      loss += mu * (prev_model_norm_sq + a0_model_norm_sq - 2.0 * cross);
+    }
+    loss += delta_norm_sq + (full_model_norm_sq - a0_model_norm_sq) -
+            2.0 * inner;
+    if (loss < 0.0) loss = 0.0;
+    result.als.loss_history.push_back(loss);
+    ++result.als.iterations;
+
+    const double sim_now = cluster.ElapsedSimSeconds();
+    result.metrics.sim_seconds_per_iteration.push_back(sim_now -
+                                                       sim_before_iters);
+    sim_before_iters = sim_now;
+
+    if (options.als.tolerance > 0.0 && prev_loss >= 0.0) {
+      const double denom_loss = prev_loss > 0.0 ? prev_loss : 1.0;
+      if (std::abs(prev_loss - loss) / denom_loss < options.als.tolerance) {
+        break;
+      }
+    }
+    prev_loss = loss;
+  }
+
+  result.als.factors = KruskalTensor(std::move(factors));
+  result.metrics.sim_seconds_total = cluster.ElapsedSimSeconds();
+  result.metrics.comm_messages = cluster.total_comm_messages();
+  result.metrics.comm_payload_bytes = cluster.total_comm_bytes();
+  result.metrics.total_flops = cluster.total_flops();
+  result.metrics.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dismastd

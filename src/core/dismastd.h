@@ -1,0 +1,86 @@
+#ifndef DISMASTD_CORE_DISMASTD_H_
+#define DISMASTD_CORE_DISMASTD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cp_als.h"
+#include "core/options.h"
+#include "dist/cost_model.h"
+#include "partition/partition.h"
+#include "partition/stats.h"
+#include "tensor/coo_tensor.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+
+/// Configuration of a distributed decomposition run.
+struct DistributedOptions {
+  DecompositionOptions als;
+  /// GTP or MTP (§IV-A2).
+  PartitionerKind partitioner = PartitionerKind::kMaxMin;
+  /// Number of worker nodes M.
+  uint32_t num_workers = 8;
+  /// Partitions per mode p; 0 means "same as num_workers" (the paper's
+  /// empirically recommended setting, §V-B2). Fig. 6 sweeps this.
+  uint32_t parts_per_mode = 0;
+  /// Simulated-hardware constants.
+  CostModelConfig cost_model;
+};
+
+/// Resource metrics of one distributed decomposition.
+struct DistributedRunMetrics {
+  /// Simulated elapsed seconds (BSP cost model) of the whole run, the
+  /// data-partitioning phase, and each ALS sweep.
+  double sim_seconds_total = 0.0;
+  double sim_seconds_partitioning = 0.0;
+  std::vector<double> sim_seconds_per_iteration;
+  /// Phase breakdown of the iteration time (sums to ~the iteration total):
+  /// the fetch+MTTKRP+row-update supersteps, the Gram all-to-all
+  /// reductions, and the loss supersteps.
+  double sim_seconds_mttkrp_update = 0.0;
+  double sim_seconds_gram_reduce = 0.0;
+  double sim_seconds_loss = 0.0;
+  /// Network totals (real serialized/accounted payload bytes).
+  uint64_t comm_messages = 0;
+  uint64_t comm_payload_bytes = 0;
+  /// Counted floating-point work across all workers.
+  uint64_t total_flops = 0;
+  /// Real wall-clock seconds of the simulation itself.
+  double wall_seconds = 0.0;
+  /// Load balance achieved by the tensor partitioning, per mode.
+  std::vector<PartitionBalance> balance_per_mode;
+
+  /// Mean simulated seconds per ALS sweep (the paper's reported metric).
+  double MeanIterationSeconds() const;
+};
+
+/// Result of one distributed decomposition step.
+struct DistributedResult {
+  AlsResult als;
+  DistributedRunMetrics metrics;
+};
+
+/// DisMASTD: one multi-aspect streaming step executed on the simulated
+/// cluster (§IV). Decomposes the current snapshot given the previous
+/// snapshot's factors, touching only the relative complement X \ X̃:
+///
+///   1. Data partitioning: GTP/MTP partitions every mode of `delta`;
+///      non-zeros and the induced factor rows are shipped to their owner
+///      workers (accounted as communication).
+///   2. Per ALS sweep and mode: row-wise distributed MTTKRP (Eq. 6) with
+///      remote factor-row fetches, row-wise factor update (Eq. 3/5),
+///      all-to-all reduction of the R x R Gram products (§IV-B3), and a
+///      loss computed from maintained intermediates (§IV-B4).
+///
+/// Passing all-zero `old_dims` (and an empty `prev`) makes this a
+/// distributed *static* CP-ALS that recomputes from scratch — exactly the
+/// extended DMS-MG baseline of §V-B (see DmsMgDecompose in dms_mg.h).
+DistributedResult DisMastdDecompose(const SparseTensor& delta,
+                                    const std::vector<uint64_t>& old_dims,
+                                    const KruskalTensor& prev,
+                                    const DistributedOptions& options);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_CORE_DISMASTD_H_

@@ -1,0 +1,15 @@
+#include "core/dms_mg.h"
+
+namespace dismastd {
+
+DistributedResult DmsMgDecompose(const SparseTensor& snapshot,
+                                 const DistributedOptions& options) {
+  // With no previous snapshot (all-zero old dims) the dynamic update rules
+  // of Eq. 5 reduce exactly to the static ALS normal equations, so the
+  // distributed engine executes a from-scratch medium-grained CP-ALS over
+  // every non-zero of the snapshot.
+  const std::vector<uint64_t> no_old_dims(snapshot.order(), 0);
+  return DisMastdDecompose(snapshot, no_old_dims, KruskalTensor(), options);
+}
+
+}  // namespace dismastd

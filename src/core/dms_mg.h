@@ -1,0 +1,22 @@
+#ifndef DISMASTD_CORE_DMS_MG_H_
+#define DISMASTD_CORE_DMS_MG_H_
+
+#include "core/dismastd.h"
+
+namespace dismastd {
+
+/// The extended DMS-MG baseline of §V-B: the medium-grained distributed
+/// *static* CP-ALS (Smith & Karypis, IPDPS'16) ported onto the same
+/// partitioning framework as DisMASTD (the paper implements DMS-MG-GTP and
+/// DMS-MG-MTP the same way).
+///
+/// Unlike DisMASTD it cannot exploit the streaming structure: each snapshot
+/// is re-decomposed from scratch over *all* of its non-zeros with freshly
+/// randomized factors, so its per-iteration cost scales with nnz(X) rather
+/// than nnz(X \ X̃).
+DistributedResult DmsMgDecompose(const SparseTensor& snapshot,
+                                 const DistributedOptions& options);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_CORE_DMS_MG_H_

@@ -1,0 +1,75 @@
+#include "core/driver.h"
+
+namespace dismastd {
+
+const char* MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kDisMastd:
+      return "DisMASTD";
+    case MethodKind::kDmsMg:
+      return "DMS-MG";
+  }
+  return "?";
+}
+
+std::string MethodLabel(MethodKind method, PartitionerKind partitioner) {
+  return std::string(MethodKindName(method)) + "-" +
+         PartitionerKindName(partitioner);
+}
+
+std::vector<StreamStepMetrics> RunStreamingExperiment(
+    const StreamingTensorSequence& stream, MethodKind method,
+    const DistributedOptions& options, bool compute_fit) {
+  std::vector<StreamStepMetrics> metrics;
+  metrics.reserve(stream.num_steps());
+
+  KruskalTensor prev_factors;
+  std::vector<uint64_t> prev_dims;
+
+  for (size_t step = 0; step < stream.num_steps(); ++step) {
+    StreamStepMetrics sm;
+    sm.step = step;
+    sm.dims = stream.DimsAt(step);
+
+    DistributedResult result;
+    // Give every cold-start decomposition its own seed so DMS-MG's
+    // re-randomization matches the paper's protocol.
+    DistributedOptions step_options = options;
+    step_options.als.seed = options.als.seed + step * 7919;
+
+    if (method == MethodKind::kDisMastd) {
+      const SparseTensor delta = stream.DeltaAt(step);
+      sm.processed_nnz = delta.nnz();
+      const std::vector<uint64_t> old_dims =
+          step == 0 ? std::vector<uint64_t>(delta.order(), 0) : prev_dims;
+      result = DisMastdDecompose(delta, old_dims, prev_factors, step_options);
+      prev_factors = result.als.factors;
+      prev_dims = stream.DimsAt(step);
+    } else {
+      const SparseTensor snapshot = stream.SnapshotAt(step);
+      sm.processed_nnz = snapshot.nnz();
+      result = DmsMgDecompose(snapshot, step_options);
+    }
+
+    sm.snapshot_nnz = stream.SnapshotNnz(step);
+    sm.iterations = result.als.iterations;
+    sm.sim_seconds_per_iteration = result.metrics.MeanIterationSeconds();
+    sm.sim_seconds_total = result.metrics.sim_seconds_total;
+    sm.sim_seconds_partitioning = result.metrics.sim_seconds_partitioning;
+    sm.comm_bytes = result.metrics.comm_payload_bytes;
+    sm.comm_messages = result.metrics.comm_messages;
+    sm.flops = result.metrics.total_flops;
+    sm.wall_seconds = result.metrics.wall_seconds;
+    sm.final_loss = result.als.loss_history.empty()
+                        ? 0.0
+                        : result.als.loss_history.back();
+    if (compute_fit) {
+      const SparseTensor snapshot = stream.SnapshotAt(step);
+      sm.fit = result.als.factors.Fit(snapshot);
+    }
+    metrics.push_back(std::move(sm));
+  }
+  return metrics;
+}
+
+}  // namespace dismastd

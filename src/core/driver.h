@@ -1,0 +1,64 @@
+#ifndef DISMASTD_CORE_DRIVER_H_
+#define DISMASTD_CORE_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dismastd.h"
+#include "core/dms_mg.h"
+#include "stream/snapshot.h"
+
+namespace dismastd {
+
+/// Which decomposition strategy a streaming experiment runs at every step.
+enum class MethodKind {
+  /// DisMASTD: incremental, decomposes only X \ X̃ given previous factors.
+  kDisMastd,
+  /// DMS-MG: static recompute of the full snapshot from scratch.
+  kDmsMg,
+};
+
+const char* MethodKindName(MethodKind kind);
+
+/// Human-readable method label, e.g. "DisMASTD-MTP" or "DMS-MG-GTP".
+std::string MethodLabel(MethodKind method, PartitionerKind partitioner);
+
+/// Per-snapshot metrics of a streaming run.
+struct StreamStepMetrics {
+  size_t step = 0;
+  std::vector<uint64_t> dims;
+  uint64_t snapshot_nnz = 0;
+  /// nnz the method actually processed: the delta for DisMASTD, the whole
+  /// snapshot for DMS-MG.
+  uint64_t processed_nnz = 0;
+  size_t iterations = 0;
+  /// Simulated seconds per ALS sweep (the paper's Fig. 5-7 metric).
+  double sim_seconds_per_iteration = 0.0;
+  double sim_seconds_total = 0.0;
+  double sim_seconds_partitioning = 0.0;
+  uint64_t comm_bytes = 0;
+  uint64_t comm_messages = 0;
+  uint64_t flops = 0;
+  double wall_seconds = 0.0;
+  double final_loss = 0.0;
+  /// Fit of the returned factors against the *full* snapshot tensor
+  /// (1 - relative residual; 1 is perfect).
+  double fit = 0.0;
+};
+
+/// Runs a full streaming experiment: at every step of `stream`, decomposes
+/// the snapshot with the chosen method and collects metrics.
+///
+/// DisMASTD chains: step t reuses step t-1's factors and touches only the
+/// relative complement (step 0 is a cold start over the first snapshot).
+/// DMS-MG re-decomposes every snapshot from scratch.
+///
+/// When `compute_fit` is true (slower), each step's factors are scored
+/// against the materialized snapshot.
+std::vector<StreamStepMetrics> RunStreamingExperiment(
+    const StreamingTensorSequence& stream, MethodKind method,
+    const DistributedOptions& options, bool compute_fit = false);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_CORE_DRIVER_H_

@@ -1,0 +1,140 @@
+#include "core/online_cp.h"
+
+#include "la/ops.h"
+#include "la/solve.h"
+#include "tensor/mttkrp.h"
+
+namespace dismastd {
+
+OnlineCp::OnlineCp(const SparseTensor& initial,
+                   const DecompositionOptions& options)
+    : options_(options) {
+  DecompositionOptions init_options = options;
+  AlsResult base = CpAls(initial, init_options);
+  factors_ = std::move(base.factors);
+  const size_t order = factors_.order();
+  grams_.resize(order);
+  for (size_t n = 0; n < order; ++n) {
+    grams_[n] = TransposeTimes(factors_.factor(n), factors_.factor(n));
+  }
+  // Seed P_n / Q_n from the initial decomposition for every non-temporal
+  // mode.
+  mttkrp_accum_.resize(order - 1);
+  gram_accum_.resize(order - 1);
+  std::vector<const Matrix*> ptrs(order);
+  for (size_t k = 0; k < order; ++k) ptrs[k] = &factors_.factor(k);
+  for (size_t n = 0; n + 1 < order; ++n) {
+    mttkrp_accum_[n] = Mttkrp(initial, ptrs, n);
+    Matrix q(options_.rank, options_.rank);
+    bool first = true;
+    for (size_t k = 0; k < order; ++k) {
+      if (k == n) continue;
+      if (first) {
+        q = grams_[k];
+        first = false;
+      } else {
+        HadamardInPlace(q, grams_[k]);
+      }
+    }
+    gram_accum_[n] = std::move(q);
+  }
+}
+
+Status OnlineCp::Append(const SparseTensor& delta) {
+  const size_t order = factors_.order();
+  if (delta.order() != order) {
+    return Status::InvalidArgument("delta order mismatch");
+  }
+  const size_t temporal = order - 1;
+  for (size_t n = 0; n < temporal; ++n) {
+    if (delta.dim(n) != factors_.factor(n).rows()) {
+      return Status::InvalidArgument(
+          "OnlineCP supports growth in the last mode only; mode " +
+          std::to_string(n) + " changed size (multi-aspect stream?)");
+    }
+  }
+  const uint64_t old_temporal = temporal_size();
+  const uint64_t new_temporal = delta.dim(temporal);
+  if (new_temporal < old_temporal) {
+    return Status::InvalidArgument("temporal mode shrank");
+  }
+  for (size_t e = 0; e < delta.nnz(); ++e) {
+    if (delta.Index(e, temporal) < old_temporal) {
+      return Status::InvalidArgument(
+          "delta entry lies in the previous temporal range");
+    }
+  }
+  const size_t rank = options_.rank;
+  const size_t d_t = static_cast<size_t>(new_temporal - old_temporal);
+
+  // --- 1. New temporal rows. ---
+  // Grow C with zero rows so MTTKRP can index globally; only the new rows
+  // receive contributions (all delta entries have temporal index >= old).
+  Matrix grown_c(static_cast<size_t>(new_temporal), rank);
+  const Matrix& old_c = factors_.factor(temporal);
+  for (size_t r = 0; r < old_c.rows(); ++r) {
+    std::copy(old_c.RowPtr(r), old_c.RowPtr(r) + rank, grown_c.RowPtr(r));
+  }
+  factors_.mutable_factor(temporal) = std::move(grown_c);
+
+  std::vector<const Matrix*> ptrs(order);
+  for (size_t k = 0; k < order; ++k) ptrs[k] = &factors_.factor(k);
+  const Matrix c_numerator = Mttkrp(delta, ptrs, temporal);
+  Matrix q_temporal(rank, rank);
+  bool first = true;
+  for (size_t k = 0; k < temporal; ++k) {
+    if (first) {
+      q_temporal = grams_[k];
+      first = false;
+    } else {
+      HadamardInPlace(q_temporal, grams_[k]);
+    }
+  }
+  const Matrix c_new_rows = SolveNormalEquationsRows(
+      q_temporal,
+      c_numerator.RowSlice(static_cast<size_t>(old_temporal),
+                           static_cast<size_t>(new_temporal)));
+  for (size_t r = 0; r < d_t; ++r) {
+    std::copy(c_new_rows.RowPtr(r), c_new_rows.RowPtr(r) + rank,
+              factors_.mutable_factor(temporal).RowPtr(
+                  static_cast<size_t>(old_temporal) + r));
+  }
+  // Temporal Gram grows by the new rows' contribution.
+  const Matrix delta_gram = TransposeTimes(c_new_rows, c_new_rows);
+  AddInPlace(grams_[temporal], delta_gram);
+
+  // --- 2. Grow the paired accumulators, then refresh the factors. ---
+  // All P_n / Q_n increments are computed from the same factor snapshot
+  // (pre-update non-temporal factors plus the new temporal rows).
+  const std::vector<Matrix> grams_snapshot = grams_;
+  for (size_t n = 0; n < temporal; ++n) {
+    MttkrpAccumulate(delta, ptrs, n, &mttkrp_accum_[n]);
+    Matrix q_delta(rank, rank);
+    bool q_first = true;
+    for (size_t k = 0; k < temporal; ++k) {
+      if (k == n) continue;
+      if (q_first) {
+        q_delta = grams_snapshot[k];
+        q_first = false;
+      } else {
+        HadamardInPlace(q_delta, grams_snapshot[k]);
+      }
+    }
+    if (q_first) {
+      // Order-2 tensor: no other non-temporal mode.
+      q_delta = delta_gram;
+    } else {
+      HadamardInPlace(q_delta, delta_gram);
+    }
+    AddInPlace(gram_accum_[n], q_delta);
+  }
+  for (size_t n = 0; n < temporal; ++n) {
+    factors_.mutable_factor(n) =
+        SolveNormalEquationsRows(gram_accum_[n], mttkrp_accum_[n]);
+    grams_[n] = TransposeTimes(factors_.factor(n), factors_.factor(n));
+  }
+  appended_nnz_ += delta.nnz();
+  return Status::OK();
+}
+
+}  // namespace dismastd

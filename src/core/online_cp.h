@@ -1,0 +1,65 @@
+#ifndef DISMASTD_CORE_ONLINE_CP_H_
+#define DISMASTD_CORE_ONLINE_CP_H_
+
+#include <vector>
+
+#include "core/cp_als.h"
+#include "core/options.h"
+#include "tensor/coo_tensor.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+
+/// OnlineCP (Zhou et al., KDD'16) — the *traditional streaming* baseline of
+/// the paper's Table I: an online CP decomposition for tensors that grow in
+/// exactly ONE mode (by convention the last, "temporal" mode). Included to
+/// demonstrate the gap DisMASTD closes: OnlineCP maintains per-mode
+/// accumulators P_n (MTTKRP sums) and Q_n (Gram Hadamards) whose shapes are
+/// tied to the non-temporal dims, so it fundamentally cannot ingest
+/// multi-aspect growth — Append() rejects deltas that extend any other mode.
+///
+/// Per appended time-slab (no inner ALS iterations):
+///   1. New temporal rows: C_new = Â_new · (∗_{k<N} G_k)⁻¹ from one sparse
+///      MTTKRP over the slab.
+///   2. For every non-temporal mode n: P_n += MTTKRP(slab, n),
+///      Q_n = ∗_{k≠n} G_k (with the temporal Gram grown by C_newᵀC_new),
+///      A_n = P_n · Q_n⁻¹.
+class OnlineCp {
+ public:
+  /// Decomposes the initial snapshot with static CP-ALS and seeds the
+  /// accumulators from it.
+  OnlineCp(const SparseTensor& initial, const DecompositionOptions& options);
+
+  /// Ingests the relative complement of a snapshot that grew ONLY in the
+  /// last mode. `delta` carries the grown dims and globally-indexed
+  /// entries (temporal indices >= the previous temporal size).
+  /// Fails with InvalidArgument if any non-temporal dim changed or if an
+  /// entry lies outside the new temporal range.
+  Status Append(const SparseTensor& delta);
+
+  const KruskalTensor& factors() const { return factors_; }
+  size_t order() const { return factors_.order(); }
+  /// Current size of the streaming (last) mode.
+  uint64_t temporal_size() const {
+    return factors_.factor(order() - 1).rows();
+  }
+  /// Non-zeros processed across all Append() calls (excludes the initial
+  /// decomposition).
+  uint64_t appended_nnz() const { return appended_nnz_; }
+
+ private:
+  DecompositionOptions options_;
+  KruskalTensor factors_;
+  std::vector<Matrix> grams_;  // G_n = A_nᵀA_n, maintained
+  std::vector<Matrix> mttkrp_accum_;  // P_n for non-temporal modes
+  /// Q_n accumulators: the normal-equation matrices matching P_n. Each
+  /// append adds (∗_{non-temporal k≠n} G_k) ∗ (C_newᵀC_new), mirroring how
+  /// P_n accumulates the new slab's MTTKRP — the accumulators must stay
+  /// *paired* or the solve diverges.
+  std::vector<Matrix> gram_accum_;
+  uint64_t appended_nnz_ = 0;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_CORE_ONLINE_CP_H_

@@ -1,0 +1,35 @@
+#ifndef DISMASTD_CORE_OPTIONS_H_
+#define DISMASTD_CORE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dismastd {
+
+/// Options shared by every decomposition algorithm in this library
+/// (centralized CP-ALS, centralized DTD, distributed DisMASTD / DMS-MG).
+/// Defaults follow the paper's experimental setup (§V-A): R = 10, μ = 0.8,
+/// at most 10 ALS iterations.
+struct DecompositionOptions {
+  /// Rank bound R: the second dimension of every factor matrix.
+  size_t rank = 10;
+  /// Forgetting factor μ in (0, 1]: down-weights the previous snapshot's
+  /// decomposition error (Eq. 2). Ignored by static CP-ALS.
+  double mu = 0.8;
+  /// Upper bound on ALS sweeps.
+  size_t max_iterations = 10;
+  /// Convergence threshold on the relative loss improvement
+  /// |L_prev - L| / L_prev ("fit ceases to improve", Alg. 1 line 7).
+  /// Set to 0 to always run max_iterations.
+  double tolerance = 0.0;
+  /// Seed for the random initialization of new factor rows (Alg. 1 line 2).
+  uint64_t seed = 7;
+  /// When true (the paper's design, §IV-B4), the loss reuses the cached
+  /// MTTKRP result and Gram products; when false it is recomputed from
+  /// scratch each iteration (ablation baseline).
+  bool reuse_intermediates = true;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_CORE_OPTIONS_H_

@@ -1,0 +1,85 @@
+#ifndef DISMASTD_DIST_CLUSTER_H_
+#define DISMASTD_DIST_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/cost_model.h"
+#include "dist/network.h"
+#include "la/matrix.h"
+
+namespace dismastd {
+
+/// Serializes a matrix into a byte payload (shape header + raw doubles).
+std::vector<uint8_t> SerializeMatrix(const Matrix& m);
+
+/// Inverse of SerializeMatrix.
+Result<Matrix> DeserializeMatrix(const std::vector<uint8_t>& bytes);
+
+/// A simulated cluster of `num_workers` BSP worker nodes.
+///
+/// The cluster advances a simulated clock: each committed superstep adds the
+/// cost-model time of its slowest worker (compute + communication + task
+/// startup). Collectives route real serialized bytes through the
+/// SimulatedNetwork so that communication totals match what MPI/Spark would
+/// move for the same algorithm.
+class Cluster {
+ public:
+  Cluster(uint32_t num_workers, CostModelConfig config = {});
+
+  uint32_t num_workers() const { return network_.num_workers(); }
+  SimulatedNetwork& network() { return network_; }
+  const CostModelConfig& config() const { return config_; }
+
+  /// Fresh accounting object for one superstep.
+  SuperstepAccounting NewSuperstep() const {
+    return SuperstepAccounting(num_workers());
+  }
+
+  /// Folds a finished superstep into the simulated clock and totals.
+  void CommitSuperstep(const SuperstepAccounting& acct);
+
+  /// Simulated elapsed seconds since construction / last ResetClock().
+  double ElapsedSimSeconds() const { return sim_seconds_; }
+  void ResetClock() { sim_seconds_ = 0.0; }
+
+  uint64_t total_flops() const { return total_flops_; }
+  uint64_t committed_supersteps() const { return supersteps_; }
+  /// Total communication across all committed supersteps (accounted
+  /// payload bytes / messages, including planned transfers that are not
+  /// materialized through the network fabric).
+  uint64_t total_comm_bytes() const { return total_comm_bytes_; }
+  uint64_t total_comm_messages() const { return total_comm_messages_; }
+
+  /// All-to-all reduction of per-worker R x R partial matrices (§IV-B3):
+  /// every worker sends its partial to every other worker; each worker sums
+  /// all M partials in worker order, so all replicas are bit-identical.
+  /// Traffic and the element-wise additions are recorded into `acct`.
+  /// Returns the reduced matrix (the replica every worker holds).
+  Matrix AllToAllReduceMatrix(const std::vector<Matrix>& partials,
+                              SuperstepAccounting* acct);
+
+  /// All-to-all reduction of one scalar per worker.
+  double AllToAllReduceScalar(const std::vector<double>& partials,
+                              SuperstepAccounting* acct);
+
+  /// Point-to-point transfer of a block of factor-matrix rows; counts the
+  /// real serialized bytes. Returns the deserialized rows at `dst`.
+  Result<Matrix> SendRows(uint32_t src, uint32_t dst, const Matrix& rows,
+                          SuperstepAccounting* acct);
+
+ private:
+  SimulatedNetwork network_;
+  CostModelConfig config_;
+  double sim_seconds_ = 0.0;
+  uint64_t total_flops_ = 0;
+  uint64_t total_comm_bytes_ = 0;
+  uint64_t total_comm_messages_ = 0;
+  uint64_t supersteps_ = 0;
+  uint32_t next_tag_ = 1;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_DIST_CLUSTER_H_

@@ -1,0 +1,12 @@
+#include "dist/comm_stats.h"
+
+#include "common/string_util.h"
+
+namespace dismastd {
+
+std::string CommStats::ToString() const {
+  return "messages=" + FormatWithCommas(messages) +
+         " payload=" + FormatBytes(payload_bytes);
+}
+
+}  // namespace dismastd

@@ -1,0 +1,34 @@
+#ifndef DISMASTD_DIST_COMM_STATS_H_
+#define DISMASTD_DIST_COMM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dismastd {
+
+/// Cumulative communication counters for the simulated cluster. Bytes are
+/// real serialized payload bytes — the same bytes an MPI/Spark shuffle of the
+/// same data would move — so Theorem 4's communication bounds can be checked
+/// empirically.
+struct CommStats {
+  uint64_t messages = 0;
+  uint64_t payload_bytes = 0;
+
+  void Record(uint64_t bytes) {
+    ++messages;
+    payload_bytes += bytes;
+  }
+
+  void Merge(const CommStats& other) {
+    messages += other.messages;
+    payload_bytes += other.payload_bytes;
+  }
+
+  void Reset() { *this = CommStats{}; }
+
+  std::string ToString() const;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_DIST_COMM_STATS_H_

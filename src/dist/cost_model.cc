@@ -1,0 +1,49 @@
+#include "dist/cost_model.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace dismastd {
+
+uint64_t SuperstepAccounting::total_flops() const {
+  uint64_t total = 0;
+  for (uint64_t f : flops_) total += f;
+  return total;
+}
+
+uint64_t SuperstepAccounting::total_bytes() const {
+  uint64_t total = 0;
+  for (uint64_t b : bytes_sent_) total += b;
+  return total;
+}
+
+uint64_t SuperstepAccounting::max_worker_flops() const {
+  return *std::max_element(flops_.begin(), flops_.end());
+}
+
+double SuperstepSeconds(const CostModelConfig& config,
+                        const SuperstepAccounting& acct) {
+  DISMASTD_CHECK(config.flops_per_second > 0.0);
+  DISMASTD_CHECK(config.sparse_elements_per_second > 0.0);
+  DISMASTD_CHECK(config.bandwidth_bytes_per_second > 0.0);
+  const uint32_t workers = acct.num_workers();
+  uint64_t max_tasks = 0, max_flops = 0, max_sparse = 0, max_bytes = 0,
+           max_msgs = 0;
+  for (uint32_t w = 0; w < workers; ++w) {
+    max_tasks = std::max(max_tasks, acct.per_worker_tasks()[w]);
+    max_flops = std::max(max_flops, acct.per_worker_flops()[w]);
+    max_sparse = std::max(max_sparse, acct.per_worker_sparse_elements()[w]);
+    max_bytes = std::max(max_bytes, acct.per_worker_bytes_sent()[w] +
+                                        acct.per_worker_bytes_recv()[w]);
+    max_msgs = std::max(max_msgs, acct.per_worker_messages()[w]);
+  }
+  return static_cast<double>(max_tasks) * config.task_startup_seconds +
+         static_cast<double>(max_flops) / config.flops_per_second +
+         static_cast<double>(max_sparse) /
+             config.sparse_elements_per_second +
+         static_cast<double>(max_bytes) / config.bandwidth_bytes_per_second +
+         static_cast<double>(max_msgs) * config.latency_seconds;
+}
+
+}  // namespace dismastd

@@ -1,0 +1,109 @@
+#ifndef DISMASTD_DIST_COST_MODEL_H_
+#define DISMASTD_DIST_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dismastd {
+
+/// Hardware/runtime constants for converting counted work into simulated
+/// wall-clock time. Defaults approximate the paper's testbed: Xeon E5-2650v4
+/// workers on Gigabit Ethernet running Spark (whose per-task launch overhead
+/// the paper calls out as dominating small datasets, Fig. 7). The flop rate
+/// is an *effective* rate for JVM/Spark sparse-kernel processing — roughly
+/// 10⁷-10⁸ tensor elements per second per executor, far below peak
+/// floating-point throughput.
+struct CostModelConfig {
+  /// Dense per-row work (factor updates, Gram products): effective local
+  /// flop rate.
+  double flops_per_second = 2.0e8;
+  /// Sparse per-non-zero work (MTTKRP over COO entries): in a Spark/shuffle
+  /// runtime every non-zero pays join/hash overhead, so the effective
+  /// element rate is orders of magnitude below the flop rate.
+  double sparse_elements_per_second = 5.0e5;
+  /// Point-to-point bandwidth (Gigabit Ethernet ≈ 125 MB/s).
+  double bandwidth_bytes_per_second = 125.0e6;
+  /// Per-message latency (LAN, with collective batching amortized).
+  double latency_seconds = 5.0e-5;
+  /// Per-task scheduling/launch overhead (Spark task startup).
+  double task_startup_seconds = 0.001;
+};
+
+/// Per-worker accounting for one bulk-synchronous superstep. The engine
+/// records every task's flop count and the network records traffic; the cost
+/// model turns the *maximum* per-worker load into elapsed time (BSP: a
+/// superstep finishes when the slowest worker finishes).
+class SuperstepAccounting {
+ public:
+  explicit SuperstepAccounting(uint32_t num_workers)
+      : flops_(num_workers, 0),
+        sparse_elements_(num_workers, 0),
+        bytes_sent_(num_workers, 0),
+        bytes_recv_(num_workers, 0),
+        messages_(num_workers, 0),
+        tasks_(num_workers, 0) {}
+
+  uint32_t num_workers() const { return static_cast<uint32_t>(flops_.size()); }
+
+  void AddTask(uint32_t worker, uint64_t flops) {
+    ++tasks_[worker];
+    flops_[worker] += flops;
+  }
+  /// A task whose cost is dominated by per-non-zero (COO element)
+  /// processing. `flops` still records the arithmetic performed (for the
+  /// work totals); the *time* of the task is driven by `elements` via
+  /// CostModelConfig::sparse_elements_per_second.
+  void AddSparseTask(uint32_t worker, uint64_t elements, uint64_t flops) {
+    ++tasks_[worker];
+    sparse_elements_[worker] += elements;
+    flops_[worker] += flops;
+  }
+  void AddFlops(uint32_t worker, uint64_t flops) { flops_[worker] += flops; }
+  void AddSend(uint32_t worker, uint64_t bytes) {
+    bytes_sent_[worker] += bytes;
+    ++messages_[worker];
+  }
+  void AddReceive(uint32_t worker, uint64_t bytes) {
+    bytes_recv_[worker] += bytes;
+  }
+
+  uint64_t flops(uint32_t worker) const { return flops_[worker]; }
+  uint64_t total_flops() const;
+  uint64_t total_bytes() const;
+  uint64_t max_worker_flops() const;
+
+  const std::vector<uint64_t>& per_worker_flops() const { return flops_; }
+  const std::vector<uint64_t>& per_worker_sparse_elements() const {
+    return sparse_elements_;
+  }
+  const std::vector<uint64_t>& per_worker_bytes_sent() const {
+    return bytes_sent_;
+  }
+  const std::vector<uint64_t>& per_worker_bytes_recv() const {
+    return bytes_recv_;
+  }
+  const std::vector<uint64_t>& per_worker_messages() const {
+    return messages_;
+  }
+  const std::vector<uint64_t>& per_worker_tasks() const { return tasks_; }
+
+ private:
+  std::vector<uint64_t> flops_;
+  std::vector<uint64_t> sparse_elements_;
+  std::vector<uint64_t> bytes_sent_;
+  std::vector<uint64_t> bytes_recv_;
+  std::vector<uint64_t> messages_;
+  std::vector<uint64_t> tasks_;
+};
+
+/// Simulated elapsed seconds of one BSP superstep:
+///   max_w(tasks_w)·startup + max_w(flops_w)/rate
+///   + max_w(sparse_w)/sparse_rate
+///   + max_w(sent_w + recv_w)/bandwidth + max_w(msgs_w)·latency
+double SuperstepSeconds(const CostModelConfig& config,
+                        const SuperstepAccounting& acct);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_DIST_COST_MODEL_H_

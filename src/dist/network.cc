@@ -1,0 +1,63 @@
+#include "dist/network.h"
+
+namespace dismastd {
+
+SimulatedNetwork::SimulatedNetwork(uint32_t num_workers)
+    : num_workers_(num_workers),
+      inboxes_(num_workers),
+      bytes_sent_(num_workers, 0),
+      bytes_recv_(num_workers, 0),
+      msgs_sent_(num_workers, 0) {
+  DISMASTD_CHECK(num_workers > 0);
+}
+
+Status SimulatedNetwork::Send(uint32_t src, uint32_t dst, uint32_t tag,
+                              std::vector<uint8_t> payload) {
+  if (src >= num_workers_ || dst >= num_workers_) {
+    return Status::InvalidArgument("worker id out of range");
+  }
+  const uint64_t size = payload.size();
+  if (src != dst) {
+    stats_.Record(size);
+    bytes_sent_[src] += size;
+    bytes_recv_[dst] += size;
+    ++msgs_sent_[src];
+  }
+  inboxes_[dst].push_back(Message{src, dst, tag, std::move(payload)});
+  return Status::OK();
+}
+
+Result<Message> SimulatedNetwork::Receive(uint32_t dst, uint32_t tag) {
+  if (dst >= num_workers_) {
+    return Status::InvalidArgument("worker id out of range");
+  }
+  auto& inbox = inboxes_[dst];
+  for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+    if (it->tag == tag) {
+      Message msg = std::move(*it);
+      inbox.erase(it);
+      return msg;
+    }
+  }
+  return Status::NotFound("no pending message with tag " +
+                          std::to_string(tag));
+}
+
+size_t SimulatedNetwork::PendingCount(uint32_t dst) const {
+  return dst < num_workers_ ? inboxes_[dst].size() : 0;
+}
+
+size_t SimulatedNetwork::TotalPending() const {
+  size_t total = 0;
+  for (const auto& inbox : inboxes_) total += inbox.size();
+  return total;
+}
+
+void SimulatedNetwork::ResetStats() {
+  stats_.Reset();
+  std::fill(bytes_sent_.begin(), bytes_sent_.end(), 0);
+  std::fill(bytes_recv_.begin(), bytes_recv_.end(), 0);
+  std::fill(msgs_sent_.begin(), msgs_sent_.end(), 0);
+}
+
+}  // namespace dismastd

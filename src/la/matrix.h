@@ -1,0 +1,90 @@
+#ifndef DISMASTD_LA_MATRIX_H_
+#define DISMASTD_LA_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dismastd {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the workhorse for CP factor matrices (tall-skinny, I x R) and the
+/// small R x R Gram/Hadamard products that DisMASTD caches on every worker.
+/// Row-major layout matches the row-wise distribution pattern of the paper:
+/// a worker owns contiguous spans of rows and ships them as flat byte spans.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Builds from nested initializer lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// rows x cols matrix with i.i.d. uniform [0,1) entries (the paper's
+  /// rand(d_n, R) initialization of new factor rows).
+  static Matrix Random(size_t rows, size_t cols, Rng& rng);
+
+  /// rows x cols matrix with i.i.d. standard normal entries.
+  static Matrix RandomGaussian(size_t rows, size_t cols, Rng& rng);
+
+  /// Identity of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked element access.
+  double At(size_t r, size_t c) const;
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// Resizes to rows x cols, zeroing all content.
+  void ResizeZero(size_t rows, size_t cols);
+
+  /// Returns the sub-matrix of rows [begin, end).
+  Matrix RowSlice(size_t begin, size_t end) const;
+
+  /// Stacks `top` above `bottom`; column counts must match.
+  static Matrix VStack(const Matrix& top, const Matrix& bottom);
+
+  /// Element-wise comparison with absolute tolerance.
+  bool AllClose(const Matrix& other, double atol = 1e-9) const;
+
+  /// Human-readable rendering (for tests/debugging; rounds to 6 digits).
+  std::string ToString() const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_LA_MATRIX_H_

@@ -1,0 +1,36 @@
+#ifndef DISMASTD_LA_SOLVE_H_
+#define DISMASTD_LA_SOLVE_H_
+
+#include "la/matrix.h"
+
+namespace dismastd {
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// writes the lower triangle L with A = L Lᵀ. Fails (returns non-OK) if a
+/// pivot is not positive.
+Status CholeskyFactor(const Matrix& a, Matrix* lower);
+
+/// Solves A x = b given the Cholesky factor L (forward + back substitution)
+/// for every row of `rhs_rows` laid out as rows: solves Xᵀ where
+/// A · Xᵀ = RHSᵀ, i.e. computes RHS · A⁻¹ row-wise. `rhs_rows` is M x R,
+/// A is R x R; result is M x R.
+Matrix CholeskySolveRows(const Matrix& lower, const Matrix& rhs_rows);
+
+/// Solves the ALS normal equations X · A = RHS for X, i.e. X = RHS · A⁻¹,
+/// where A is a small (R x R) symmetric matrix that is positive definite in
+/// exact arithmetic but can be near-singular in practice. Tries Cholesky
+/// first; on failure retries with a diagonal ridge `jitter * trace(A)/R`
+/// increased geometrically. This is the "division" in the paper's update
+/// rules (Eq. 3/5).
+Matrix SolveNormalEquationsRows(const Matrix& a, const Matrix& rhs_rows);
+
+/// General LU solve with partial pivoting: returns X with A X = B.
+/// A must be square and non-singular (checked with a tolerance).
+Status LuSolve(const Matrix& a, const Matrix& b, Matrix* x);
+
+/// Matrix inverse via LU; fails on singular input.
+Status Inverse(const Matrix& a, Matrix* inv);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_LA_SOLVE_H_

@@ -1,0 +1,60 @@
+#include "partition/factor_assign.h"
+
+#include <algorithm>
+
+namespace dismastd {
+
+ModePartitionData BuildModePartitionData(
+    const SparseTensor& tensor, const TensorPartitioning& partitioning,
+    size_t mode) {
+  const size_t order = tensor.order();
+  DISMASTD_CHECK(partitioning.order() == order);
+  DISMASTD_CHECK(mode < order);
+  const ModePartition& mode_partition = partitioning.modes[mode];
+  const uint32_t parts = mode_partition.num_parts;
+
+  ModePartitionData data;
+  data.mode = mode;
+  data.part_tensors.assign(parts, SparseTensor(tensor.dims()));
+  data.needed_rows.assign(
+      parts, std::vector<std::vector<uint64_t>>(order));
+
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    const uint64_t* idx = tensor.IndexTuple(e);
+    const uint32_t part = mode_partition.slice_to_part[idx[mode]];
+    data.part_tensors[part].AddRaw(idx, tensor.Value(e));
+    for (size_t k = 0; k < order; ++k) {
+      if (k == mode) continue;
+      data.needed_rows[part][k].push_back(idx[k]);
+    }
+  }
+  // Deduplicate access sets.
+  for (uint32_t q = 0; q < parts; ++q) {
+    for (size_t k = 0; k < order; ++k) {
+      auto& rows = data.needed_rows[q][k];
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    }
+  }
+  return data;
+}
+
+uint64_t CountRemoteRows(const std::vector<uint64_t>& rows,
+                         const ModePartition& factor_partition,
+                         uint32_t local_worker, uint32_t num_workers) {
+  DISMASTD_CHECK(num_workers >= 1);
+  uint64_t remote = 0;
+  for (uint64_t row : rows) {
+    DISMASTD_CHECK(row < factor_partition.slice_to_part.size());
+    const uint32_t owner_part = factor_partition.slice_to_part[row];
+    const uint32_t owner_worker = owner_part % num_workers;
+    if (owner_worker != local_worker) ++remote;
+  }
+  return remote;
+}
+
+uint64_t RowTransferBytes(uint64_t row_count, size_t rank) {
+  return row_count * (sizeof(uint64_t) + rank * sizeof(double));
+}
+
+}  // namespace dismastd

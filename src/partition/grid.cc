@@ -1,0 +1,149 @@
+#include "partition/grid.h"
+
+#include <algorithm>
+
+namespace dismastd {
+namespace {
+
+/// Prime factorization, smallest factors first.
+std::vector<uint32_t> PrimeFactors(uint32_t n) {
+  std::vector<uint32_t> factors;
+  for (uint32_t p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+}  // namespace
+
+uint32_t ProcessGrid::num_workers() const {
+  uint32_t workers = 1;
+  for (uint32_t s : shape) workers *= s;
+  return workers;
+}
+
+std::string ProcessGrid::ToString() const {
+  std::string out;
+  for (size_t n = 0; n < shape.size(); ++n) {
+    if (n > 0) out += "x";
+    out += std::to_string(shape[n]);
+  }
+  return out;
+}
+
+Result<ProcessGrid> ChooseGridShape(uint32_t workers,
+                                    const std::vector<uint64_t>& dims) {
+  if (workers == 0) return Status::InvalidArgument("zero workers");
+  if (dims.empty()) return Status::InvalidArgument("empty dims");
+  ProcessGrid grid;
+  grid.shape.assign(dims.size(), 1);
+  // Largest primes first so big factors land on big modes.
+  std::vector<uint32_t> primes = PrimeFactors(workers);
+  std::sort(primes.rbegin(), primes.rend());
+  for (uint32_t prime : primes) {
+    // Assign to the mode with the longest remaining chunk that can still
+    // absorb the factor (shape must not exceed the mode size).
+    size_t best = dims.size();
+    double best_len = -1.0;
+    for (size_t n = 0; n < dims.size(); ++n) {
+      if (static_cast<uint64_t>(grid.shape[n]) * prime > dims[n]) continue;
+      const double len =
+          static_cast<double>(dims[n]) / static_cast<double>(grid.shape[n]);
+      if (len > best_len) {
+        best_len = len;
+        best = n;
+      }
+    }
+    if (best == dims.size()) {
+      return Status::InvalidArgument(
+          "worker count " + std::to_string(workers) +
+          " cannot be factored onto this tensor's dims");
+    }
+    grid.shape[best] *= prime;
+  }
+  return grid;
+}
+
+uint32_t GridPartitioning::CellOf(const uint64_t* index) const {
+  uint32_t cell = 0;
+  for (size_t n = 0; n < grid.shape.size(); ++n) {
+    cell = cell * grid.shape[n] +
+           mode_chunks[n].slice_to_part[index[n]];
+  }
+  return cell;
+}
+
+GridPartitioning MediumGrainPartition(const SparseTensor& tensor,
+                                      const ProcessGrid& grid,
+                                      PartitionerKind chunker) {
+  DISMASTD_CHECK(grid.shape.size() == tensor.order());
+  GridPartitioning partitioning;
+  partitioning.grid = grid;
+  partitioning.mode_chunks.reserve(tensor.order());
+  for (size_t n = 0; n < tensor.order(); ++n) {
+    DISMASTD_CHECK(grid.shape[n] >= 1);
+    DISMASTD_CHECK(grid.shape[n] <= tensor.dim(n));
+    partitioning.mode_chunks.push_back(
+        PartitionMode(chunker, tensor.SliceNnzCounts(n), grid.shape[n]));
+  }
+  return partitioning;
+}
+
+std::vector<uint64_t> CellLoads(const SparseTensor& tensor,
+                                const GridPartitioning& partitioning) {
+  std::vector<uint64_t> loads(partitioning.grid.num_workers(), 0);
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    ++loads[partitioning.CellOf(tensor.IndexTuple(e))];
+  }
+  return loads;
+}
+
+uint64_t MediumGrainRowFetchBound(const SparseTensor& tensor,
+                                  const GridPartitioning& partitioning) {
+  const size_t order = tensor.order();
+  // chunk_rows[n][c] = rows in chunk c of mode n.
+  std::vector<std::vector<uint64_t>> chunk_rows(order);
+  for (size_t n = 0; n < order; ++n) {
+    chunk_rows[n].assign(partitioning.grid.shape[n], 0);
+    for (uint32_t part : partitioning.mode_chunks[n].slice_to_part) {
+      ++chunk_rows[n][part];
+    }
+  }
+  // Enumerate cells in the same mixed-radix order as CellOf.
+  const uint32_t cells = partitioning.grid.num_workers();
+  uint64_t bound = 0;
+  for (uint32_t cell = 0; cell < cells; ++cell) {
+    // Decode chunk coordinates.
+    std::vector<uint32_t> coords(order);
+    uint32_t rem = cell;
+    for (size_t n = order; n-- > 0;) {
+      coords[n] = rem % partitioning.grid.shape[n];
+      rem /= partitioning.grid.shape[n];
+    }
+    for (size_t mode = 0; mode < order; ++mode) {
+      for (size_t k = 0; k < order; ++k) {
+        if (k == mode) continue;
+        bound += chunk_rows[k][coords[k]];
+      }
+    }
+  }
+  return bound;
+}
+
+uint64_t OneDimRowFetchBound(const SparseTensor& tensor, uint32_t parts) {
+  const size_t order = tensor.order();
+  uint64_t bound = 0;
+  for (size_t mode = 0; mode < order; ++mode) {
+    for (size_t k = 0; k < order; ++k) {
+      if (k == mode) continue;
+      bound += static_cast<uint64_t>(parts) * tensor.dim(k);
+    }
+  }
+  return bound;
+}
+
+}  // namespace dismastd

@@ -1,0 +1,75 @@
+#ifndef DISMASTD_PARTITION_GRID_H_
+#define DISMASTD_PARTITION_GRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/partition.h"
+#include "tensor/coo_tensor.h"
+
+namespace dismastd {
+
+/// An N-dimensional process grid: worker (c_1, ..., c_N) owns the tensor
+/// block that is the Cartesian product of the modes' chunk ranges. This is
+/// the *medium-grained* decomposition of Smith & Karypis (IPDPS'16) — the
+/// scheme the paper's DMS-MG baseline is named after — in which each
+/// non-zero is stored exactly once and a worker's factor-row working set is
+/// confined to its block's side ranges, instead of the per-mode 1D scheme
+/// where every partition may touch every row of the other modes.
+struct ProcessGrid {
+  /// shape[n] = number of chunks along mode n; the worker count is the
+  /// product of all entries.
+  std::vector<uint32_t> shape;
+
+  uint32_t num_workers() const;
+  std::string ToString() const;
+};
+
+/// Picks a grid shape for `workers` workers over a tensor with the given
+/// mode sizes: the prime factors of `workers` are assigned greedily to the
+/// mode with the largest remaining chunk length (dims[n] / shape[n]),
+/// following SPLATT's heuristic of keeping blocks as cubical as possible.
+/// Every shape entry is capped at dims[n].
+Result<ProcessGrid> ChooseGridShape(uint32_t workers,
+                                    const std::vector<uint64_t>& dims);
+
+/// A medium-grain partitioning: per-mode chunk maps plus the derived cell
+/// assignment.
+struct GridPartitioning {
+  ProcessGrid grid;
+  /// mode_chunks[n] partitions mode n into grid.shape[n] chunks (built with
+  /// GTP for contiguity or MTP for balance).
+  std::vector<ModePartition> mode_chunks;
+
+  /// The owning cell (= worker id) of an entry: mixed-radix combination of
+  /// the per-mode chunk ids.
+  uint32_t CellOf(const uint64_t* index) const;
+};
+
+/// Builds the medium-grain partitioning of `tensor` on `grid`, chunking
+/// every mode with the chosen heuristic (GTP keeps chunks contiguous, the
+/// medium-grain convention).
+GridPartitioning MediumGrainPartition(const SparseTensor& tensor,
+                                      const ProcessGrid& grid,
+                                      PartitionerKind chunker);
+
+/// Non-zero count per cell (length = grid.num_workers()).
+std::vector<uint64_t> CellLoads(const SparseTensor& tensor,
+                                const GridPartitioning& partitioning);
+
+/// Upper bound on the factor rows a full ALS sweep must move under the
+/// medium-grain scheme: for each mode n, each cell needs at most its own
+/// side-chunk lengths of every other mode's factor, i.e.
+///   Σ_n Σ_cells Σ_{k≠n} chunk_len_k(cell).
+uint64_t MediumGrainRowFetchBound(const SparseTensor& tensor,
+                                  const GridPartitioning& partitioning);
+
+/// The same bound for the per-mode 1D scheme with p partitions per mode:
+/// each of the p partitions can touch all rows of every other mode,
+///   Σ_n Σ_{k≠n} p · I_k.
+uint64_t OneDimRowFetchBound(const SparseTensor& tensor, uint32_t parts);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_PARTITION_GRID_H_

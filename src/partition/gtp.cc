@@ -1,0 +1,55 @@
+#include "partition/gtp.h"
+
+namespace dismastd {
+
+ModePartition GreedyPartitionMode(const std::vector<uint64_t>& slice_nnz,
+                                  uint32_t num_parts) {
+  DISMASTD_CHECK(num_parts >= 1);
+  const size_t num_slices = slice_nnz.size();
+  ModePartition result;
+  result.num_parts = num_parts;
+  result.slice_to_part.assign(num_slices, 0);
+  result.part_nnz.assign(num_parts, 0);
+
+  uint64_t total = 0;
+  for (uint64_t a : slice_nnz) total += a;
+  const double target =
+      static_cast<double>(total) / static_cast<double>(num_parts);
+
+  uint32_t part = 0;
+  uint64_t sum = 0;
+  for (size_t i = 0; i < num_slices; ++i) {
+    if (part == num_parts - 1) {
+      // Lines 16-17: the last partition absorbs all remaining slices.
+      result.slice_to_part[i] = part;
+      result.part_nnz[part] += slice_nnz[i];
+      continue;
+    }
+    const uint64_t with_slice = sum + slice_nnz[i];
+    if (static_cast<double>(with_slice) < target) {
+      // Lines 8-9: below target, keep filling the current partition.
+      result.slice_to_part[i] = part;
+      result.part_nnz[part] += slice_nnz[i];
+      sum = with_slice;
+      continue;
+    }
+    // Lines 10-15: the target is reached. Keep slice i in the current
+    // partition only if that lands closer to the target than excluding it.
+    const double overshoot = static_cast<double>(with_slice) - target;
+    const double shortfall = target - static_cast<double>(sum);
+    if (overshoot <= shortfall) {
+      result.slice_to_part[i] = part;
+      result.part_nnz[part] += slice_nnz[i];
+      ++part;
+      sum = 0;
+    } else {
+      ++part;
+      result.slice_to_part[i] = part;
+      result.part_nnz[part] += slice_nnz[i];
+      sum = slice_nnz[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace dismastd

@@ -1,0 +1,24 @@
+#ifndef DISMASTD_PARTITION_GTP_H_
+#define DISMASTD_PARTITION_GTP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition.h"
+
+namespace dismastd {
+
+/// Greedy Tensor Partitioning for one mode (Algorithm 2).
+///
+/// Walks the slices in index order, accumulating non-zeros into the current
+/// partition until it reaches the target ω = nnz/p. When a slice overshoots
+/// the target, the algorithm keeps or excludes that slice depending on which
+/// choice lands closer to ω (the paper's lines 10-12 balance correction).
+/// Once p-1 partitions are closed, all remaining slices go to the last one.
+/// Produces contiguous partitions.
+ModePartition GreedyPartitionMode(const std::vector<uint64_t>& slice_nnz,
+                                  uint32_t num_parts);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_PARTITION_GTP_H_

@@ -1,0 +1,46 @@
+#include "partition/mtp.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace dismastd {
+
+ModePartition MaxMinPartitionMode(const std::vector<uint64_t>& slice_nnz,
+                                  uint32_t num_parts) {
+  DISMASTD_CHECK(num_parts >= 1);
+  const size_t num_slices = slice_nnz.size();
+  ModePartition result;
+  result.num_parts = num_parts;
+  result.slice_to_part.assign(num_slices, 0);
+  result.part_nnz.assign(num_parts, 0);
+
+  // Line 3: sort slices by nnz descending; ties by index keep determinism.
+  std::vector<size_t> order(num_slices);
+  for (size_t i = 0; i < num_slices; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return slice_nnz[a] > slice_nnz[b];
+  });
+
+  // Lines 5-7: assign the heaviest remaining slice to the lightest
+  // partition. Min-heap keyed by (load, assigned slice count, part id): the
+  // secondary key spreads equal-load ties — in particular the long tail of
+  // zero-nnz slices, whose *rows* still cost factor-update work and storage
+  // — instead of funneling them all into one partition.
+  using HeapEntry = std::tuple<uint64_t, uint64_t, uint32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      lightest;
+  for (uint32_t p = 0; p < num_parts; ++p) lightest.emplace(0, 0, p);
+
+  for (size_t slice : order) {
+    auto [load, count, part] = lightest.top();
+    lightest.pop();
+    result.slice_to_part[slice] = part;
+    load += slice_nnz[slice];
+    result.part_nnz[part] = load;
+    lightest.emplace(load, count + 1, part);
+  }
+  return result;
+}
+
+}  // namespace dismastd

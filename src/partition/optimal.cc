@@ -1,0 +1,141 @@
+#include "partition/optimal.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dismastd {
+namespace {
+
+/// Depth-first branch and bound: assigns slices (heaviest first) to parts,
+/// pruning branches whose max load already exceeds the incumbent. Symmetry
+/// is broken by only allowing a slice into at most one currently-empty part.
+struct BnbState {
+  const std::vector<uint64_t>* weights = nullptr;  // sorted descending
+  uint32_t num_parts = 0;
+  std::vector<uint64_t> loads;
+  std::vector<uint32_t> assign;
+  std::vector<uint32_t> best_assign;
+  uint64_t best_max = UINT64_MAX;
+
+  void Search(size_t slice) {
+    if (slice == weights->size()) {
+      const uint64_t current_max =
+          *std::max_element(loads.begin(), loads.end());
+      if (current_max < best_max) {
+        best_max = current_max;
+        best_assign = assign;
+      }
+      return;
+    }
+    bool tried_empty = false;
+    for (uint32_t p = 0; p < num_parts; ++p) {
+      if (loads[p] == 0) {
+        if (tried_empty) continue;  // empty parts are interchangeable
+        tried_empty = true;
+      }
+      const uint64_t new_load = loads[p] + (*weights)[slice];
+      if (new_load >= best_max) continue;  // bound
+      loads[p] = new_load;
+      assign[slice] = p;
+      Search(slice + 1);
+      loads[p] = new_load - (*weights)[slice];
+    }
+  }
+};
+
+}  // namespace
+
+Result<ModePartition> OptimalPartitionMode(
+    const std::vector<uint64_t>& slice_nnz, uint32_t num_parts) {
+  DISMASTD_CHECK(num_parts >= 1);
+  if (slice_nnz.size() > 22) {
+    return Status::InvalidArgument(
+        "OptimalPartitionMode is exponential; at most 22 slices supported");
+  }
+  // Sort descending (better pruning); remember original positions.
+  std::vector<size_t> order(slice_nnz.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return slice_nnz[a] > slice_nnz[b];
+  });
+  std::vector<uint64_t> sorted(slice_nnz.size());
+  for (size_t i = 0; i < order.size(); ++i) sorted[i] = slice_nnz[order[i]];
+
+  BnbState state;
+  state.weights = &sorted;
+  state.num_parts = num_parts;
+  state.loads.assign(num_parts, 0);
+  state.assign.assign(sorted.size(), 0);
+  state.best_assign.assign(sorted.size(), 0);
+  state.Search(0);
+
+  ModePartition result;
+  result.num_parts = num_parts;
+  result.slice_to_part.assign(slice_nnz.size(), 0);
+  result.part_nnz.assign(num_parts, 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const uint32_t part = state.best_assign[i];
+    result.slice_to_part[order[i]] = part;
+    result.part_nnz[part] += slice_nnz[order[i]];
+  }
+  return result;
+}
+
+ModePartition OptimalContiguousPartitionMode(
+    const std::vector<uint64_t>& slice_nnz, uint32_t num_parts) {
+  DISMASTD_CHECK(num_parts >= 1);
+  const size_t n = slice_nnz.size();
+  uint64_t total = 0, max_slice = 0;
+  for (uint64_t w : slice_nnz) {
+    total += w;
+    max_slice = std::max(max_slice, w);
+  }
+
+  // Feasibility: can we split into <= num_parts contiguous runs each with
+  // load <= cap?
+  auto feasible = [&](uint64_t cap) {
+    uint32_t parts_used = 1;
+    uint64_t load = 0;
+    for (uint64_t w : slice_nnz) {
+      if (w > cap) return false;
+      if (load + w > cap) {
+        ++parts_used;
+        if (parts_used > num_parts) return false;
+        load = w;
+      } else {
+        load += w;
+      }
+    }
+    return true;
+  };
+
+  uint64_t lo = max_slice, hi = total;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const uint64_t cap = lo;
+
+  ModePartition result;
+  result.num_parts = num_parts;
+  result.slice_to_part.assign(n, 0);
+  result.part_nnz.assign(num_parts, 0);
+  uint32_t part = 0;
+  uint64_t load = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (load + slice_nnz[i] > cap && part + 1 < num_parts) {
+      ++part;
+      load = 0;
+    }
+    result.slice_to_part[i] = part;
+    result.part_nnz[part] += slice_nnz[i];
+    load += slice_nnz[i];
+  }
+  return result;
+}
+
+}  // namespace dismastd

@@ -1,0 +1,31 @@
+#ifndef DISMASTD_PARTITION_OPTIMAL_H_
+#define DISMASTD_PARTITION_OPTIMAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition.h"
+
+namespace dismastd {
+
+/// Exact optimal (min-max-load) partitioning of slices into `num_parts`
+/// unrestricted (non-contiguous) partitions, by branch-and-bound over the
+/// slice/partition assignment space.
+///
+/// The underlying decision problem is NP-hard (Theorem 1 reduces PARTITION
+/// to it), so this is exponential and intended only for tiny instances in
+/// tests and for quantifying how close GTP/MTP get to optimal. Fails with
+/// InvalidArgument when slices * parts is too large (> ~22 slices).
+Result<ModePartition> OptimalPartitionMode(
+    const std::vector<uint64_t>& slice_nnz, uint32_t num_parts);
+
+/// Exact optimal min-max-load *contiguous* partitioning (the restriction GTP
+/// works under), solved in polynomial time by binary search over the answer
+/// plus a greedy feasibility check. Useful to measure GTP's gap to the best
+/// contiguous solution on larger inputs.
+ModePartition OptimalContiguousPartitionMode(
+    const std::vector<uint64_t>& slice_nnz, uint32_t num_parts);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_PARTITION_OPTIMAL_H_

@@ -1,0 +1,74 @@
+#include "partition/partition.h"
+
+#include "partition/gtp.h"
+#include "partition/mtp.h"
+
+namespace dismastd {
+
+Status ModePartition::Validate(const std::vector<uint64_t>& slice_nnz) const {
+  if (slice_to_part.size() != slice_nnz.size()) {
+    return Status::FailedPrecondition("slice map size mismatch");
+  }
+  if (part_nnz.size() != num_parts) {
+    return Status::FailedPrecondition("part_nnz size mismatch");
+  }
+  std::vector<uint64_t> recount(num_parts, 0);
+  for (size_t i = 0; i < slice_to_part.size(); ++i) {
+    if (slice_to_part[i] >= num_parts) {
+      return Status::OutOfRange("slice " + std::to_string(i) +
+                                " mapped to invalid part");
+    }
+    recount[slice_to_part[i]] += slice_nnz[i];
+  }
+  if (recount != part_nnz) {
+    return Status::Internal("part_nnz does not match slice loads");
+  }
+  return Status::OK();
+}
+
+std::string ModePartition::ToString() const {
+  std::string out = "parts=" + std::to_string(num_parts) + " loads=[";
+  for (size_t p = 0; p < part_nnz.size(); ++p) {
+    if (p > 0) out += ", ";
+    out += std::to_string(part_nnz[p]);
+  }
+  out += "]";
+  return out;
+}
+
+const char* PartitionerKindName(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kGreedy:
+      return "GTP";
+    case PartitionerKind::kMaxMin:
+      return "MTP";
+  }
+  return "?";
+}
+
+ModePartition PartitionMode(PartitionerKind kind,
+                            const std::vector<uint64_t>& slice_nnz,
+                            uint32_t num_parts) {
+  switch (kind) {
+    case PartitionerKind::kGreedy:
+      return GreedyPartitionMode(slice_nnz, num_parts);
+    case PartitionerKind::kMaxMin:
+      return MaxMinPartitionMode(slice_nnz, num_parts);
+  }
+  DISMASTD_CHECK(false);
+  return {};
+}
+
+TensorPartitioning PartitionTensor(PartitionerKind kind,
+                                   const SparseTensor& tensor,
+                                   uint32_t parts_per_mode) {
+  TensorPartitioning result;
+  result.modes.reserve(tensor.order());
+  for (size_t mode = 0; mode < tensor.order(); ++mode) {
+    result.modes.push_back(
+        PartitionMode(kind, tensor.SliceNnzCounts(mode), parts_per_mode));
+  }
+  return result;
+}
+
+}  // namespace dismastd

@@ -1,0 +1,59 @@
+#ifndef DISMASTD_PARTITION_PARTITION_H_
+#define DISMASTD_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/coo_tensor.h"
+
+namespace dismastd {
+
+/// The result of partitioning one tensor mode into `num_parts` partitions:
+/// a slice -> partition map plus the per-partition non-zero load.
+/// GTP produces contiguous slice ranges; MTP may interleave slices.
+struct ModePartition {
+  uint32_t num_parts = 0;
+  /// slice_to_part[i] = partition owning slice i (and factor row i).
+  std::vector<uint32_t> slice_to_part;
+  /// part_nnz[p] = total non-zeros of the slices assigned to partition p.
+  std::vector<uint64_t> part_nnz;
+
+  /// Consistency check: every slice mapped to a valid part and part_nnz
+  /// matches slice_nnz re-aggregated.
+  Status Validate(const std::vector<uint64_t>& slice_nnz) const;
+
+  std::string ToString() const;
+};
+
+/// Partitioning of every mode of a tensor.
+struct TensorPartitioning {
+  std::vector<ModePartition> modes;
+
+  size_t order() const { return modes.size(); }
+};
+
+/// Which heuristic to use (§IV-A2).
+enum class PartitionerKind {
+  kGreedy,  // GTP, Algorithm 2
+  kMaxMin,  // MTP, Algorithm 3
+};
+
+const char* PartitionerKindName(PartitionerKind kind);
+
+/// Partitions one mode given its per-slice nnz histogram.
+ModePartition PartitionMode(PartitionerKind kind,
+                            const std::vector<uint64_t>& slice_nnz,
+                            uint32_t num_parts);
+
+/// Partitions every mode of `tensor` into `parts_per_mode` partitions using
+/// the chosen heuristic. This is the paper's "data partitioning" phase run
+/// on the relative complement X \ X̃.
+TensorPartitioning PartitionTensor(PartitionerKind kind,
+                                   const SparseTensor& tensor,
+                                   uint32_t parts_per_mode);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_PARTITION_PARTITION_H_

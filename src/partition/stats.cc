@@ -1,0 +1,53 @@
+#include "partition/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dismastd {
+
+std::string PartitionBalance::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "max=%llu min=%llu mean=%.1f stddev=%.2f cv=%.4f imb=%.3f",
+                static_cast<unsigned long long>(max_load),
+                static_cast<unsigned long long>(min_load), mean_load, stddev,
+                cv, imbalance);
+  return buf;
+}
+
+PartitionBalance ComputeBalance(const ModePartition& partition) {
+  PartitionBalance balance;
+  const auto& loads = partition.part_nnz;
+  if (loads.empty()) return balance;
+  balance.max_load = *std::max_element(loads.begin(), loads.end());
+  balance.min_load = *std::min_element(loads.begin(), loads.end());
+  double sum = 0.0;
+  for (uint64_t l : loads) sum += static_cast<double>(l);
+  balance.mean_load = sum / static_cast<double>(loads.size());
+  double var = 0.0;
+  for (uint64_t l : loads) {
+    const double d = static_cast<double>(l) - balance.mean_load;
+    var += d * d;
+  }
+  var /= static_cast<double>(loads.size());
+  balance.stddev = std::sqrt(var);
+  balance.cv =
+      balance.mean_load > 0.0 ? balance.stddev / balance.mean_load : 0.0;
+  balance.imbalance = balance.mean_load > 0.0
+                          ? static_cast<double>(balance.max_load) /
+                                balance.mean_load
+                          : 1.0;
+  return balance;
+}
+
+double MeanCvOverModes(const TensorPartitioning& partitioning) {
+  if (partitioning.modes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const ModePartition& mode : partitioning.modes) {
+    sum += ComputeBalance(mode).cv;
+  }
+  return sum / static_cast<double>(partitioning.modes.size());
+}
+
+}  // namespace dismastd

@@ -1,0 +1,36 @@
+#ifndef DISMASTD_PARTITION_STATS_H_
+#define DISMASTD_PARTITION_STATS_H_
+
+#include <string>
+
+#include "partition/partition.h"
+
+namespace dismastd {
+
+/// Load-balance statistics of one mode partition.
+struct PartitionBalance {
+  uint64_t max_load = 0;
+  uint64_t min_load = 0;
+  double mean_load = 0.0;
+  /// Population standard deviation of per-partition nnz.
+  double stddev = 0.0;
+  /// Coefficient of variation: stddev / mean (0 when mean == 0). This is
+  /// the scale-free statistic reported in Table IV.
+  double cv = 0.0;
+  /// max_load / mean_load (>= 1; 1 is perfectly balanced). The BSP
+  /// slowdown factor caused by imbalance.
+  double imbalance = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Computes balance statistics from per-partition loads.
+PartitionBalance ComputeBalance(const ModePartition& partition);
+
+/// Averages the per-mode coefficient of variation over all modes of a
+/// tensor partitioning (the per-dataset scalar reported in Table IV).
+double MeanCvOverModes(const TensorPartitioning& partitioning);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_PARTITION_STATS_H_

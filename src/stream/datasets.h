@@ -1,0 +1,49 @@
+#ifndef DISMASTD_STREAM_DATASETS_H_
+#define DISMASTD_STREAM_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/generator.h"
+#include "stream/snapshot.h"
+
+namespace dismastd {
+
+/// A named benchmark dataset: the paper's Table III entries, reproduced as
+/// synthetic mimics scaled to single-machine size (see DESIGN.md §2).
+/// Mode-size ratios and the skewed/uniform character of each dataset are
+/// preserved; absolute sizes are scaled down.
+struct DatasetSpec {
+  std::string name;
+  std::vector<uint64_t> dims;
+  uint64_t nnz = 0;
+  /// Zipf exponents per mode; 0 = uniform. Real rating tensors are skewed.
+  std::vector<double> zipf_exponents;
+  uint64_t seed = 0;
+};
+
+/// The four evaluation datasets (Table III), scaled:
+///   Clothing : skewed reviewer x product x time  (paper 1.2e7 x 2.7e6 x 7.0e3, 3.2e7 nnz)
+///   Book     : skewed reviewer x product x time  (paper 1.5e7 x 2.9e6 x 8.2e3, 5.1e7 nnz)
+///   Netflix  : skewed customer x movie x date    (paper 4.8e5 x 1.8e4 x 2.2e3, 1.0e8 nnz)
+///   Synthetic: uniform cubic                     (paper 5.0e4^3, 5.0e8 nnz)
+std::vector<DatasetSpec> PaperDatasets();
+
+/// Looks up a paper dataset by (case-insensitive) name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Materializes the dataset's final tensor.
+SparseTensor MakeDatasetTensor(const DatasetSpec& spec);
+
+/// Builds the paper's streaming protocol for a dataset: snapshots at
+/// 75%, 80%, ..., 100% of the final size in every mode (6 steps) by
+/// default; the fractions are overridable (e.g. start at 70% to warm-start
+/// the incremental method before the measured window).
+StreamingTensorSequence MakeDatasetStream(const DatasetSpec& spec,
+                                          double start_fraction = 0.75,
+                                          double step_fraction = 0.05,
+                                          size_t num_steps = 6);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_STREAM_DATASETS_H_

@@ -1,0 +1,62 @@
+#ifndef DISMASTD_STREAM_GENERATOR_H_
+#define DISMASTD_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/coo_tensor.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+
+/// Configuration for the synthetic sparse-tensor generator.
+struct GeneratorOptions {
+  /// Mode sizes of the final tensor.
+  std::vector<uint64_t> dims;
+  /// Target number of distinct non-zero entries (duplicates are coalesced,
+  /// so the realized nnz can be slightly below the target on dense boxes).
+  uint64_t nnz = 0;
+  /// Per-mode Zipf exponents for index sampling. Empty means uniform (0.0)
+  /// in every mode. Real rating tensors are heavily skewed (users/items
+  /// follow power laws); the paper's Synthetic dataset is uniform.
+  std::vector<double> zipf_exponents;
+  /// If > 0, values follow a rank-`latent_rank` ground-truth CP model plus
+  /// Gaussian noise of `noise_stddev`, so decomposition quality is
+  /// measurable. If 0, values are uniform in [0.5, 1.5).
+  size_t latent_rank = 0;
+  double noise_stddev = 0.0;
+  /// PRNG seed; same seed + options => identical tensor.
+  uint64_t seed = 42;
+  /// When true, sampled mode indices are deterministically scrambled
+  /// (multiplicative hash) so that heavy slices are spread across the index
+  /// range instead of clustering at 0 — matching real datasets whose ids
+  /// are not sorted by popularity, and keeping streaming prefix boxes
+  /// representative.
+  bool scramble_indices = true;
+};
+
+/// Result of generation: the tensor plus (when latent_rank > 0) the ground
+/// truth factors it was sampled from.
+struct GeneratedTensor {
+  SparseTensor tensor;
+  std::vector<Matrix> ground_truth;  // empty when latent_rank == 0
+};
+
+/// Draws a sparse tensor with the requested shape, sparsity pattern and
+/// value model. Entries are coalesced (sorted, unique indices).
+GeneratedTensor GenerateSparseTensor(const GeneratorOptions& options);
+
+/// A *fully observed* tensor sampled from a rank-`rank` CP model plus
+/// Gaussian noise: every coordinate of the box carries a value. CP
+/// decomposition treats absent entries as zeros, so recovery experiments
+/// (fit -> 1) are only meaningful on fully observed data; use this for
+/// demos/tests that assert decomposition quality. Intended for small boxes
+/// (the result has prod(dims) entries).
+GeneratedTensor GenerateDenseLowRankTensor(const std::vector<uint64_t>& dims,
+                                           size_t rank, double noise_stddev,
+                                           uint64_t seed);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_STREAM_GENERATOR_H_

@@ -1,0 +1,108 @@
+#include "stream/snapshot.h"
+
+#include <cmath>
+
+namespace dismastd {
+
+uint32_t ThetaTuple(const uint64_t* index,
+                    const std::vector<uint64_t>& old_dims) {
+  uint32_t mask = 0;
+  for (size_t m = 0; m < old_dims.size(); ++m) {
+    if (index[m] >= old_dims[m]) mask |= (1u << m);
+  }
+  return mask;
+}
+
+SparseTensor RelativeComplement(const SparseTensor& current,
+                                const std::vector<uint64_t>& old_dims) {
+  DISMASTD_CHECK(old_dims.size() == current.order());
+  return current.Filter([&](size_t e) {
+    return ThetaTuple(current.IndexTuple(e), old_dims) != 0;
+  });
+}
+
+SparseTensor RestrictToBox(const SparseTensor& tensor,
+                           const std::vector<uint64_t>& dims) {
+  DISMASTD_CHECK(dims.size() == tensor.order());
+  SparseTensor out(dims);
+  const size_t order = tensor.order();
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    const uint64_t* idx = tensor.IndexTuple(e);
+    bool inside = true;
+    for (size_t m = 0; m < order; ++m) {
+      if (idx[m] >= dims[m]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out.AddRaw(idx, tensor.Value(e));
+  }
+  return out;
+}
+
+StreamingTensorSequence::StreamingTensorSequence(
+    SparseTensor full, std::vector<std::vector<uint64_t>> schedule)
+    : full_(std::move(full)), schedule_(std::move(schedule)) {
+  DISMASTD_CHECK(!schedule_.empty());
+  for (size_t t = 0; t < schedule_.size(); ++t) {
+    DISMASTD_CHECK(schedule_[t].size() == full_.order());
+    for (size_t m = 0; m < full_.order(); ++m) {
+      DISMASTD_CHECK(schedule_[t][m] >= 1);
+      DISMASTD_CHECK(schedule_[t][m] <= full_.dim(m));
+      if (t > 0) DISMASTD_CHECK(schedule_[t][m] >= schedule_[t - 1][m]);
+    }
+  }
+}
+
+SparseTensor StreamingTensorSequence::SnapshotAt(size_t step) const {
+  DISMASTD_CHECK(step < num_steps());
+  return RestrictToBox(full_, schedule_[step]);
+}
+
+SparseTensor StreamingTensorSequence::DeltaAt(size_t step) const {
+  DISMASTD_CHECK(step < num_steps());
+  SparseTensor snapshot = SnapshotAt(step);
+  if (step == 0) return snapshot;
+  return RelativeComplement(snapshot, schedule_[step - 1]);
+}
+
+uint64_t StreamingTensorSequence::SnapshotNnz(size_t step) const {
+  DISMASTD_CHECK(step < num_steps());
+  const auto& dims = schedule_[step];
+  const size_t order = full_.order();
+  uint64_t count = 0;
+  for (size_t e = 0; e < full_.nnz(); ++e) {
+    const uint64_t* idx = full_.IndexTuple(e);
+    bool inside = true;
+    for (size_t m = 0; m < order; ++m) {
+      if (idx[m] >= dims[m]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<uint64_t>> MakeGrowthSchedule(
+    const std::vector<uint64_t>& final_dims, double start_fraction,
+    double step_fraction, size_t num_steps) {
+  DISMASTD_CHECK(num_steps >= 1);
+  DISMASTD_CHECK(start_fraction > 0.0 && start_fraction <= 1.0);
+  std::vector<std::vector<uint64_t>> schedule(num_steps);
+  for (size_t t = 0; t < num_steps; ++t) {
+    const double fraction =
+        std::min(1.0, start_fraction + step_fraction * static_cast<double>(t));
+    schedule[t].resize(final_dims.size());
+    for (size_t m = 0; m < final_dims.size(); ++m) {
+      const double scaled = std::ceil(fraction * static_cast<double>(final_dims[m]));
+      schedule[t][m] =
+          std::max<uint64_t>(1, std::min(final_dims[m],
+                                         static_cast<uint64_t>(scaled)));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace dismastd

@@ -1,0 +1,46 @@
+#ifndef DISMASTD_TENSOR_CHECKPOINT_H_
+#define DISMASTD_TENSOR_CHECKPOINT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+
+/// Persistence for decomposition state. A long-running streaming deployment
+/// checkpoints the current snapshot's factors after every step so that a
+/// restarted process resumes the incremental chain instead of recomputing
+/// the whole history.
+///
+/// The format is a compact little-endian binary: magic/version header, the
+/// order and rank, then each factor matrix's shape and raw doubles. Doubles
+/// round-trip bit-for-bit.
+
+/// Serializes `factors` to a stream / file.
+Status WriteKruskal(const KruskalTensor& factors, std::ostream& os);
+Status WriteKruskalFile(const KruskalTensor& factors,
+                        const std::string& path);
+
+/// Reads back what WriteKruskal produced. Validates header, shapes and
+/// payload length.
+Result<KruskalTensor> ReadKruskal(std::istream& is);
+Result<KruskalTensor> ReadKruskalFile(const std::string& path);
+
+/// A streaming checkpoint: the factors plus the snapshot metadata needed to
+/// resume the chain (the dims the factors correspond to and the step
+/// counter).
+struct StreamCheckpoint {
+  KruskalTensor factors;
+  std::vector<uint64_t> dims;
+  uint64_t step = 0;
+};
+
+Status WriteStreamCheckpointFile(const StreamCheckpoint& checkpoint,
+                                 const std::string& path);
+Result<StreamCheckpoint> ReadStreamCheckpointFile(const std::string& path);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_TENSOR_CHECKPOINT_H_

@@ -1,0 +1,89 @@
+#include "tensor/dense_tensor.h"
+
+#include <cmath>
+
+namespace dismastd {
+
+DenseTensor::DenseTensor(std::vector<uint64_t> dims) : dims_(std::move(dims)) {
+  DISMASTD_CHECK(!dims_.empty());
+  size_t total = 1;
+  for (uint64_t d : dims_) {
+    DISMASTD_CHECK(d > 0);
+    total *= static_cast<size_t>(d);
+  }
+  data_.assign(total, 0.0);
+}
+
+DenseTensor DenseTensor::FromSparse(const SparseTensor& sparse) {
+  DenseTensor dense(sparse.dims());
+  for (size_t e = 0; e < sparse.nnz(); ++e) {
+    dense.data_[dense.LinearIndex(sparse.IndexTuple(e))] += sparse.Value(e);
+  }
+  return dense;
+}
+
+size_t DenseTensor::LinearIndex(const uint64_t* index) const {
+  // First mode fastest, consistent with Unfold's column ordering.
+  size_t linear = 0;
+  size_t stride = 1;
+  for (size_t m = 0; m < dims_.size(); ++m) {
+    DISMASTD_CHECK(index[m] < dims_[m]);
+    linear += static_cast<size_t>(index[m]) * stride;
+    stride *= static_cast<size_t>(dims_[m]);
+  }
+  return linear;
+}
+
+Matrix DenseTensor::Unfold(size_t mode) const {
+  DISMASTD_CHECK(mode < order());
+  size_t cols = 1;
+  for (size_t m = 0; m < order(); ++m) {
+    if (m != mode) cols *= static_cast<size_t>(dims_[m]);
+  }
+  Matrix out(static_cast<size_t>(dims_[mode]), cols);
+  std::vector<uint64_t> index(order(), 0);
+  for (size_t linear = 0; linear < data_.size(); ++linear) {
+    // Decode `linear` (first mode fastest).
+    size_t rem = linear;
+    for (size_t m = 0; m < order(); ++m) {
+      index[m] = rem % dims_[m];
+      rem /= dims_[m];
+    }
+    // Column index: modes except `mode`, lowest mode fastest.
+    size_t col = 0;
+    size_t stride = 1;
+    for (size_t m = 0; m < order(); ++m) {
+      if (m == mode) continue;
+      col += static_cast<size_t>(index[m]) * stride;
+      stride *= static_cast<size_t>(dims_[m]);
+    }
+    out(static_cast<size_t>(index[mode]), col) = data_[linear];
+  }
+  return out;
+}
+
+double DenseTensor::NormSquared() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return sum;
+}
+
+double DenseTensor::DistanceSquared(const DenseTensor& other) const {
+  DISMASTD_CHECK(dims_ == other.dims_);
+  double sum = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+bool DenseTensor::AllClose(const DenseTensor& other, double atol) const {
+  if (dims_ != other.dims_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace dismastd

@@ -1,0 +1,63 @@
+#ifndef DISMASTD_TENSOR_DENSE_TENSOR_H_
+#define DISMASTD_TENSOR_DENSE_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "tensor/coo_tensor.h"
+
+namespace dismastd {
+
+/// Small dense N-order tensor. Used as the reference implementation in tests
+/// (naive matricization / reconstruction) — never on the hot path.
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(std::vector<uint64_t> dims);
+
+  /// Materializes a sparse tensor densely. Intended for small tensors.
+  static DenseTensor FromSparse(const SparseTensor& sparse);
+
+  size_t order() const { return dims_.size(); }
+  const std::vector<uint64_t>& dims() const { return dims_; }
+  size_t size() const { return data_.size(); }
+
+  double& At(const std::vector<uint64_t>& index) {
+    return data_[LinearIndex(index.data())];
+  }
+  double At(const std::vector<uint64_t>& index) const {
+    return data_[LinearIndex(index.data())];
+  }
+  double AtRaw(const uint64_t* index) const {
+    return data_[LinearIndex(index)];
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Mode-n unfolding X_(n): dims[n] x (prod of remaining dims), with the
+  /// column ordering implied by the Khatri-Rao convention
+  /// (A_N ⊙ ... ⊙ A_{n+1} ⊙ A_{n-1} ⊙ ... ⊙ A_1): the column index is
+  /// i_1 + i_2*I_1 + ... running over all modes except n, matching
+  /// Kolda & Bader's definition.
+  Matrix Unfold(size_t mode) const;
+
+  /// ‖X‖_F².
+  double NormSquared() const;
+
+  /// ‖X - Y‖_F²; shapes must match.
+  double DistanceSquared(const DenseTensor& other) const;
+
+  bool AllClose(const DenseTensor& other, double atol = 1e-9) const;
+
+ private:
+  size_t LinearIndex(const uint64_t* index) const;
+
+  std::vector<uint64_t> dims_;
+  std::vector<double> data_;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_TENSOR_DENSE_TENSOR_H_

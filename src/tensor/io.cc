@@ -1,0 +1,146 @@
+#include "tensor/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/serialization.h"
+#include "common/string_util.h"
+
+namespace dismastd {
+
+namespace {
+constexpr uint32_t kBinaryMagic = 0x444D5354;  // "DMST"
+constexpr uint32_t kBinaryVersion = 1;
+}  // namespace
+
+Status WriteTensorText(const SparseTensor& tensor, std::ostream& os) {
+  os << tensor.order();
+  for (uint64_t d : tensor.dims()) os << ' ' << d;
+  os << '\n';
+  os.precision(17);
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    const uint64_t* idx = tensor.IndexTuple(e);
+    for (size_t m = 0; m < tensor.order(); ++m) {
+      if (m > 0) os << ' ';
+      os << idx[m];
+    }
+    os << ' ' << tensor.Value(e) << '\n';
+  }
+  if (!os) return Status::IoError("failed writing tensor text");
+  return Status::OK();
+}
+
+Status WriteTensorTextFile(const SparseTensor& tensor,
+                           const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  return WriteTensorText(tensor, os);
+}
+
+Result<SparseTensor> ReadTensorText(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::IoError("empty tensor stream");
+  }
+  std::istringstream header(line);
+  size_t order = 0;
+  if (!(header >> order) || order == 0) {
+    return Status::IoError("bad tensor header: " + line);
+  }
+  std::vector<uint64_t> dims(order);
+  for (size_t m = 0; m < order; ++m) {
+    if (!(header >> dims[m]) || dims[m] == 0) {
+      return Status::IoError("bad dims in header: " + line);
+    }
+  }
+  SparseTensor tensor(dims);
+  std::vector<uint64_t> index(order);
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls{std::string(trimmed)};
+    for (size_t m = 0; m < order; ++m) {
+      if (!(ls >> index[m])) {
+        return Status::IoError("bad index at line " + std::to_string(line_no));
+      }
+      if (index[m] >= dims[m]) {
+        return Status::OutOfRange("index out of bounds at line " +
+                                  std::to_string(line_no));
+      }
+    }
+    double value = 0.0;
+    if (!(ls >> value)) {
+      return Status::IoError("bad value at line " + std::to_string(line_no));
+    }
+    tensor.Add(index, value);
+  }
+  return tensor;
+}
+
+Result<SparseTensor> ReadTensorTextFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  return ReadTensorText(is);
+}
+
+Status WriteTensorBinaryFile(const SparseTensor& tensor,
+                             const std::string& path) {
+  ByteWriter writer;
+  writer.WriteU32(kBinaryMagic);
+  writer.WriteU32(kBinaryVersion);
+  writer.WriteU64(tensor.order());
+  for (uint64_t d : tensor.dims()) writer.WriteU64(d);
+  writer.WriteU64(tensor.nnz());
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    const uint64_t* idx = tensor.IndexTuple(e);
+    for (size_t m = 0; m < tensor.order(); ++m) writer.WriteU64(idx[m]);
+    writer.WriteDouble(tensor.Value(e));
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  const auto& bytes = writer.bytes();
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) return Status::IoError("failed writing binary tensor");
+  return Status::OK();
+}
+
+Result<SparseTensor> ReadTensorBinaryFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                             std::istreambuf_iterator<char>());
+  ByteReader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  DISMASTD_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  DISMASTD_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (magic != kBinaryMagic) return Status::IoError("bad magic in " + path);
+  if (version != kBinaryVersion) {
+    return Status::IoError("unsupported version in " + path);
+  }
+  uint64_t order = 0;
+  DISMASTD_RETURN_IF_ERROR(reader.ReadU64(&order));
+  if (order == 0 || order > 16) return Status::IoError("bad order");
+  std::vector<uint64_t> dims(order);
+  for (auto& d : dims) DISMASTD_RETURN_IF_ERROR(reader.ReadU64(&d));
+  uint64_t nnz = 0;
+  DISMASTD_RETURN_IF_ERROR(reader.ReadU64(&nnz));
+  SparseTensor tensor(dims);
+  std::vector<uint64_t> index(order);
+  for (uint64_t e = 0; e < nnz; ++e) {
+    for (auto& i : index) DISMASTD_RETURN_IF_ERROR(reader.ReadU64(&i));
+    double value = 0.0;
+    DISMASTD_RETURN_IF_ERROR(reader.ReadDouble(&value));
+    for (size_t m = 0; m < order; ++m) {
+      if (index[m] >= dims[m]) {
+        return Status::OutOfRange("binary tensor index out of bounds");
+      }
+    }
+    tensor.Add(index, value);
+  }
+  return tensor;
+}
+
+}  // namespace dismastd

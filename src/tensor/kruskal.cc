@@ -1,0 +1,106 @@
+#include "tensor/kruskal.h"
+
+#include <cmath>
+
+#include "la/ops.h"
+
+namespace dismastd {
+
+KruskalTensor::KruskalTensor(std::vector<Matrix> factors)
+    : factors_(std::move(factors)) {
+  DISMASTD_CHECK(!factors_.empty());
+  for (const Matrix& f : factors_) {
+    DISMASTD_CHECK(f.cols() == factors_[0].cols());
+  }
+}
+
+std::vector<uint64_t> KruskalTensor::dims() const {
+  std::vector<uint64_t> d(order());
+  for (size_t n = 0; n < order(); ++n) d[n] = factors_[n].rows();
+  return d;
+}
+
+DenseTensor KruskalTensor::Reconstruct() const {
+  DenseTensor out(dims());
+  const size_t n = order();
+  std::vector<uint64_t> index(n, 0);
+  const std::vector<uint64_t> d = dims();
+  size_t total = 1;
+  for (uint64_t v : d) total *= static_cast<size_t>(v);
+  for (size_t linear = 0; linear < total; ++linear) {
+    size_t rem = linear;
+    for (size_t m = 0; m < n; ++m) {
+      index[m] = rem % d[m];
+      rem /= d[m];
+    }
+    out.At(index) = ValueAt(index.data());
+  }
+  return out;
+}
+
+double KruskalTensor::ValueAt(const uint64_t* index) const {
+  const size_t r = rank();
+  double sum = 0.0;
+  for (size_t f = 0; f < r; ++f) {
+    double prod = 1.0;
+    for (size_t m = 0; m < order(); ++m) {
+      prod *= factors_[m](static_cast<size_t>(index[m]), f);
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+double KruskalTensor::NormSquaredViaGrams() const {
+  // ‖[[A_1..A_N]]‖² = Σ_{f,g} Π_n (A_nᵀA_n)[f,g]: the sum of all elements
+  // of the Hadamard product of the Grams.
+  Matrix acc = TransposeTimes(factors_[0], factors_[0]);
+  for (size_t m = 1; m < order(); ++m) {
+    HadamardInPlace(acc, TransposeTimes(factors_[m], factors_[m]));
+  }
+  return SumAll(acc);
+}
+
+double KruskalTensor::InnerWithSparse(const SparseTensor& x) const {
+  DISMASTD_CHECK(x.order() == order());
+  const size_t r = rank();
+  double total = 0.0;
+  for (size_t e = 0; e < x.nnz(); ++e) {
+    const uint64_t* idx = x.IndexTuple(e);
+    double sum = 0.0;
+    for (size_t f = 0; f < r; ++f) {
+      double prod = 1.0;
+      for (size_t m = 0; m < order(); ++m) {
+        prod *= factors_[m](static_cast<size_t>(idx[m]), f);
+      }
+      sum += prod;
+    }
+    total += x.Value(e) * sum;
+  }
+  return total;
+}
+
+double KruskalTensor::ResidualNormSquared(const SparseTensor& x) const {
+  const double value = x.NormSquared() + NormSquaredViaGrams() -
+                       2.0 * InnerWithSparse(x);
+  // Guard tiny negative values from floating-point cancellation.
+  return value < 0.0 ? 0.0 : value;
+}
+
+double KruskalTensor::Fit(const SparseTensor& x) const {
+  const double xnorm = std::sqrt(x.NormSquared());
+  if (xnorm == 0.0) return 0.0;
+  const double fit = 1.0 - std::sqrt(ResidualNormSquared(x)) / xnorm;
+  return fit;
+}
+
+double KruskalInner(const KruskalTensor& a, const KruskalTensor& b) {
+  DISMASTD_CHECK(a.order() == b.order());
+  Matrix acc = TransposeTimes(a.factor(0), b.factor(0));
+  for (size_t m = 1; m < a.order(); ++m) {
+    HadamardInPlace(acc, TransposeTimes(a.factor(m), b.factor(m)));
+  }
+  return SumAll(acc);
+}
+
+}  // namespace dismastd

@@ -1,0 +1,44 @@
+#ifndef DISMASTD_TENSOR_MTTKRP_H_
+#define DISMASTD_TENSOR_MTTKRP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "tensor/coo_tensor.h"
+
+namespace dismastd {
+
+/// Matricized Tensor Times Khatri-Rao Product (MTTKRP) for a sparse COO
+/// tensor — the bottleneck operator of CP-ALS and of DisMASTD (§IV-B1):
+///
+///   Â = X_(n) · (A_N ⊙ ... ⊙ A_{n+1} ⊙ A_{n-1} ⊙ ... ⊙ A_1)
+///
+/// computed element-wise over non-zeros only (Eq. 6):
+///   Â[i,:] += x[i_1..i_N] · Π_{k≠n} A_k[i_k,:]   (Hadamard over k)
+///
+/// `factors` must contain `x.order()` matrices; factor n's row count may
+/// exceed x.dim(n) (rows beyond the tensor's range are simply unused).
+/// The result has x.dim(mode) rows and R columns.
+Matrix Mttkrp(const SparseTensor& x, const std::vector<const Matrix*>& factors,
+              size_t mode);
+
+/// As above, but accumulates into `out` (must be pre-sized
+/// x.dim(mode) x R) instead of allocating; rows not touched by any non-zero
+/// are left unchanged. Returns the number of non-zeros processed.
+size_t MttkrpAccumulate(const SparseTensor& x,
+                        const std::vector<const Matrix*>& factors, size_t mode,
+                        Matrix* out);
+
+/// Analytic flop count of one sparse MTTKRP: each non-zero costs
+/// (order-1) * R multiplies + R adds.
+uint64_t MttkrpFlops(uint64_t nnz, size_t order, size_t rank);
+
+/// Reference implementation via dense unfolding and explicit Khatri-Rao
+/// product; O(Π dims) — for tests only.
+Matrix MttkrpReference(const SparseTensor& x,
+                       const std::vector<const Matrix*>& factors, size_t mode);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_TENSOR_MTTKRP_H_

@@ -1,0 +1,197 @@
+#include "tensor/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dismastd {
+
+Result<SparseTensor> PermuteModes(const SparseTensor& tensor,
+                                  const std::vector<size_t>& perm) {
+  const size_t order = tensor.order();
+  if (perm.size() != order) {
+    return Status::InvalidArgument("permutation size mismatch");
+  }
+  std::vector<bool> seen(order, false);
+  for (size_t m : perm) {
+    if (m >= order || seen[m]) {
+      return Status::InvalidArgument("not a permutation");
+    }
+    seen[m] = true;
+  }
+  std::vector<uint64_t> new_dims(order);
+  for (size_t m = 0; m < order; ++m) new_dims[m] = tensor.dim(perm[m]);
+  SparseTensor out(new_dims);
+  std::vector<uint64_t> index(order);
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    const uint64_t* src = tensor.IndexTuple(e);
+    for (size_t m = 0; m < order; ++m) index[m] = src[perm[m]];
+    out.AddRaw(index.data(), tensor.Value(e));
+  }
+  return out;
+}
+
+Result<SparseTensor> AddTensors(const SparseTensor& a,
+                                const SparseTensor& b) {
+  if (a.dims() != b.dims()) {
+    return Status::InvalidArgument("tensor dims mismatch");
+  }
+  SparseTensor out(a.dims());
+  for (size_t e = 0; e < a.nnz(); ++e) out.AddRaw(a.IndexTuple(e), a.Value(e));
+  for (size_t e = 0; e < b.nnz(); ++e) out.AddRaw(b.IndexTuple(e), b.Value(e));
+  out.Coalesce();
+  return out;
+}
+
+SparseTensor ScaleTensor(const SparseTensor& tensor, double factor) {
+  SparseTensor out(tensor.dims());
+  if (factor == 0.0) return out;
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    out.AddRaw(tensor.IndexTuple(e), tensor.Value(e) * factor);
+  }
+  return out;
+}
+
+Result<SparseTensor> SliceTensor(const SparseTensor& tensor, size_t mode,
+                                 uint64_t index) {
+  const size_t order = tensor.order();
+  if (mode >= order) return Status::InvalidArgument("mode out of range");
+  if (index >= tensor.dim(mode)) {
+    return Status::OutOfRange("slice index out of range");
+  }
+  if (order == 1) {
+    return Status::InvalidArgument("cannot slice an order-1 tensor");
+  }
+  std::vector<uint64_t> new_dims;
+  for (size_t m = 0; m < order; ++m) {
+    if (m != mode) new_dims.push_back(tensor.dim(m));
+  }
+  SparseTensor out(new_dims);
+  std::vector<uint64_t> idx(order - 1);
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    const uint64_t* src = tensor.IndexTuple(e);
+    if (src[mode] != index) continue;
+    size_t w = 0;
+    for (size_t m = 0; m < order; ++m) {
+      if (m != mode) idx[w++] = src[m];
+    }
+    out.AddRaw(idx.data(), tensor.Value(e));
+  }
+  return out;
+}
+
+TensorIndex::TensorIndex(const SparseTensor& tensor)
+    : order_(tensor.order()) {
+  strides_.resize(order_);
+  uint64_t stride = 1;
+  for (size_t m = 0; m < order_; ++m) {
+    strides_[m] = stride;
+    // Guard 64-bit overflow of the linearization space.
+    DISMASTD_CHECK(tensor.dim(m) == 0 ||
+                   stride <= UINT64_MAX / tensor.dim(m));
+    stride *= tensor.dim(m);
+  }
+  map_.reserve(tensor.nnz() * 2);
+  for (size_t e = 0; e < tensor.nnz(); ++e) {
+    map_[Key(tensor.IndexTuple(e))] += tensor.Value(e);
+  }
+}
+
+uint64_t TensorIndex::Key(const uint64_t* index) const {
+  uint64_t key = 0;
+  for (size_t m = 0; m < order_; ++m) key += index[m] * strides_[m];
+  return key;
+}
+
+double TensorIndex::ValueAt(const std::vector<uint64_t>& index) const {
+  DISMASTD_CHECK(index.size() == order_);
+  const auto it = map_.find(Key(index.data()));
+  return it == map_.end() ? 0.0 : it->second;
+}
+
+bool TensorIndex::Contains(const std::vector<uint64_t>& index) const {
+  DISMASTD_CHECK(index.size() == order_);
+  return map_.find(Key(index.data())) != map_.end();
+}
+
+double NormalizedKruskal::ValueAt(const uint64_t* index) const {
+  const size_t rank = factors.rank();
+  double sum = 0.0;
+  for (size_t f = 0; f < rank; ++f) {
+    double prod = weights[f];
+    for (size_t m = 0; m < factors.order(); ++m) {
+      prod *= factors.factor(m)(static_cast<size_t>(index[m]), f);
+    }
+    sum += prod;
+  }
+  return sum;
+}
+
+NormalizedKruskal NormalizeKruskal(const KruskalTensor& factors) {
+  const size_t order = factors.order();
+  const size_t rank = factors.rank();
+  std::vector<Matrix> normalized;
+  normalized.reserve(order);
+  for (size_t m = 0; m < order; ++m) normalized.push_back(factors.factor(m));
+
+  std::vector<double> weights(rank, 1.0);
+  for (size_t m = 0; m < order; ++m) {
+    for (size_t f = 0; f < rank; ++f) {
+      double norm_sq = 0.0;
+      for (size_t r = 0; r < normalized[m].rows(); ++r) {
+        norm_sq += normalized[m](r, f) * normalized[m](r, f);
+      }
+      const double norm = std::sqrt(norm_sq);
+      if (norm > 0.0) {
+        for (size_t r = 0; r < normalized[m].rows(); ++r) {
+          normalized[m](r, f) /= norm;
+        }
+        weights[f] *= norm;
+      } else {
+        weights[f] = 0.0;
+      }
+    }
+  }
+
+  // Sort components by descending weight.
+  std::vector<size_t> component_order(rank);
+  std::iota(component_order.begin(), component_order.end(), 0);
+  std::stable_sort(component_order.begin(), component_order.end(),
+                   [&](size_t a, size_t b) { return weights[a] > weights[b]; });
+  NormalizedKruskal out;
+  out.weights.resize(rank);
+  std::vector<Matrix> sorted;
+  sorted.reserve(order);
+  for (size_t m = 0; m < order; ++m) {
+    Matrix fm(normalized[m].rows(), rank);
+    for (size_t f = 0; f < rank; ++f) {
+      const size_t src = component_order[f];
+      for (size_t r = 0; r < fm.rows(); ++r) {
+        fm(r, f) = normalized[m](r, src);
+      }
+    }
+    sorted.push_back(std::move(fm));
+  }
+  for (size_t f = 0; f < rank; ++f) {
+    out.weights[f] = weights[component_order[f]];
+  }
+  out.factors = KruskalTensor(std::move(sorted));
+  return out;
+}
+
+KruskalTensor DenormalizeKruskal(const NormalizedKruskal& normalized) {
+  std::vector<Matrix> factors;
+  factors.reserve(normalized.factors.order());
+  for (size_t m = 0; m < normalized.factors.order(); ++m) {
+    factors.push_back(normalized.factors.factor(m));
+  }
+  Matrix& first = factors[0];
+  for (size_t f = 0; f < normalized.weights.size(); ++f) {
+    for (size_t r = 0; r < first.rows(); ++r) {
+      first(r, f) *= normalized.weights[f];
+    }
+  }
+  return KruskalTensor(std::move(factors));
+}
+
+}  // namespace dismastd

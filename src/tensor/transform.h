@@ -1,0 +1,77 @@
+#ifndef DISMASTD_TENSOR_TRANSFORM_H_
+#define DISMASTD_TENSOR_TRANSFORM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/coo_tensor.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+
+/// Reorders the modes of a tensor: output mode m is input mode perm[m]
+/// (perm must be a permutation of 0..order-1). Useful for putting the
+/// streaming mode last (OnlineCP's convention) or the largest mode first.
+Result<SparseTensor> PermuteModes(const SparseTensor& tensor,
+                                  const std::vector<size_t>& perm);
+
+/// Element-wise sum of two tensors with identical dims; duplicate
+/// coordinates are coalesced and exact zero cancellations dropped.
+Result<SparseTensor> AddTensors(const SparseTensor& a, const SparseTensor& b);
+
+/// Returns a copy with every value multiplied by `factor` (entries are
+/// dropped entirely when factor == 0).
+SparseTensor ScaleTensor(const SparseTensor& tensor, double factor);
+
+/// The (order-1)-dimensional slice tensor at `index` of `mode`:
+/// result[..i_{m≠mode}..] = tensor[.., index, ..].
+Result<SparseTensor> SliceTensor(const SparseTensor& tensor, size_t mode,
+                                 uint64_t index);
+
+/// Hash-based point lookup over a tensor's non-zeros. Build once (O(nnz)),
+/// then query arbitrary coordinates in O(1) — e.g. held-out evaluation of a
+/// decomposition against observed entries.
+class TensorIndex {
+ public:
+  explicit TensorIndex(const SparseTensor& tensor);
+
+  /// The stored value at `index`, or 0.0 if the coordinate is not a stored
+  /// non-zero (COO semantics).
+  double ValueAt(const std::vector<uint64_t>& index) const;
+  bool Contains(const std::vector<uint64_t>& index) const;
+  size_t size() const { return map_.size(); }
+
+ private:
+  uint64_t Key(const uint64_t* index) const;
+
+  std::vector<uint64_t> strides_;
+  size_t order_;
+  std::unordered_map<uint64_t, double> map_;
+};
+
+/// Column-normalized CP model: X ≈ Σ_f weights[f] · a_1f ∘ ... ∘ a_Nf with
+/// every factor column scaled to unit 2-norm. The standard presentation of
+/// a CP result — it makes components comparable across modes and improves
+/// the conditioning of further ALS sweeps.
+struct NormalizedKruskal {
+  std::vector<double> weights;
+  KruskalTensor factors;
+
+  /// The model value at one coordinate (weights applied).
+  double ValueAt(const uint64_t* index) const;
+};
+
+/// Normalizes each factor column to unit norm, collecting the scale into
+/// `weights` (zero columns get weight 0 and are left as-is). Sorting is by
+/// descending weight so component 0 is the dominant one.
+NormalizedKruskal NormalizeKruskal(const KruskalTensor& factors);
+
+/// Folds the weights back into the first factor, recovering a plain
+/// KruskalTensor that reconstructs the same tensor.
+KruskalTensor DenormalizeKruskal(const NormalizedKruskal& normalized);
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_TENSOR_TRANSFORM_H_

@@ -1,0 +1,144 @@
+#include "tensor/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dismastd {
+namespace {
+
+KruskalTensor MakeFactors(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::Random(7, 3, rng));
+  factors.push_back(Matrix::Random(5, 3, rng));
+  factors.push_back(Matrix::Random(4, 3, rng));
+  return KruskalTensor(std::move(factors));
+}
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, KruskalStreamRoundTrip) {
+  const KruskalTensor factors = MakeFactors(1);
+  std::ostringstream os;
+  ASSERT_TRUE(WriteKruskal(factors, os).ok());
+  std::istringstream is(os.str());
+  Result<KruskalTensor> back = ReadKruskal(is);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back.value().order(), 3u);
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(back.value().factor(n) == factors.factor(n));
+  }
+}
+
+TEST(CheckpointTest, KruskalFileRoundTrip) {
+  const KruskalTensor factors = MakeFactors(2);
+  const std::string path = TempPath("factors.krs");
+  ASSERT_TRUE(WriteKruskalFile(factors, path).ok());
+  Result<KruskalTensor> back = ReadKruskalFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rank(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, DoublesRoundTripBitForBit) {
+  Matrix m(1, 2);
+  m(0, 0) = 0.1;
+  m(0, 1) = 1e-300;
+  const KruskalTensor factors({m});
+  std::ostringstream os;
+  ASSERT_TRUE(WriteKruskal(factors, os).ok());
+  std::istringstream is(os.str());
+  const KruskalTensor back = ReadKruskal(is).value();
+  EXPECT_EQ(back.factor(0)(0, 0), 0.1);
+  EXPECT_EQ(back.factor(0)(0, 1), 1e-300);
+}
+
+TEST(CheckpointTest, RejectsGarbage) {
+  std::istringstream is("not a checkpoint at all, definitely");
+  EXPECT_FALSE(ReadKruskal(is).ok());
+}
+
+TEST(CheckpointTest, RejectsEmptyStream) {
+  std::istringstream is("");
+  EXPECT_FALSE(ReadKruskal(is).ok());
+}
+
+TEST(CheckpointTest, RejectsTruncation) {
+  const KruskalTensor factors = MakeFactors(3);
+  std::ostringstream os;
+  ASSERT_TRUE(WriteKruskal(factors, os).ok());
+  const std::string full = os.str();
+  std::istringstream is(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(ReadKruskal(is).ok());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  EXPECT_EQ(ReadKruskalFile("/nonexistent/x.krs").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, StreamCheckpointRoundTrip) {
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(4);
+  checkpoint.dims = {7, 5, 4};
+  checkpoint.step = 9;
+  const std::string path = TempPath("stream.ckpt");
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  Result<StreamCheckpoint> back = ReadStreamCheckpointFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().step, 9u);
+  EXPECT_EQ(back.value().dims, checkpoint.dims);
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(back.value().factors.factor(n) ==
+                checkpoint.factors.factor(n));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, StreamCheckpointValidatesDims) {
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(5);
+  checkpoint.dims = {7, 5};  // wrong arity
+  EXPECT_EQ(
+      WriteStreamCheckpointFile(checkpoint, TempPath("bad.ckpt")).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, StreamCheckpointRejectsInconsistentFile) {
+  // Hand-craft a checkpoint whose dims disagree with the factor shapes.
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(6);
+  checkpoint.dims = {7, 5, 4};
+  const std::string path = TempPath("tweak.ckpt");
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  // Corrupt one dim in place (dims start after magic+version+step).
+  std::fstream f(path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(4 + 4 + 8 + 8);  // magic, version, step, dims length
+  const uint64_t wrong = 999;
+  f.write(reinterpret_cast<const char*>(&wrong), sizeof(wrong));
+  f.close();
+  EXPECT_FALSE(ReadStreamCheckpointFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ResumeProducesIdenticalFactors) {
+  // The checkpoint carries everything needed to continue a streaming chain.
+  const KruskalTensor factors = MakeFactors(7);
+  const std::string path = TempPath("resume.ckpt");
+  StreamCheckpoint checkpoint{factors, {7, 5, 4}, 3};
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  const StreamCheckpoint resumed = ReadStreamCheckpointFile(path).value();
+  EXPECT_EQ(resumed.factors.dims(), factors.dims());
+  EXPECT_NEAR(resumed.factors.NormSquaredViaGrams(),
+              factors.NormSquaredViaGrams(), 0.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dismastd

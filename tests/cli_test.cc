@@ -1,0 +1,185 @@
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "tensor/checkpoint.h"
+#include "tensor/io.h"
+
+namespace dismastd {
+namespace cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Status RunCommand(std::vector<std::string> argv_strings, std::string* output) {
+  std::vector<const char*> argv = {"dismastd_cli"};
+  for (const auto& s : argv_strings) argv.push_back(s.c_str());
+  std::ostringstream os;
+  const Status status =
+      RunCli(static_cast<int>(argv.size()), argv.data(), os);
+  *output = os.str();
+  return status;
+}
+
+TEST(CliArgsTest, ParseFlagsBothStyles) {
+  const char* argv[] = {"bin", "cmd", "--a", "1", "--b=2"};
+  Result<Args> args = ParseArgs(5, argv);
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.value().command, "cmd");
+  EXPECT_EQ(args.value().Get("a"), "1");
+  EXPECT_EQ(args.value().Get("b"), "2");
+  EXPECT_EQ(args.value().Get("missing", "x"), "x");
+  EXPECT_TRUE(args.value().Has("a"));
+  EXPECT_FALSE(args.value().Has("c"));
+}
+
+TEST(CliArgsTest, LastOccurrenceWins) {
+  const char* argv[] = {"bin", "cmd", "--a=1", "--a=2"};
+  EXPECT_EQ(ParseArgs(4, argv).value().Get("a"), "2");
+}
+
+TEST(CliArgsTest, RejectsBadFlags) {
+  const char* missing_value[] = {"bin", "cmd", "--a"};
+  EXPECT_FALSE(ParseArgs(3, missing_value).ok());
+  const char* not_a_flag[] = {"bin", "cmd", "positional"};
+  EXPECT_FALSE(ParseArgs(3, not_a_flag).ok());
+  const char* no_command[] = {"bin"};
+  EXPECT_FALSE(ParseArgs(1, no_command).ok());
+}
+
+TEST(CliArgsTest, ParseDimsFormats) {
+  EXPECT_EQ(ParseDims("4x5x6").value(), (std::vector<uint64_t>{4, 5, 6}));
+  EXPECT_EQ(ParseDims("7,8").value(), (std::vector<uint64_t>{7, 8}));
+  EXPECT_FALSE(ParseDims("4x0x6").ok());
+  EXPECT_FALSE(ParseDims("abc").ok());
+}
+
+TEST(CliArgsTest, ParseDoubleList) {
+  const auto values = ParseDoubleList("1.5,0,2e-1").value();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 1.5);
+  EXPECT_DOUBLE_EQ(values[2], 0.2);
+  EXPECT_FALSE(ParseDoubleList("1.5,x").ok());
+}
+
+TEST(CliTest, HelpSucceeds) {
+  std::string output;
+  EXPECT_TRUE(RunCommand({"help"}, &output).ok());
+  EXPECT_NE(output.find("generate"), std::string::npos);
+  EXPECT_NE(output.find("partition-stats"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  std::string output;
+  EXPECT_FALSE(RunCommand({"frobnicate"}, &output).ok());
+  EXPECT_NE(output.find("commands"), std::string::npos);
+}
+
+TEST(CliTest, GenerateInfoDecomposeStreamPipeline) {
+  const std::string tensor_path = TempPath("cli_tensor.tns");
+  const std::string factors_path = TempPath("cli_factors.krs");
+  const std::string checkpoint_path = TempPath("cli_stream.ckpt");
+  std::string output;
+
+  // generate
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims", "40x30x20",
+                   "--nnz", "2000", "--rank", "2", "--seed", "5"},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("wrote"), std::string::npos);
+
+  // info
+  ASSERT_TRUE(RunCommand({"info", "--input", tensor_path}, &output).ok());
+  EXPECT_NE(output.find("order   : 3"), std::string::npos);
+  EXPECT_NE(output.find("dims    : 40 30 20"), std::string::npos);
+
+  // decompose + save factors
+  ASSERT_TRUE(RunCommand({"decompose", "--input", tensor_path, "--rank", "3",
+                   "--iterations", "5", "--factors", factors_path},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("fit"), std::string::npos);
+  Result<KruskalTensor> factors = ReadKruskalFile(factors_path);
+  ASSERT_TRUE(factors.ok());
+  EXPECT_EQ(factors.value().rank(), 3u);
+
+  // stream + checkpoint
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--workers", "3",
+                   "--steps", "3", "--start", "0.7", "--step", "0.15",
+                   "--rank", "2", "--iterations", "3", "--checkpoint",
+                   checkpoint_path},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("DisMASTD-MTP"), std::string::npos);
+  Result<StreamCheckpoint> checkpoint =
+      ReadStreamCheckpointFile(checkpoint_path);
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint.value().step, 2u);
+  EXPECT_EQ(checkpoint.value().dims, (std::vector<uint64_t>{40, 30, 20}));
+
+  // partition-stats
+  ASSERT_TRUE(RunCommand({"partition-stats", "--input", tensor_path, "--parts",
+                   "4,8"},
+                  &output)
+                  .ok());
+  EXPECT_NE(output.find("GTP"), std::string::npos);
+  EXPECT_NE(output.find("MTP"), std::string::npos);
+
+  std::remove(tensor_path.c_str());
+  std::remove(factors_path.c_str());
+  std::remove(checkpoint_path.c_str());
+}
+
+TEST(CliTest, StreamDmsMgAndGtpVariants) {
+  const std::string tensor_path = TempPath("cli_tensor2.tns");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims", "30x20x10",
+                   "--nnz", "800", "--seed", "9"},
+                  &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--method", "dmsmg",
+                   "--partitioner", "gtp", "--steps", "2", "--iterations",
+                   "2", "--rank", "2"},
+                  &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("DMS-MG-GTP"), std::string::npos);
+  std::remove(tensor_path.c_str());
+}
+
+TEST(CliTest, BadInputsReportErrors) {
+  std::string output;
+  EXPECT_FALSE(RunCommand({"generate", "--dims", "4x4"}, &output).ok());  // no output
+  EXPECT_FALSE(RunCommand({"info", "--input", "/nonexistent.tns"}, &output).ok());
+  EXPECT_FALSE(
+      RunCommand({"stream", "--input", "/nonexistent.tns"}, &output).ok());
+  const std::string tensor_path = TempPath("cli_tensor3.tns");
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims", "10x10",
+                   "--nnz", "50"},
+                  &output)
+                  .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--method", "bogus"},
+                   &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--partitioner",
+                    "bogus"},
+                   &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"decompose", "--input", tensor_path, "--rank", "0"},
+                   &output)
+                   .ok());
+  std::remove(tensor_path.c_str());
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace dismastd

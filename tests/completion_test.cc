@@ -1,0 +1,150 @@
+#include "core/completion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/generator.h"
+#include "stream/snapshot.h"
+
+namespace dismastd {
+namespace {
+
+/// Sparse observations drawn from a low-rank model — the setting where
+/// completion shines and plain decomposition fails: only a small fraction
+/// of a dense low-rank tensor is observed.
+GeneratedTensor SampledLowRank(std::vector<uint64_t> dims, size_t true_rank,
+                               uint64_t nnz, uint64_t seed,
+                               double noise = 0.0) {
+  GeneratorOptions options;
+  options.dims = std::move(dims);
+  options.nnz = nnz;
+  options.latent_rank = true_rank;
+  options.noise_stddev = noise;
+  options.seed = seed;
+  return GenerateSparseTensor(options);
+}
+
+CompletionOptions Opts(size_t rank = 3, size_t iters = 25) {
+  CompletionOptions o;
+  o.rank = rank;
+  o.max_iterations = iters;
+  return o;
+}
+
+TEST(CompletionTest, RmseDecreasesAcrossSweeps) {
+  const GeneratedTensor g = SampledLowRank({20, 18, 12}, 2, 900, 1);
+  const CompletionResult result = CompleteCp(g.tensor, Opts());
+  ASSERT_GE(result.rmse_history.size(), 2u);
+  EXPECT_LT(result.rmse_history.back(), result.rmse_history.front());
+  for (size_t i = 1; i < result.rmse_history.size(); ++i) {
+    EXPECT_LE(result.rmse_history[i], result.rmse_history[i - 1] + 1e-6);
+  }
+}
+
+TEST(CompletionTest, FitsObservedEntriesOfNoiselessModel) {
+  const GeneratedTensor g = SampledLowRank({16, 14, 10}, 2, 1000, 2);
+  const CompletionResult result = CompleteCp(g.tensor, Opts(3, 40));
+  EXPECT_LT(result.rmse_history.back(), 0.05);
+}
+
+TEST(CompletionTest, GeneralizesToHeldOutEntries) {
+  // The decisive test: completion must predict entries it never saw —
+  // plain CP decomposition cannot (it predicts ~0 on sparse data).
+  const GeneratedTensor g = SampledLowRank({18, 15, 12}, 2, 1600, 3);
+  const HoldoutSplit split = SplitHoldout(g.tensor, 0.2, 99);
+  ASSERT_GT(split.holdout.nnz(), 100u);
+
+  const CompletionResult result = CompleteCp(split.train, Opts(3, 40));
+  const double holdout_rmse = ObservedRmse(result.factors, split.holdout);
+
+  // Baseline: predicting 0 everywhere has RMSE = ||holdout|| / sqrt(n).
+  const double zero_rmse = std::sqrt(split.holdout.NormSquared() /
+                                     static_cast<double>(split.holdout.nnz()));
+  EXPECT_LT(holdout_rmse, 0.3 * zero_rmse);
+
+  // Contrast: plain decomposition on the same training data is far worse
+  // at held-out prediction (it fits the zeros).
+  DecompositionOptions als;
+  als.rank = 3;
+  als.max_iterations = 40;
+  const AlsResult plain = CpAls(split.train, als);
+  EXPECT_LT(holdout_rmse, ObservedRmse(plain.factors, split.holdout));
+}
+
+TEST(CompletionTest, SplitHoldoutPartitionsEntries) {
+  const GeneratedTensor g = SampledLowRank({10, 10, 10}, 2, 400, 4);
+  const HoldoutSplit split = SplitHoldout(g.tensor, 0.25, 7);
+  EXPECT_EQ(split.train.nnz() + split.holdout.nnz(), g.tensor.nnz());
+  EXPECT_GT(split.holdout.nnz(), g.tensor.nnz() / 8);
+  EXPECT_LT(split.holdout.nnz(), g.tensor.nnz() / 2);
+  // Deterministic.
+  const HoldoutSplit again = SplitHoldout(g.tensor, 0.25, 7);
+  EXPECT_TRUE(again.train == split.train);
+  EXPECT_TRUE(again.holdout == split.holdout);
+}
+
+TEST(CompletionTest, WarmStartFromTruthStaysPut) {
+  const GeneratedTensor g = SampledLowRank({12, 10, 8}, 2, 700, 5);
+  CompletionOptions options = Opts(2, 3);
+  options.regularization = 1e-6;
+  std::vector<Matrix> init = g.ground_truth;
+  const CompletionResult result =
+      CompleteCpFrom(g.tensor, std::move(init), options);
+  EXPECT_LT(result.rmse_history.back(), 1e-3);
+}
+
+TEST(CompletionTest, StreamingCompletionTracksGrowth) {
+  const GeneratedTensor g = SampledLowRank({20, 16, 12}, 2, 1500, 6);
+  const std::vector<uint64_t> old_dims = {15, 12, 9};
+  const SparseTensor first = RestrictToBox(g.tensor, old_dims);
+
+  const CompletionResult base = CompleteCp(first, Opts(3, 30));
+  const CompletionResult streamed =
+      CompleteCpStreaming(g.tensor, old_dims, base.factors, Opts(3, 15));
+  EXPECT_EQ(streamed.factors.dims(), g.tensor.dims());
+  EXPECT_LT(streamed.rmse_history.back(), 0.1);
+}
+
+TEST(CompletionTest, RegularizationKeepsSparseRowsFinite) {
+  // A tensor where one slice has a single observation: without the ridge
+  // the per-row system is rank-deficient.
+  SparseTensor x({5, 5, 5});
+  x.Add({0, 0, 0}, 1.0);
+  x.Add({1, 1, 1}, 2.0);
+  const CompletionResult result = CompleteCp(x, Opts(3, 5));
+  for (size_t n = 0; n < 3; ++n) {
+    const Matrix& f = result.factors.factor(n);
+    for (size_t i = 0; i < f.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(f.data()[i]));
+    }
+  }
+  EXPECT_LT(result.rmse_history.back(), 0.5);
+}
+
+TEST(CompletionTest, EmptyTensorIsNoop) {
+  const SparseTensor empty({4, 4});
+  const CompletionResult result = CompleteCp(empty, Opts(2, 2));
+  EXPECT_EQ(result.rmse_history.back(), 0.0);
+}
+
+TEST(CompletionTest, DeterministicPerSeed) {
+  const GeneratedTensor g = SampledLowRank({10, 8, 6}, 2, 300, 8);
+  const CompletionResult a = CompleteCp(g.tensor, Opts(2, 4));
+  const CompletionResult b = CompleteCp(g.tensor, Opts(2, 4));
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(a.factors.factor(n) == b.factors.factor(n));
+  }
+}
+
+TEST(CompletionTest, SecondOrderMatrixCompletion) {
+  const GeneratedTensor g = SampledLowRank({25, 20}, 2, 350, 9);
+  const HoldoutSplit split = SplitHoldout(g.tensor, 0.2, 11);
+  const CompletionResult result = CompleteCp(split.train, Opts(3, 40));
+  const double zero_rmse = std::sqrt(split.holdout.NormSquared() /
+                                     static_cast<double>(split.holdout.nnz()));
+  EXPECT_LT(ObservedRmse(result.factors, split.holdout), 0.5 * zero_rmse);
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,148 @@
+#include "tensor/coo_tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace dismastd {
+namespace {
+
+SparseTensor MakeSmall() {
+  SparseTensor t({3, 4, 2});
+  t.Add({0, 0, 0}, 1.0);
+  t.Add({2, 3, 1}, 2.0);
+  t.Add({1, 2, 0}, 3.0);
+  t.Add({0, 3, 1}, 4.0);
+  return t;
+}
+
+TEST(SparseTensorTest, BasicProperties) {
+  const SparseTensor t = MakeSmall();
+  EXPECT_EQ(t.order(), 3u);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 4u);
+  EXPECT_EQ(t.dim(2), 2u);
+  EXPECT_EQ(t.nnz(), 4u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(SparseTensorTest, EntryAccess) {
+  const SparseTensor t = MakeSmall();
+  EXPECT_EQ(t.Index(1, 0), 2u);
+  EXPECT_EQ(t.Index(1, 1), 3u);
+  EXPECT_EQ(t.Index(1, 2), 1u);
+  EXPECT_EQ(t.Value(1), 2.0);
+  const uint64_t* tuple = t.IndexTuple(2);
+  EXPECT_EQ(tuple[0], 1u);
+  EXPECT_EQ(tuple[1], 2u);
+  EXPECT_EQ(tuple[2], 0u);
+}
+
+TEST(SparseTensorTest, SortLexicographic) {
+  SparseTensor t = MakeSmall();
+  t.SortLexicographic();
+  ASSERT_EQ(t.nnz(), 4u);
+  EXPECT_EQ(t.Value(0), 1.0);  // (0,0,0)
+  EXPECT_EQ(t.Value(1), 4.0);  // (0,3,1)
+  EXPECT_EQ(t.Value(2), 3.0);  // (1,2,0)
+  EXPECT_EQ(t.Value(3), 2.0);  // (2,3,1)
+}
+
+TEST(SparseTensorTest, CoalesceSumsDuplicates) {
+  SparseTensor t({2, 2});
+  t.Add({0, 1}, 1.0);
+  t.Add({0, 1}, 2.5);
+  t.Add({1, 0}, -1.0);
+  t.Coalesce();
+  ASSERT_EQ(t.nnz(), 2u);
+  EXPECT_EQ(t.Value(0), 3.5);   // (0,1) summed
+  EXPECT_EQ(t.Value(1), -1.0);  // (1,0)
+}
+
+TEST(SparseTensorTest, CoalesceDropsExactZeros) {
+  SparseTensor t({2, 2});
+  t.Add({0, 0}, 1.0);
+  t.Add({0, 0}, -1.0);
+  t.Add({1, 1}, 5.0);
+  t.Coalesce();
+  ASSERT_EQ(t.nnz(), 1u);
+  EXPECT_EQ(t.Value(0), 5.0);
+}
+
+TEST(SparseTensorTest, CoalesceEmptyIsNoop) {
+  SparseTensor t({2, 2});
+  t.Coalesce();
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+TEST(SparseTensorTest, SliceNnzCounts) {
+  const SparseTensor t = MakeSmall();
+  const auto mode0 = t.SliceNnzCounts(0);
+  ASSERT_EQ(mode0.size(), 3u);
+  EXPECT_EQ(mode0[0], 2u);
+  EXPECT_EQ(mode0[1], 1u);
+  EXPECT_EQ(mode0[2], 1u);
+  const auto mode2 = t.SliceNnzCounts(2);
+  ASSERT_EQ(mode2.size(), 2u);
+  EXPECT_EQ(mode2[0], 2u);
+  EXPECT_EQ(mode2[1], 2u);
+}
+
+TEST(SparseTensorTest, SliceCountsSumToNnz) {
+  const SparseTensor t = MakeSmall();
+  for (size_t mode = 0; mode < t.order(); ++mode) {
+    uint64_t sum = 0;
+    for (uint64_t c : t.SliceNnzCounts(mode)) sum += c;
+    EXPECT_EQ(sum, t.nnz());
+  }
+}
+
+TEST(SparseTensorTest, NormSquared) {
+  const SparseTensor t = MakeSmall();
+  EXPECT_DOUBLE_EQ(t.NormSquared(), 1.0 + 4.0 + 9.0 + 16.0);
+}
+
+TEST(SparseTensorTest, GrowDimsKeepsEntries) {
+  SparseTensor t = MakeSmall();
+  t.GrowDims({5, 6, 3});
+  EXPECT_EQ(t.dim(0), 5u);
+  EXPECT_EQ(t.nnz(), 4u);
+  EXPECT_TRUE(t.Validate().ok());
+  t.Add({4, 5, 2}, 9.0);  // newly legal index
+  EXPECT_EQ(t.nnz(), 5u);
+}
+
+TEST(SparseTensorTest, FilterKeepsSubset) {
+  const SparseTensor t = MakeSmall();
+  const SparseTensor big =
+      t.Filter([&](size_t e) { return t.Value(e) > 2.0; });
+  EXPECT_EQ(big.nnz(), 2u);
+  EXPECT_EQ(big.dims(), t.dims());
+}
+
+TEST(SparseTensorTest, EqualityIsStructural) {
+  EXPECT_TRUE(MakeSmall() == MakeSmall());
+  SparseTensor other = MakeSmall();
+  other.Add({0, 0, 1}, 7.0);
+  EXPECT_FALSE(MakeSmall() == other);
+}
+
+TEST(SparseTensorTest, OrderOneTensor) {
+  SparseTensor t({5});
+  t.Add({3}, 2.0);
+  t.Add({0}, 1.0);
+  t.SortLexicographic();
+  EXPECT_EQ(t.Index(0, 0), 0u);
+  EXPECT_EQ(t.SliceNnzCounts(0)[3], 1u);
+}
+
+TEST(SparseTensorTest, HighOrderTensor) {
+  SparseTensor t({2, 2, 2, 2, 2});
+  t.Add({1, 1, 1, 1, 1}, 1.0);
+  t.Add({0, 1, 0, 1, 0}, 2.0);
+  EXPECT_EQ(t.order(), 5u);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.SliceNnzCounts(4)[0], 1u);
+  EXPECT_EQ(t.SliceNnzCounts(4)[1], 1u);
+}
+
+}  // namespace
+}  // namespace dismastd

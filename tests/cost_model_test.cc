@@ -1,0 +1,112 @@
+#include "dist/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dismastd {
+namespace {
+
+CostModelConfig SimpleConfig() {
+  CostModelConfig config;
+  config.flops_per_second = 1000.0;
+  config.bandwidth_bytes_per_second = 100.0;
+  config.latency_seconds = 0.01;
+  config.task_startup_seconds = 0.1;
+  return config;
+}
+
+TEST(SuperstepAccountingTest, RecordsPerWorker) {
+  SuperstepAccounting acct(3);
+  acct.AddTask(0, 100);
+  acct.AddTask(0, 50);
+  acct.AddTask(2, 10);
+  acct.AddFlops(1, 5);
+  EXPECT_EQ(acct.flops(0), 150u);
+  EXPECT_EQ(acct.flops(1), 5u);
+  EXPECT_EQ(acct.per_worker_tasks()[0], 2u);
+  EXPECT_EQ(acct.per_worker_tasks()[1], 0u);
+  EXPECT_EQ(acct.total_flops(), 165u);
+  EXPECT_EQ(acct.max_worker_flops(), 150u);
+}
+
+TEST(SuperstepAccountingTest, CommCounters) {
+  SuperstepAccounting acct(2);
+  acct.AddSend(0, 40);
+  acct.AddSend(0, 60);
+  acct.AddReceive(1, 100);
+  EXPECT_EQ(acct.per_worker_bytes_sent()[0], 100u);
+  EXPECT_EQ(acct.per_worker_messages()[0], 2u);
+  EXPECT_EQ(acct.per_worker_bytes_recv()[1], 100u);
+  EXPECT_EQ(acct.total_bytes(), 100u);
+}
+
+TEST(CostModelTest, BspTimeIsMaxPerWorkerNotSum) {
+  SuperstepAccounting acct(2);
+  acct.AddTask(0, 1000);  // 1.0s compute + 0.1s startup
+  acct.AddTask(1, 500);   // 0.5s compute + 0.1s startup
+  const double seconds = SuperstepSeconds(SimpleConfig(), acct);
+  // max tasks (1) * 0.1 + max flops (1000)/1000 = 1.1
+  EXPECT_NEAR(seconds, 1.1, 1e-12);
+}
+
+TEST(CostModelTest, CommunicationTerms) {
+  SuperstepAccounting acct(2);
+  acct.AddSend(0, 200);    // 2s at 100 B/s, 1 message -> 0.01s latency
+  acct.AddReceive(1, 200);
+  const double seconds = SuperstepSeconds(SimpleConfig(), acct);
+  EXPECT_NEAR(seconds, 2.0 + 0.01, 1e-12);
+}
+
+TEST(CostModelTest, SendPlusReceiveShareBandwidth) {
+  SuperstepAccounting acct(2);
+  acct.AddSend(0, 100);
+  acct.AddReceive(0, 100);  // same worker both directions: 200 bytes
+  const double seconds = SuperstepSeconds(SimpleConfig(), acct);
+  EXPECT_NEAR(seconds, 2.0 + 0.01, 1e-12);
+}
+
+TEST(CostModelTest, MultipleTasksSerializeOnAWorker) {
+  SuperstepAccounting acct(1);
+  acct.AddTask(0, 0);
+  acct.AddTask(0, 0);
+  acct.AddTask(0, 0);
+  EXPECT_NEAR(SuperstepSeconds(SimpleConfig(), acct), 0.3, 1e-12);
+}
+
+TEST(CostModelTest, EmptySuperstepIsFree) {
+  SuperstepAccounting acct(4);
+  EXPECT_DOUBLE_EQ(SuperstepSeconds(SimpleConfig(), acct), 0.0);
+}
+
+TEST(CostModelTest, MoreWorkersReduceBalancedComputeTime) {
+  // The same total work spread over more workers must cost less time.
+  const CostModelConfig config = SimpleConfig();
+  SuperstepAccounting few(2);
+  few.AddTask(0, 500);
+  few.AddTask(1, 500);
+  SuperstepAccounting many(4);
+  for (uint32_t w = 0; w < 4; ++w) many.AddTask(w, 250);
+  EXPECT_GT(SuperstepSeconds(config, few), SuperstepSeconds(config, many));
+}
+
+TEST(CostModelTest, ImbalanceCostsTime) {
+  const CostModelConfig config = SimpleConfig();
+  SuperstepAccounting balanced(2);
+  balanced.AddTask(0, 500);
+  balanced.AddTask(1, 500);
+  SuperstepAccounting skewed(2);
+  skewed.AddTask(0, 900);
+  skewed.AddTask(1, 100);
+  EXPECT_GT(SuperstepSeconds(config, skewed),
+            SuperstepSeconds(config, balanced));
+}
+
+TEST(CostModelTest, DefaultsAreSane) {
+  const CostModelConfig config;
+  EXPECT_GT(config.flops_per_second, 0.0);
+  EXPECT_GT(config.bandwidth_bytes_per_second, 0.0);
+  EXPECT_GE(config.latency_seconds, 0.0);
+  EXPECT_GE(config.task_startup_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace dismastd

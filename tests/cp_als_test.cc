@@ -1,0 +1,165 @@
+#include "core/cp_als.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/generator.h"
+#include "test_util.h"
+
+namespace dismastd {
+namespace {
+
+/// Sparse tensor sampled from a noiseless low-rank model: CP-ALS with
+/// rank >= true rank must drive the residual to ~0.
+GeneratedTensor LowRankTensor(std::vector<uint64_t> dims, size_t true_rank,
+                              uint64_t nnz, uint64_t seed) {
+  GeneratorOptions options;
+  options.dims = std::move(dims);
+  options.nnz = nnz;
+  options.latent_rank = true_rank;
+  options.noise_stddev = 0.0;
+  options.seed = seed;
+  return GenerateSparseTensor(options);
+}
+
+TEST(CpAlsTest, LossIsMonotonicallyNonIncreasing) {
+  const GeneratedTensor g = LowRankTensor({20, 15, 10}, 3, 400, 1);
+  DecompositionOptions options;
+  options.rank = 5;
+  options.max_iterations = 8;
+  const AlsResult result = CpAls(g.tensor, options);
+  ASSERT_EQ(result.loss_history.size(), 8u);
+  for (size_t i = 1; i < result.loss_history.size(); ++i) {
+    EXPECT_LE(result.loss_history[i], result.loss_history[i - 1] + 1e-9)
+        << "iteration " << i;
+  }
+}
+
+TEST(CpAlsTest, RecoversLowRankStructure) {
+  // Fully observed rank-2 tensor: an over-provisioned rank-4 ALS must drive
+  // the fit to ~1 (sparsely *sampled* low-rank models are not recoverable
+  // under zeros-are-data semantics, so the box is dense here).
+  const test::DenseLowRank g = test::MakeDenseLowRank({15, 12, 10}, 2, 2);
+  DecompositionOptions options;
+  options.rank = 4;
+  options.max_iterations = 30;
+  const AlsResult result = CpAls(g.tensor, options);
+  EXPECT_GT(result.factors.Fit(g.tensor), 0.95);
+}
+
+TEST(CpAlsTest, FactorsHaveCorrectShape) {
+  const GeneratedTensor g = LowRankTensor({8, 6, 4}, 2, 100, 3);
+  DecompositionOptions options;
+  options.rank = 3;
+  options.max_iterations = 2;
+  const AlsResult result = CpAls(g.tensor, options);
+  EXPECT_EQ(result.factors.order(), 3u);
+  EXPECT_EQ(result.factors.rank(), 3u);
+  EXPECT_EQ(result.factors.dims(), g.tensor.dims());
+}
+
+TEST(CpAlsTest, ReuseAndRecomputeLossesAgree) {
+  // §IV-B4's reuse trick must be exact, not an approximation.
+  const GeneratedTensor g = LowRankTensor({10, 10, 10}, 2, 300, 4);
+  DecompositionOptions reuse;
+  reuse.rank = 3;
+  reuse.max_iterations = 4;
+  DecompositionOptions recompute = reuse;
+  recompute.reuse_intermediates = false;
+  const AlsResult a = CpAls(g.tensor, reuse);
+  const AlsResult b = CpAls(g.tensor, recompute);
+  ASSERT_EQ(a.loss_history.size(), b.loss_history.size());
+  for (size_t i = 0; i < a.loss_history.size(); ++i) {
+    const double scale = std::max(1.0, a.loss_history[i]);
+    EXPECT_NEAR(a.loss_history[i], b.loss_history[i], 1e-8 * scale);
+  }
+}
+
+TEST(CpAlsTest, ToleranceStopsEarly) {
+  const GeneratedTensor g = LowRankTensor({12, 10, 8}, 2, 300, 5);
+  DecompositionOptions options;
+  options.rank = 4;
+  options.max_iterations = 50;
+  options.tolerance = 1e-3;
+  const AlsResult result = CpAls(g.tensor, options);
+  EXPECT_LT(result.iterations, 50u);
+  EXPECT_GE(result.iterations, 2u);
+}
+
+TEST(CpAlsTest, DeterministicPerSeed) {
+  const GeneratedTensor g = LowRankTensor({9, 9, 9}, 2, 150, 6);
+  DecompositionOptions options;
+  options.rank = 3;
+  options.max_iterations = 3;
+  const AlsResult a = CpAls(g.tensor, options);
+  const AlsResult b = CpAls(g.tensor, options);
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(a.factors.factor(n) == b.factors.factor(n));
+  }
+}
+
+TEST(CpAlsTest, DifferentSeedsDiverge) {
+  const GeneratedTensor g = LowRankTensor({9, 9, 9}, 2, 150, 7);
+  DecompositionOptions options;
+  options.rank = 3;
+  options.max_iterations = 1;
+  DecompositionOptions other = options;
+  other.seed = options.seed + 1;
+  const AlsResult a = CpAls(g.tensor, options);
+  const AlsResult b = CpAls(g.tensor, other);
+  EXPECT_FALSE(a.factors.factor(0) == b.factors.factor(0));
+}
+
+TEST(CpAlsTest, WarmStartFromGroundTruthStaysPerfect) {
+  const test::DenseLowRank g = test::MakeDenseLowRank({10, 8, 6}, 3, 8);
+  DecompositionOptions options;
+  options.rank = 3;
+  options.max_iterations = 3;
+  std::vector<Matrix> init = g.ground_truth;
+  const AlsResult result = CpAlsFrom(g.tensor, std::move(init), options);
+  EXPECT_LT(result.loss_history.back(), 1e-9);
+}
+
+TEST(CpAlsTest, SecondOrderTensorWorks) {
+  // Order-2 CP == low-rank matrix factorization.
+  const test::DenseLowRank g = test::MakeDenseLowRank({20, 15}, 2, 9);
+  DecompositionOptions options;
+  options.rank = 3;
+  options.max_iterations = 20;
+  const AlsResult result = CpAls(g.tensor, options);
+  EXPECT_GT(result.factors.Fit(g.tensor), 0.9);
+}
+
+TEST(CpAlsTest, FourthOrderTensorWorks) {
+  const test::DenseLowRank g = test::MakeDenseLowRank({8, 7, 6, 5}, 2, 10);
+  DecompositionOptions options;
+  options.rank = 3;
+  options.max_iterations = 25;
+  const AlsResult result = CpAls(g.tensor, options);
+  EXPECT_GT(result.factors.Fit(g.tensor), 0.85);
+}
+
+TEST(CpAlsTest, RankOne) {
+  const test::DenseLowRank g = test::MakeDenseLowRank({10, 10, 10}, 1, 11);
+  DecompositionOptions options;
+  options.rank = 1;
+  options.max_iterations = 20;
+  const AlsResult result = CpAls(g.tensor, options);
+  EXPECT_GT(result.factors.Fit(g.tensor), 0.95);
+}
+
+TEST(CpAlsTest, EmptyTensorYieldsZeroLoss) {
+  const SparseTensor empty({5, 5, 5});
+  DecompositionOptions options;
+  options.rank = 2;
+  options.max_iterations = 2;
+  const AlsResult result = CpAls(empty, options);
+  // With no data the solve collapses the factors toward zero; loss must be
+  // finite and non-negative.
+  EXPECT_GE(result.loss_history.back(), 0.0);
+  EXPECT_TRUE(std::isfinite(result.loss_history.back()));
+}
+
+}  // namespace
+}  // namespace dismastd

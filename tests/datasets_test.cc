@@ -1,0 +1,93 @@
+#include "stream/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace dismastd {
+namespace {
+
+TEST(DatasetsTest, FourPaperDatasets) {
+  const auto specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "Clothing");
+  EXPECT_EQ(specs[1].name, "Book");
+  EXPECT_EQ(specs[2].name, "Netflix");
+  EXPECT_EQ(specs[3].name, "Synthetic");
+}
+
+TEST(DatasetsTest, SyntheticIsCubicAndUniform) {
+  const DatasetSpec spec = FindDataset("Synthetic").value();
+  EXPECT_EQ(spec.dims[0], spec.dims[1]);
+  EXPECT_EQ(spec.dims[1], spec.dims[2]);
+  for (double z : spec.zipf_exponents) EXPECT_EQ(z, 0.0);
+}
+
+TEST(DatasetsTest, RealMimicsAreSkewed) {
+  for (const char* name : {"Clothing", "Book", "Netflix"}) {
+    const DatasetSpec spec = FindDataset(name).value();
+    EXPECT_GT(spec.zipf_exponents[0], 0.0) << name;
+  }
+}
+
+TEST(DatasetsTest, ModeRatiosFollowPaper) {
+  // Clothing: user mode >> product mode >> time mode (Table III).
+  const DatasetSpec clothing = FindDataset("Clothing").value();
+  EXPECT_GT(clothing.dims[0], clothing.dims[1]);
+  EXPECT_GT(clothing.dims[1], clothing.dims[2]);
+  // Netflix is the densest real tensor: nnz / (I+J+K) larger than Clothing.
+  const DatasetSpec netflix = FindDataset("Netflix").value();
+  const auto density = [](const DatasetSpec& s) {
+    return static_cast<double>(s.nnz) /
+           static_cast<double>(s.dims[0] + s.dims[1] + s.dims[2]);
+  };
+  EXPECT_GT(density(netflix), density(clothing));
+}
+
+TEST(DatasetsTest, FindIsCaseInsensitive) {
+  EXPECT_TRUE(FindDataset("netflix").ok());
+  EXPECT_TRUE(FindDataset("NETFLIX").ok());
+  EXPECT_EQ(FindDataset("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, TensorMatchesSpec) {
+  DatasetSpec spec = FindDataset("Clothing").value();
+  // Shrink for test speed; keep the character.
+  spec.dims = {600, 135, 35};
+  spec.nnz = 2000;
+  const SparseTensor t = MakeDatasetTensor(spec);
+  EXPECT_EQ(t.dims(), spec.dims);
+  EXPECT_GT(t.nnz(), spec.nnz / 2);
+  EXPECT_LE(t.nnz(), spec.nnz);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(DatasetsTest, StreamFollowsPaperProtocol) {
+  DatasetSpec spec = FindDataset("Synthetic").value();
+  spec.dims = {40, 40, 40};
+  spec.nnz = 800;
+  const StreamingTensorSequence stream = MakeDatasetStream(spec);
+  ASSERT_EQ(stream.num_steps(), 6u);
+  EXPECT_EQ(stream.DimsAt(0), (std::vector<uint64_t>{30, 30, 30}));
+  EXPECT_EQ(stream.DimsAt(5), (std::vector<uint64_t>{40, 40, 40}));
+}
+
+TEST(DatasetsTest, StreamOverridesRespected) {
+  DatasetSpec spec = FindDataset("Synthetic").value();
+  spec.dims = {40, 40, 40};
+  spec.nnz = 600;
+  const StreamingTensorSequence stream =
+      MakeDatasetStream(spec, 0.5, 0.25, 3);
+  ASSERT_EQ(stream.num_steps(), 3u);
+  EXPECT_EQ(stream.DimsAt(0), (std::vector<uint64_t>{20, 20, 20}));
+  EXPECT_EQ(stream.DimsAt(1), (std::vector<uint64_t>{30, 30, 30}));
+  EXPECT_EQ(stream.DimsAt(2), (std::vector<uint64_t>{40, 40, 40}));
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  DatasetSpec spec = FindDataset("Book").value();
+  spec.dims = {100, 50, 20};
+  spec.nnz = 500;
+  EXPECT_TRUE(MakeDatasetTensor(spec) == MakeDatasetTensor(spec));
+}
+
+}  // namespace
+}  // namespace dismastd

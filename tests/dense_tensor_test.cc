@@ -1,0 +1,101 @@
+#include "tensor/dense_tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace dismastd {
+namespace {
+
+TEST(DenseTensorTest, ZeroInitialized) {
+  DenseTensor t({2, 3, 4});
+  EXPECT_EQ(t.order(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.At({1, 2, 3}), 0.0);
+}
+
+TEST(DenseTensorTest, ElementReadWrite) {
+  DenseTensor t({2, 3});
+  t.At({1, 2}) = 5.0;
+  EXPECT_EQ(t.At({1, 2}), 5.0);
+  EXPECT_EQ(t.At({0, 0}), 0.0);
+  const uint64_t idx[] = {1, 2};
+  EXPECT_EQ(t.AtRaw(idx), 5.0);
+}
+
+TEST(DenseTensorTest, FromSparseSumsDuplicates) {
+  SparseTensor s({2, 2});
+  s.Add({0, 1}, 1.5);
+  s.Add({0, 1}, 2.5);
+  const DenseTensor d = DenseTensor::FromSparse(s);
+  EXPECT_EQ(d.At({0, 1}), 4.0);
+  EXPECT_EQ(d.At({1, 0}), 0.0);
+}
+
+TEST(DenseTensorTest, UnfoldShape) {
+  DenseTensor t({2, 3, 4});
+  EXPECT_EQ(t.Unfold(0).rows(), 2u);
+  EXPECT_EQ(t.Unfold(0).cols(), 12u);
+  EXPECT_EQ(t.Unfold(1).rows(), 3u);
+  EXPECT_EQ(t.Unfold(1).cols(), 8u);
+  EXPECT_EQ(t.Unfold(2).rows(), 4u);
+  EXPECT_EQ(t.Unfold(2).cols(), 6u);
+}
+
+TEST(DenseTensorTest, UnfoldColumnOrderingLowestModeFastest) {
+  // X in R^{2x3x2}; mode-0 unfolding's column index must be j + k*3.
+  DenseTensor t({2, 3, 2});
+  t.At({1, 2, 0}) = 7.0;
+  t.At({1, 0, 1}) = 9.0;
+  const Matrix u0 = t.Unfold(0);
+  EXPECT_EQ(u0(1, 2 + 0 * 3), 7.0);
+  EXPECT_EQ(u0(1, 0 + 1 * 3), 9.0);
+  // Mode-1 unfolding's column index is i + k*2.
+  const Matrix u1 = t.Unfold(1);
+  EXPECT_EQ(u1(2, 1 + 0 * 2), 7.0);
+  EXPECT_EQ(u1(0, 1 + 1 * 2), 9.0);
+  // Mode-2 unfolding's column index is i + j*2.
+  const Matrix u2 = t.Unfold(2);
+  EXPECT_EQ(u2(0, 1 + 2 * 2), 7.0);
+  EXPECT_EQ(u2(1, 1 + 0 * 2), 9.0);
+}
+
+TEST(DenseTensorTest, UnfoldPreservesNorm) {
+  SparseTensor s({3, 2, 2});
+  Rng rng(41);
+  for (int e = 0; e < 8; ++e) {
+    s.Add({rng.NextBounded(3), rng.NextBounded(2), rng.NextBounded(2)},
+          rng.NextDouble());
+  }
+  s.Coalesce();
+  const DenseTensor d = DenseTensor::FromSparse(s);
+  for (size_t mode = 0; mode < 3; ++mode) {
+    const Matrix u = d.Unfold(mode);
+    double sum = 0.0;
+    for (size_t i = 0; i < u.size(); ++i) sum += u.data()[i] * u.data()[i];
+    EXPECT_NEAR(sum, d.NormSquared(), 1e-12);
+  }
+}
+
+TEST(DenseTensorTest, NormAndDistance) {
+  DenseTensor a({2, 2});
+  a.At({0, 0}) = 3.0;
+  a.At({1, 1}) = 4.0;
+  EXPECT_DOUBLE_EQ(a.NormSquared(), 25.0);
+  DenseTensor b({2, 2});
+  b.At({0, 0}) = 1.0;
+  b.At({1, 1}) = 4.0;
+  EXPECT_DOUBLE_EQ(a.DistanceSquared(b), 4.0);
+  EXPECT_FALSE(a.AllClose(b));
+  EXPECT_TRUE(a.AllClose(a));
+}
+
+TEST(DenseTensorTest, OrderOne) {
+  DenseTensor t({4});
+  t.At({2}) = 1.0;
+  const Matrix u = t.Unfold(0);
+  EXPECT_EQ(u.rows(), 4u);
+  EXPECT_EQ(u.cols(), 1u);
+  EXPECT_EQ(u(2, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace dismastd

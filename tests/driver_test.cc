@@ -1,0 +1,108 @@
+#include "core/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/generator.h"
+#include "test_util.h"
+
+namespace dismastd {
+namespace {
+
+StreamingTensorSequence MakeStream(uint64_t seed) {
+  // Fully observed low-rank box so fit assertions are meaningful.
+  SparseTensor full = test::MakeDenseLowRank({18, 15, 12}, 2, seed, 0.05).tensor;
+  auto schedule = MakeGrowthSchedule(full.dims(), 0.75, 0.05, 6);
+  return StreamingTensorSequence(std::move(full), std::move(schedule));
+}
+
+DistributedOptions Opts() {
+  DistributedOptions o;
+  o.als.rank = 3;
+  o.als.max_iterations = 4;
+  o.num_workers = 4;
+  o.partitioner = PartitionerKind::kMaxMin;
+  return o;
+}
+
+TEST(DriverTest, MethodLabels) {
+  EXPECT_EQ(MethodLabel(MethodKind::kDisMastd, PartitionerKind::kGreedy),
+            "DisMASTD-GTP");
+  EXPECT_EQ(MethodLabel(MethodKind::kDmsMg, PartitionerKind::kMaxMin),
+            "DMS-MG-MTP");
+}
+
+TEST(DriverTest, DisMastdProcessesOnlyDeltas) {
+  const StreamingTensorSequence stream = MakeStream(1);
+  const auto metrics =
+      RunStreamingExperiment(stream, MethodKind::kDisMastd, Opts());
+  ASSERT_EQ(metrics.size(), 6u);
+  uint64_t cumulative = 0;
+  for (size_t t = 0; t < metrics.size(); ++t) {
+    EXPECT_EQ(metrics[t].step, t);
+    EXPECT_EQ(metrics[t].processed_nnz, stream.DeltaAt(t).nnz());
+    cumulative += metrics[t].processed_nnz;
+    EXPECT_EQ(metrics[t].snapshot_nnz, cumulative);
+  }
+  // After the first (cold) step, DisMASTD touches only a fraction of the
+  // snapshot.
+  for (size_t t = 1; t < metrics.size(); ++t) {
+    EXPECT_LT(metrics[t].processed_nnz, metrics[t].snapshot_nnz / 2);
+  }
+}
+
+TEST(DriverTest, DmsMgProcessesFullSnapshots) {
+  const StreamingTensorSequence stream = MakeStream(2);
+  const auto metrics =
+      RunStreamingExperiment(stream, MethodKind::kDmsMg, Opts());
+  for (size_t t = 0; t < metrics.size(); ++t) {
+    EXPECT_EQ(metrics[t].processed_nnz, metrics[t].snapshot_nnz);
+  }
+}
+
+TEST(DriverTest, DisMastdIsCheaperThanDmsMgAfterColdStart) {
+  const StreamingTensorSequence stream = MakeStream(3);
+  const auto dis =
+      RunStreamingExperiment(stream, MethodKind::kDisMastd, Opts());
+  const auto dms = RunStreamingExperiment(stream, MethodKind::kDmsMg, Opts());
+  for (size_t t = 1; t < dis.size(); ++t) {
+    EXPECT_LT(dis[t].flops, dms[t].flops) << "step " << t;
+    EXPECT_LT(dis[t].sim_seconds_per_iteration,
+              dms[t].sim_seconds_per_iteration)
+        << "step " << t;
+  }
+}
+
+TEST(DriverTest, FitComputedOnRequestAndHigh) {
+  const StreamingTensorSequence stream = MakeStream(4);
+  DistributedOptions options = Opts();
+  options.als.max_iterations = 10;
+  const auto metrics = RunStreamingExperiment(stream, MethodKind::kDisMastd,
+                                              options, /*compute_fit=*/true);
+  for (const StreamStepMetrics& m : metrics) {
+    EXPECT_GT(m.fit, 0.5) << "step " << m.step;
+  }
+  // Without the flag, fit defaults to 0.
+  const auto no_fit =
+      RunStreamingExperiment(stream, MethodKind::kDisMastd, options);
+  EXPECT_EQ(no_fit[0].fit, 0.0);
+}
+
+TEST(DriverTest, MetricsFieldsPopulated) {
+  const StreamingTensorSequence stream = MakeStream(5);
+  const auto metrics =
+      RunStreamingExperiment(stream, MethodKind::kDisMastd, Opts());
+  for (const StreamStepMetrics& m : metrics) {
+    EXPECT_EQ(m.dims.size(), 3u);
+    EXPECT_EQ(m.iterations, 4u);
+    EXPECT_GT(m.sim_seconds_per_iteration, 0.0);
+    EXPECT_GT(m.sim_seconds_total, 0.0);
+    EXPECT_GT(m.flops, 0u);
+    EXPECT_GT(m.comm_bytes, 0u);
+    EXPECT_TRUE(std::isfinite(m.final_loss));
+  }
+}
+
+}  // namespace
+}  // namespace dismastd

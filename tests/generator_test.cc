@@ -1,0 +1,132 @@
+#include "stream/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dismastd {
+namespace {
+
+GeneratorOptions BaseOptions() {
+  GeneratorOptions options;
+  options.dims = {50, 40, 30};
+  options.nnz = 500;
+  options.seed = 7;
+  return options;
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  const GeneratedTensor g = GenerateSparseTensor(BaseOptions());
+  EXPECT_EQ(g.tensor.dims(), (std::vector<uint64_t>{50, 40, 30}));
+  EXPECT_TRUE(g.tensor.Validate().ok());
+  EXPECT_TRUE(g.ground_truth.empty());
+}
+
+TEST(GeneratorTest, HitsNnzTargetClosely) {
+  const GeneratedTensor g = GenerateSparseTensor(BaseOptions());
+  // Coordinates are unique after dedup; oversampling should land close to
+  // the target on a sparse box.
+  EXPECT_LE(g.tensor.nnz(), 500u);
+  EXPECT_GE(g.tensor.nnz(), 450u);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  const GeneratedTensor a = GenerateSparseTensor(BaseOptions());
+  const GeneratedTensor b = GenerateSparseTensor(BaseOptions());
+  EXPECT_TRUE(a.tensor == b.tensor);
+  GeneratorOptions other = BaseOptions();
+  other.seed = 8;
+  const GeneratedTensor c = GenerateSparseTensor(other);
+  EXPECT_FALSE(a.tensor == c.tensor);
+}
+
+TEST(GeneratorTest, CoordinatesAreUnique) {
+  GeneratorOptions options = BaseOptions();
+  options.dims = {10, 10};
+  options.nnz = 60;
+  options.zipf_exponents = {1.5, 1.5};  // heavy collisions expected
+  const GeneratedTensor g = GenerateSparseTensor(options);
+  SparseTensor sorted = g.tensor;
+  sorted.SortLexicographic();
+  for (size_t e = 1; e < sorted.nnz(); ++e) {
+    const bool same = sorted.Index(e, 0) == sorted.Index(e - 1, 0) &&
+                      sorted.Index(e, 1) == sorted.Index(e - 1, 1);
+    EXPECT_FALSE(same);
+  }
+}
+
+TEST(GeneratorTest, SkewedModeIsMoreConcentrated) {
+  GeneratorOptions uniform = BaseOptions();
+  uniform.dims = {200, 200, 50};
+  uniform.nnz = 3000;
+  GeneratorOptions skewed = uniform;
+  skewed.zipf_exponents = {1.3, 0.0, 0.0};
+
+  auto max_slice_fraction = [](const SparseTensor& t, size_t mode) {
+    const auto counts = t.SliceNnzCounts(mode);
+    const uint64_t max_count = *std::max_element(counts.begin(), counts.end());
+    return static_cast<double>(max_count) / static_cast<double>(t.nnz());
+  };
+
+  const GeneratedTensor u = GenerateSparseTensor(uniform);
+  const GeneratedTensor s = GenerateSparseTensor(skewed);
+  EXPECT_GT(max_slice_fraction(s.tensor, 0),
+            3.0 * max_slice_fraction(u.tensor, 0));
+}
+
+TEST(GeneratorTest, LatentModelReturnsGroundTruth) {
+  GeneratorOptions options = BaseOptions();
+  options.latent_rank = 3;
+  const GeneratedTensor g = GenerateSparseTensor(options);
+  ASSERT_EQ(g.ground_truth.size(), 3u);
+  EXPECT_EQ(g.ground_truth[0].rows(), 50u);
+  EXPECT_EQ(g.ground_truth[0].cols(), 3u);
+}
+
+TEST(GeneratorTest, NoiselessLatentValuesMatchModel) {
+  GeneratorOptions options = BaseOptions();
+  options.latent_rank = 2;
+  options.noise_stddev = 0.0;
+  const GeneratedTensor g = GenerateSparseTensor(options);
+  const KruskalTensor truth(g.ground_truth);
+  for (size_t e = 0; e < std::min<size_t>(g.tensor.nnz(), 50); ++e) {
+    EXPECT_NEAR(g.tensor.Value(e), truth.ValueAt(g.tensor.IndexTuple(e)),
+                1e-12);
+  }
+}
+
+TEST(GeneratorTest, UniformValuesInExpectedRange) {
+  const GeneratedTensor g = GenerateSparseTensor(BaseOptions());
+  for (size_t e = 0; e < g.tensor.nnz(); ++e) {
+    EXPECT_GE(g.tensor.Value(e), 0.5);
+    EXPECT_LT(g.tensor.Value(e), 1.5);
+  }
+}
+
+TEST(GeneratorTest, ScramblingSpreadsHeavySlices) {
+  GeneratorOptions options = BaseOptions();
+  options.dims = {1000, 50, 50};
+  options.nnz = 2000;
+  options.zipf_exponents = {1.2, 0.0, 0.0};
+  options.scramble_indices = true;
+  const GeneratedTensor g = GenerateSparseTensor(options);
+  // The heaviest slice must not sit at index 0 in general (scrambled), and
+  // the head of the index range must not hold most of the mass.
+  const auto counts = g.tensor.SliceNnzCounts(0);
+  uint64_t head_mass = 0;
+  for (size_t i = 0; i < 10; ++i) head_mass += counts[i];
+  EXPECT_LT(static_cast<double>(head_mass),
+            0.5 * static_cast<double>(g.tensor.nnz()));
+}
+
+TEST(GeneratorTest, TinyDims) {
+  GeneratorOptions options;
+  options.dims = {1, 1};
+  options.nnz = 1;
+  const GeneratedTensor g = GenerateSparseTensor(options);
+  EXPECT_EQ(g.tensor.nnz(), 1u);
+  EXPECT_EQ(g.tensor.Index(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,138 @@
+#include "partition/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "stream/generator.h"
+
+namespace dismastd {
+namespace {
+
+SparseTensor MakeTensor(uint64_t seed = 3) {
+  GeneratorOptions g;
+  g.dims = {60, 40, 24};
+  g.nnz = 3000;
+  g.zipf_exponents = {0.8, 0.5, 0.0};
+  g.seed = seed;
+  return GenerateSparseTensor(g).tensor;
+}
+
+TEST(ProcessGridTest, WorkerCountIsProduct) {
+  ProcessGrid grid{{3, 2, 2}};
+  EXPECT_EQ(grid.num_workers(), 12u);
+  EXPECT_EQ(grid.ToString(), "3x2x2");
+}
+
+TEST(ChooseGridShapeTest, ProductMatchesWorkers) {
+  const std::vector<uint64_t> dims = {1000, 500, 100};
+  for (uint32_t workers : {1u, 2u, 6u, 12u, 15u, 16u, 30u}) {
+    Result<ProcessGrid> grid = ChooseGridShape(workers, dims);
+    ASSERT_TRUE(grid.ok()) << workers;
+    EXPECT_EQ(grid.value().num_workers(), workers);
+  }
+}
+
+TEST(ChooseGridShapeTest, BigFactorsGoToBigModes) {
+  const ProcessGrid grid = ChooseGridShape(15, {10000, 100, 10}).value();
+  // The factor 5 must land on the largest mode, and 3 on the largest
+  // remaining chunk.
+  EXPECT_EQ(grid.shape[0], 15u);
+  EXPECT_EQ(grid.shape[1], 1u);
+  EXPECT_EQ(grid.shape[2], 1u);
+}
+
+TEST(ChooseGridShapeTest, RespectsTinyModes) {
+  // Mode of size 2 can hold a factor of at most 2.
+  const ProcessGrid grid = ChooseGridShape(8, {2, 100, 100}).value();
+  EXPECT_LE(grid.shape[0], 2u);
+  EXPECT_EQ(grid.num_workers(), 8u);
+}
+
+TEST(ChooseGridShapeTest, InfeasibleFails) {
+  // 2x2x2 tensor cannot host 16 workers (max 8 cells).
+  EXPECT_FALSE(ChooseGridShape(16, {2, 2, 2}).ok());
+  EXPECT_FALSE(ChooseGridShape(0, {4, 4}).ok());
+}
+
+TEST(MediumGrainTest, CellsCoverAllNonZerosOnce) {
+  const SparseTensor t = MakeTensor();
+  const ProcessGrid grid = ChooseGridShape(12, t.dims()).value();
+  const GridPartitioning partitioning =
+      MediumGrainPartition(t, grid, PartitionerKind::kGreedy);
+  const std::vector<uint64_t> loads = CellLoads(t, partitioning);
+  EXPECT_EQ(loads.size(), 12u);
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), uint64_t{0}),
+            t.nnz());
+}
+
+TEST(MediumGrainTest, CellOfIsConsistentWithChunkMaps) {
+  const SparseTensor t = MakeTensor();
+  const ProcessGrid grid = ChooseGridShape(6, t.dims()).value();
+  const GridPartitioning partitioning =
+      MediumGrainPartition(t, grid, PartitionerKind::kGreedy);
+  for (size_t e = 0; e < std::min<size_t>(t.nnz(), 100); ++e) {
+    const uint64_t* idx = t.IndexTuple(e);
+    uint32_t expected = 0;
+    for (size_t n = 0; n < t.order(); ++n) {
+      expected = expected * grid.shape[n] +
+                 partitioning.mode_chunks[n].slice_to_part[idx[n]];
+    }
+    EXPECT_EQ(partitioning.CellOf(idx), expected);
+    EXPECT_LT(partitioning.CellOf(idx), grid.num_workers());
+  }
+}
+
+TEST(MediumGrainTest, FetchBoundBeatsOneDimScheme) {
+  // The medium-grain working set (block sides) is far below the 1D
+  // scheme's p-fold duplication — the reason [16]/[36] exist.
+  const SparseTensor t = MakeTensor();
+  for (uint32_t workers : {8u, 12u}) {
+    const ProcessGrid grid = ChooseGridShape(workers, t.dims()).value();
+    const GridPartitioning partitioning =
+        MediumGrainPartition(t, grid, PartitionerKind::kGreedy);
+    EXPECT_LT(MediumGrainRowFetchBound(t, partitioning),
+              OneDimRowFetchBound(t, workers))
+        << "workers=" << workers;
+  }
+}
+
+TEST(MediumGrainTest, SingleWorkerBoundsMatch) {
+  // With one worker both schemes need each row (N-1 times per sweep).
+  const SparseTensor t = MakeTensor();
+  const ProcessGrid grid = ChooseGridShape(1, t.dims()).value();
+  const GridPartitioning partitioning =
+      MediumGrainPartition(t, grid, PartitionerKind::kGreedy);
+  EXPECT_EQ(MediumGrainRowFetchBound(t, partitioning),
+            OneDimRowFetchBound(t, 1));
+}
+
+TEST(MediumGrainTest, MtpChunkingBalancesLoads) {
+  const SparseTensor t = MakeTensor(9);
+  const ProcessGrid grid = ChooseGridShape(8, t.dims()).value();
+  const GridPartitioning gtp =
+      MediumGrainPartition(t, grid, PartitionerKind::kGreedy);
+  const GridPartitioning mtp =
+      MediumGrainPartition(t, grid, PartitionerKind::kMaxMin);
+  const auto max_load = [](const std::vector<uint64_t>& loads) {
+    return *std::max_element(loads.begin(), loads.end());
+  };
+  // Per-mode chunk balance transfers (approximately) to cell balance.
+  EXPECT_LE(max_load(CellLoads(t, mtp)), 2 * max_load(CellLoads(t, gtp)));
+}
+
+TEST(MediumGrainTest, DeterministicPartitioning) {
+  const SparseTensor t = MakeTensor();
+  const ProcessGrid grid = ChooseGridShape(6, t.dims()).value();
+  const GridPartitioning a =
+      MediumGrainPartition(t, grid, PartitionerKind::kGreedy);
+  const GridPartitioning b =
+      MediumGrainPartition(t, grid, PartitionerKind::kGreedy);
+  for (size_t n = 0; n < t.order(); ++n) {
+    EXPECT_EQ(a.mode_chunks[n].slice_to_part, b.mode_chunks[n].slice_to_part);
+  }
+}
+
+}  // namespace
+}  // namespace dismastd

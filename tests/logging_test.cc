@@ -1,0 +1,93 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+namespace dismastd {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  // The library must not spam INFO by default.
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kError,
+                         LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluateStream) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  DISMASTD_LOG(Debug) << expensive();
+  DISMASTD_LOG(Info) << expensive();
+  DISMASTD_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, EnabledLevelEvaluatesStream) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  DISMASTD_LOG(Debug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  // Busy-wait a tiny amount so elapsed is strictly positive.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedMillis());  // same clock, loose bound
+}
+
+TEST(TimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  WallTimer timer;
+  double last = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double now = timer.ElapsedSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace dismastd

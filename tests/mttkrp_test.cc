@@ -1,0 +1,151 @@
+#include "tensor/mttkrp.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace dismastd {
+namespace {
+
+struct Fixture {
+  SparseTensor tensor;
+  std::vector<Matrix> factors;
+  std::vector<const Matrix*> ptrs;
+
+  Fixture(std::vector<uint64_t> dims, size_t rank, size_t nnz, uint64_t seed)
+      : tensor(dims) {
+    Rng rng(seed);
+    for (size_t e = 0; e < nnz; ++e) {
+      std::vector<uint64_t> idx(dims.size());
+      for (size_t m = 0; m < dims.size(); ++m) {
+        idx[m] = rng.NextBounded(dims[m]);
+      }
+      tensor.Add(idx, rng.NextDouble(-1.0, 1.0));
+    }
+    tensor.Coalesce();
+    for (uint64_t d : dims) {
+      factors.push_back(Matrix::Random(static_cast<size_t>(d), rank, rng));
+    }
+    for (const Matrix& f : factors) ptrs.push_back(&f);
+  }
+};
+
+TEST(MttkrpTest, HandComputedThirdOrder) {
+  // X with a single non-zero x[1,0,1] = 2; Â[1,:] must equal
+  // 2 * B[0,:] * C[1,:] elementwise.
+  SparseTensor x({2, 2, 2});
+  x.Add({1, 0, 1}, 2.0);
+  Rng rng(1);
+  const Matrix a = Matrix::Random(2, 3, rng);
+  const Matrix b = Matrix::Random(2, 3, rng);
+  const Matrix c = Matrix::Random(2, 3, rng);
+  const Matrix result = Mttkrp(x, {&a, &b, &c}, 0);
+  for (size_t f = 0; f < 3; ++f) {
+    EXPECT_NEAR(result(1, f), 2.0 * b(0, f) * c(1, f), 1e-12);
+    EXPECT_EQ(result(0, f), 0.0);
+  }
+}
+
+TEST(MttkrpTest, MatchesReferenceThirdOrder) {
+  const Fixture fx({4, 3, 5}, 3, 20, 7);
+  for (size_t mode = 0; mode < 3; ++mode) {
+    const Matrix fast = Mttkrp(fx.tensor, fx.ptrs, mode);
+    const Matrix ref = MttkrpReference(fx.tensor, fx.ptrs, mode);
+    EXPECT_TRUE(fast.AllClose(ref, 1e-9)) << "mode " << mode;
+  }
+}
+
+TEST(MttkrpTest, MatchesReferenceSecondOrder) {
+  // Order-2 MTTKRP is just sparse matrix times the other factor.
+  const Fixture fx({6, 4}, 2, 10, 8);
+  for (size_t mode = 0; mode < 2; ++mode) {
+    EXPECT_TRUE(Mttkrp(fx.tensor, fx.ptrs, mode)
+                    .AllClose(MttkrpReference(fx.tensor, fx.ptrs, mode),
+                              1e-9));
+  }
+}
+
+TEST(MttkrpTest, MatchesReferenceFourthOrder) {
+  const Fixture fx({3, 2, 4, 3}, 2, 15, 9);
+  for (size_t mode = 0; mode < 4; ++mode) {
+    EXPECT_TRUE(Mttkrp(fx.tensor, fx.ptrs, mode)
+                    .AllClose(MttkrpReference(fx.tensor, fx.ptrs, mode),
+                              1e-9));
+  }
+}
+
+TEST(MttkrpTest, EmptyTensorGivesZeroMatrix) {
+  const SparseTensor x({3, 3, 3});
+  Rng rng(10);
+  const Matrix f = Matrix::Random(3, 2, rng);
+  const Matrix result = Mttkrp(x, {&f, &f, &f}, 1);
+  EXPECT_TRUE(result.AllClose(Matrix(3, 2)));
+}
+
+TEST(MttkrpTest, OversizedFactorsAllowed) {
+  // Factors may have more rows than the tensor's dims (the streaming
+  // engine passes factors sized for the *current* snapshot while a delta
+  // sub-tensor spans only part of it) — extra rows are ignored.
+  SparseTensor x({2, 2});
+  x.Add({1, 1}, 3.0);
+  Rng rng(11);
+  const Matrix a = Matrix::Random(5, 2, rng);
+  const Matrix b = Matrix::Random(7, 2, rng);
+  const Matrix result = Mttkrp(x, {&a, &b}, 0);
+  EXPECT_EQ(result.rows(), 2u);
+  for (size_t f = 0; f < 2; ++f) {
+    EXPECT_NEAR(result(1, f), 3.0 * b(1, f), 1e-12);
+  }
+}
+
+TEST(MttkrpTest, AccumulateAddsIntoExisting) {
+  SparseTensor x({2, 2});
+  x.Add({0, 0}, 1.0);
+  Rng rng(12);
+  const Matrix b = Matrix::Random(2, 2, rng);
+  Matrix out(2, 2);
+  out.Fill(10.0);
+  const Matrix a = Matrix::Random(2, 2, rng);
+  MttkrpAccumulate(x, {&a, &b}, 0, &out);
+  EXPECT_NEAR(out(0, 0), 10.0 + b(0, 0), 1e-12);
+  EXPECT_NEAR(out(1, 1), 10.0, 1e-12);  // untouched row keeps old value
+}
+
+TEST(MttkrpTest, AccumulateReturnsNnzProcessed) {
+  const Fixture fx({3, 3}, 2, 5, 13);
+  Matrix out(3, 2);
+  EXPECT_EQ(MttkrpAccumulate(fx.tensor, fx.ptrs, 0, &out), fx.tensor.nnz());
+}
+
+TEST(MttkrpTest, FlopsFormula) {
+  EXPECT_EQ(MttkrpFlops(100, 3, 10), 100u * 3u * 10u);
+  EXPECT_EQ(MttkrpFlops(0, 3, 10), 0u);
+}
+
+class MttkrpPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(MttkrpPropertyTest, SparseEqualsReferenceOnRandomTensors) {
+  const auto [order, rank, seed] = GetParam();
+  std::vector<uint64_t> dims;
+  Rng shape_rng(seed);
+  for (size_t m = 0; m < order; ++m) {
+    dims.push_back(2 + shape_rng.NextBounded(4));
+  }
+  const Fixture fx(dims, rank, 12 + seed % 9, seed * 31);
+  for (size_t mode = 0; mode < order; ++mode) {
+    EXPECT_TRUE(Mttkrp(fx.tensor, fx.ptrs, mode)
+                    .AllClose(MttkrpReference(fx.tensor, fx.ptrs, mode),
+                              1e-8))
+        << "order=" << order << " rank=" << rank << " mode=" << mode;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MttkrpPropertyTest,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 5u),
+                       ::testing::Values(1u, 3u, 6u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,113 @@
+#include "dist/network.h"
+
+#include <gtest/gtest.h>
+
+namespace dismastd {
+namespace {
+
+std::vector<uint8_t> Payload(size_t n, uint8_t fill = 0xAB) {
+  return std::vector<uint8_t>(n, fill);
+}
+
+TEST(NetworkTest, SendReceiveRoundTrip) {
+  SimulatedNetwork net(3);
+  ASSERT_TRUE(net.Send(0, 2, 7, Payload(10, 0x11)).ok());
+  Result<Message> msg = net.Receive(2, 7);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().src, 0u);
+  EXPECT_EQ(msg.value().dst, 2u);
+  EXPECT_EQ(msg.value().tag, 7u);
+  EXPECT_EQ(msg.value().payload, Payload(10, 0x11));
+}
+
+TEST(NetworkTest, FifoPerDestination) {
+  SimulatedNetwork net(2);
+  ASSERT_TRUE(net.Send(0, 1, 1, Payload(1, 0x01)).ok());
+  ASSERT_TRUE(net.Send(0, 1, 1, Payload(1, 0x02)).ok());
+  EXPECT_EQ(net.Receive(1, 1).value().payload[0], 0x01);
+  EXPECT_EQ(net.Receive(1, 1).value().payload[0], 0x02);
+}
+
+TEST(NetworkTest, TagFiltering) {
+  SimulatedNetwork net(2);
+  ASSERT_TRUE(net.Send(0, 1, 5, Payload(1, 0x05)).ok());
+  ASSERT_TRUE(net.Send(0, 1, 6, Payload(1, 0x06)).ok());
+  // Tag 6 first even though tag 5 was sent earlier.
+  EXPECT_EQ(net.Receive(1, 6).value().payload[0], 0x06);
+  EXPECT_EQ(net.Receive(1, 5).value().payload[0], 0x05);
+}
+
+TEST(NetworkTest, ReceiveOnEmptyReturnsNotFound) {
+  SimulatedNetwork net(2);
+  EXPECT_EQ(net.Receive(1, 1).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(net.Send(0, 1, 1, Payload(1)).ok());
+  EXPECT_EQ(net.Receive(1, 99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetworkTest, InvalidWorkerIdsRejected) {
+  SimulatedNetwork net(2);
+  EXPECT_EQ(net.Send(0, 5, 1, Payload(1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net.Send(5, 0, 1, Payload(1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net.Receive(5, 1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkTest, StatsCountRemoteTrafficOnly) {
+  SimulatedNetwork net(3);
+  ASSERT_TRUE(net.Send(0, 1, 1, Payload(100)).ok());
+  ASSERT_TRUE(net.Send(1, 1, 1, Payload(100)).ok());  // self-send: free
+  EXPECT_EQ(net.stats().messages, 1u);
+  EXPECT_EQ(net.stats().payload_bytes, 100u);
+  EXPECT_EQ(net.bytes_sent_by(0), 100u);
+  EXPECT_EQ(net.bytes_sent_by(1), 0u);
+  EXPECT_EQ(net.bytes_received_by(1), 100u);
+  EXPECT_EQ(net.messages_sent_by(0), 1u);
+  // Self-send is still deliverable.
+  EXPECT_TRUE(net.Receive(1, 1).ok());
+  EXPECT_TRUE(net.Receive(1, 1).ok());
+}
+
+TEST(NetworkTest, PendingCounts) {
+  SimulatedNetwork net(2);
+  EXPECT_EQ(net.TotalPending(), 0u);
+  ASSERT_TRUE(net.Send(0, 1, 1, Payload(1)).ok());
+  ASSERT_TRUE(net.Send(0, 1, 2, Payload(1)).ok());
+  EXPECT_EQ(net.PendingCount(1), 2u);
+  EXPECT_EQ(net.PendingCount(0), 0u);
+  EXPECT_EQ(net.TotalPending(), 2u);
+  ASSERT_TRUE(net.Receive(1, 1).ok());
+  EXPECT_EQ(net.TotalPending(), 1u);
+}
+
+TEST(NetworkTest, ResetStatsKeepsQueues) {
+  SimulatedNetwork net(2);
+  ASSERT_TRUE(net.Send(0, 1, 1, Payload(10)).ok());
+  net.ResetStats();
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.bytes_sent_by(0), 0u);
+  EXPECT_EQ(net.PendingCount(1), 1u);  // message still deliverable
+}
+
+TEST(NetworkTest, CommStatsMerge) {
+  CommStats a, b;
+  a.Record(10);
+  b.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.messages, 3u);
+  EXPECT_EQ(a.payload_bytes, 60u);
+  a.Reset();
+  EXPECT_EQ(a.messages, 0u);
+}
+
+TEST(NetworkTest, CommStatsToString) {
+  CommStats s;
+  s.Record(2048);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("messages=1"), std::string::npos);
+  EXPECT_NE(str.find("KiB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,142 @@
+#include "core/online_cp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dtd.h"
+#include "stream/generator.h"
+#include "stream/snapshot.h"
+#include "test_util.h"
+
+namespace dismastd {
+namespace {
+
+/// One-mode streaming fixture: only the last mode grows.
+struct OneModeStream {
+  SparseTensor full;
+  SparseTensor first;
+  SparseTensor delta;
+  std::vector<uint64_t> old_dims;
+
+  explicit OneModeStream(uint64_t seed) {
+    full = test::MakeDenseLowRank({14, 12, 20}, 2, seed).tensor;
+    old_dims = {14, 12, 14};
+    first = RestrictToBox(full, old_dims);
+    delta = RelativeComplement(full, old_dims);
+  }
+};
+
+DecompositionOptions Opts(size_t iters = 20) {
+  DecompositionOptions o;
+  o.rank = 3;
+  o.max_iterations = iters;
+  return o;
+}
+
+TEST(OnlineCpTest, InitialDecompositionMatchesCpAls) {
+  const OneModeStream s(1);
+  OnlineCp online(s.first, Opts());
+  const AlsResult reference = CpAls(s.first, Opts());
+  for (size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(online.factors().factor(n) == reference.factors.factor(n));
+  }
+  EXPECT_EQ(online.temporal_size(), 14u);
+  EXPECT_EQ(online.appended_nnz(), 0u);
+}
+
+TEST(OnlineCpTest, AppendGrowsTemporalModeAndTracksData) {
+  const OneModeStream s(2);
+  OnlineCp online(s.first, Opts());
+  ASSERT_TRUE(online.Append(s.delta).ok());
+  EXPECT_EQ(online.temporal_size(), 20u);
+  EXPECT_EQ(online.appended_nnz(), s.delta.nnz());
+  // One OnlineCP pass (no inner iterations) still fits the grown tensor.
+  EXPECT_GT(online.factors().Fit(s.full), 0.85);
+}
+
+TEST(OnlineCpTest, MultipleAppendsStayAccurate) {
+  SparseTensor full = test::MakeDenseLowRank({12, 10, 24}, 2, 3).tensor;
+  std::vector<uint64_t> dims = {12, 10, 12};
+  OnlineCp online(RestrictToBox(full, dims), Opts());
+  while (dims[2] < 24) {
+    std::vector<uint64_t> next = dims;
+    next[2] += 4;
+    SparseTensor snapshot = RestrictToBox(full, next);
+    ASSERT_TRUE(online.Append(RelativeComplement(snapshot, dims)).ok());
+    dims = next;
+  }
+  EXPECT_EQ(online.temporal_size(), 24u);
+  EXPECT_GT(online.factors().Fit(full), 0.8);
+}
+
+TEST(OnlineCpTest, RejectsMultiAspectGrowth) {
+  // The defining limitation vs DisMASTD (Table I): growth in a
+  // non-temporal mode must be rejected.
+  const SparseTensor first = test::MakeDenseLowRank({10, 8, 10}, 2, 4).tensor;
+  OnlineCp online(first, Opts());
+  SparseTensor multi_aspect_delta({12, 8, 12});  // mode 0 grew too
+  multi_aspect_delta.Add({11, 0, 11}, 1.0);
+  const Status status = online.Append(multi_aspect_delta);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // DTD handles the same delta fine.
+  const AlsResult dtd = DynamicTensorDecomposition(
+      multi_aspect_delta, {10, 8, 10}, online.factors(), Opts(3));
+  EXPECT_EQ(dtd.factors.dims(), (std::vector<uint64_t>{12, 8, 12}));
+}
+
+TEST(OnlineCpTest, RejectsEntryInOldTemporalRange) {
+  const SparseTensor first = test::MakeDenseLowRank({6, 6, 8}, 2, 5).tensor;
+  OnlineCp online(first, Opts());
+  SparseTensor bad({6, 6, 10});
+  bad.Add({0, 0, 3}, 1.0);  // temporal index 3 < 8
+  EXPECT_EQ(online.Append(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineCpTest, RejectsShrinkingTemporalMode) {
+  const SparseTensor first = test::MakeDenseLowRank({6, 6, 8}, 2, 6).tensor;
+  OnlineCp online(first, Opts());
+  const SparseTensor bad({6, 6, 4});
+  EXPECT_EQ(online.Append(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineCpTest, RejectsOrderMismatch) {
+  const SparseTensor first = test::MakeDenseLowRank({6, 6, 8}, 2, 7).tensor;
+  OnlineCp online(first, Opts());
+  const SparseTensor bad({6, 6});
+  EXPECT_EQ(online.Append(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineCpTest, EmptyDeltaWithGrownTemporalModeIsAllowed) {
+  const OneModeStream s(8);
+  OnlineCp online(s.first, Opts());
+  SparseTensor empty(s.full.dims());  // grew, but no new non-zeros yet
+  ASSERT_TRUE(online.Append(empty).ok());
+  EXPECT_EQ(online.temporal_size(), 20u);
+  // New temporal rows exist and are finite.
+  const Matrix& temporal = online.factors().factor(2);
+  for (size_t r = 14; r < 20; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_TRUE(std::isfinite(temporal(r, c)));
+    }
+  }
+}
+
+TEST(OnlineCpTest, ComparableQualityToDtdOnOneModeStream) {
+  // On the streams OnlineCP *can* handle, both methods should reach a
+  // similar fit; DisMASTD's advantage is generality, not one-mode quality.
+  const OneModeStream s(9);
+  OnlineCp online(s.first, Opts());
+  ASSERT_TRUE(online.Append(s.delta).ok());
+
+  DecompositionOptions cold = Opts();
+  const KruskalTensor prev = CpAls(s.first, cold).factors;
+  const AlsResult dtd =
+      DynamicTensorDecomposition(s.delta, s.old_dims, prev, Opts(10));
+
+  EXPECT_GT(online.factors().Fit(s.full), 0.8);
+  EXPECT_GT(dtd.factors.Fit(s.full), 0.8);
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,124 @@
+#include "partition/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.h"
+#include "partition/gtp.h"
+#include "partition/mtp.h"
+
+namespace dismastd {
+namespace {
+
+uint64_t MaxLoad(const ModePartition& p) {
+  return *std::max_element(p.part_nnz.begin(), p.part_nnz.end());
+}
+
+TEST(OptimalPartitionTest, SolvesClassicPartitionInstance) {
+  // {3,1,1,2,2,1} splits perfectly into two sets of sum 5.
+  const std::vector<uint64_t> hist = {3, 1, 1, 2, 2, 1};
+  Result<ModePartition> opt = OptimalPartitionMode(hist, 2);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(MaxLoad(opt.value()), 5u);
+  EXPECT_TRUE(opt.value().Validate(hist).ok());
+}
+
+TEST(OptimalPartitionTest, ImpossibleBalanceFindsMinMax) {
+  // One dominant item: the optimum max load is that item.
+  const std::vector<uint64_t> hist = {100, 1, 2, 3};
+  Result<ModePartition> opt = OptimalPartitionMode(hist, 2);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(MaxLoad(opt.value()), 100u);
+}
+
+TEST(OptimalPartitionTest, ThreeWaySplit) {
+  const std::vector<uint64_t> hist = {4, 5, 6, 7, 8};  // total 30, p=3
+  Result<ModePartition> opt = OptimalPartitionMode(hist, 3);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(MaxLoad(opt.value()), 11u);  // {4,7},{5,6},{8}: perfect 10 is infeasible
+}
+
+TEST(OptimalPartitionTest, RefusesLargeInstances) {
+  const std::vector<uint64_t> hist(23, 1);
+  EXPECT_EQ(OptimalPartitionMode(hist, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptimalPartitionTest, NeverWorseThanHeuristics) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> hist(12);
+    for (auto& h : hist) h = 1 + rng.NextBounded(30);
+    for (uint32_t parts : {2u, 3u, 4u}) {
+      Result<ModePartition> opt = OptimalPartitionMode(hist, parts);
+      ASSERT_TRUE(opt.ok());
+      EXPECT_LE(MaxLoad(opt.value()),
+                MaxLoad(GreedyPartitionMode(hist, parts)));
+      EXPECT_LE(MaxLoad(opt.value()),
+                MaxLoad(MaxMinPartitionMode(hist, parts)));
+    }
+  }
+}
+
+TEST(OptimalPartitionTest, MtpWithinLptFactorOfOptimal) {
+  // LPT approximation bound: max load <= (4/3 - 1/(3p)) * OPT.
+  for (uint64_t seed = 20; seed < 28; ++seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> hist(14);
+    for (auto& h : hist) h = 1 + rng.NextBounded(50);
+    const uint32_t parts = 3;
+    Result<ModePartition> opt = OptimalPartitionMode(hist, parts);
+    ASSERT_TRUE(opt.ok());
+    const double bound = (4.0 / 3.0 - 1.0 / (3.0 * parts)) *
+                         static_cast<double>(MaxLoad(opt.value()));
+    EXPECT_LE(static_cast<double>(MaxLoad(MaxMinPartitionMode(hist, parts))),
+              bound + 1e-9);
+  }
+}
+
+TEST(OptimalContiguousTest, MatchesBruteForceOnSmallInput) {
+  const std::vector<uint64_t> hist = {7, 2, 2, 2, 7};
+  // Contiguous p=2: best split is {7,2,2}|{2,7} or {7,2}|{2,2,7} -> max 11.
+  const ModePartition p = OptimalContiguousPartitionMode(hist, 2);
+  EXPECT_EQ(MaxLoad(p), 11u);
+  EXPECT_TRUE(p.Validate(hist).ok());
+  // Contiguity.
+  for (size_t i = 1; i < p.slice_to_part.size(); ++i) {
+    EXPECT_GE(p.slice_to_part[i], p.slice_to_part[i - 1]);
+  }
+}
+
+TEST(OptimalContiguousTest, NeverWorseThanGtp) {
+  for (uint64_t seed = 40; seed < 50; ++seed) {
+    Rng rng(seed);
+    std::vector<uint64_t> hist(60);
+    for (auto& h : hist) h = rng.NextBounded(40);
+    for (uint32_t parts : {2u, 5u, 9u}) {
+      EXPECT_LE(MaxLoad(OptimalContiguousPartitionMode(hist, parts)),
+                MaxLoad(GreedyPartitionMode(hist, parts)))
+          << "seed=" << seed << " parts=" << parts;
+    }
+  }
+}
+
+TEST(OptimalContiguousTest, UnrestrictedOptimalNeverWorseThanContiguous) {
+  // Dropping the contiguity restriction can only help (Theorem 1's problem
+  // is over unrestricted partitions).
+  const std::vector<uint64_t> hist = {9, 1, 9, 1, 9, 1};
+  Result<ModePartition> opt = OptimalPartitionMode(hist, 3);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_LE(MaxLoad(opt.value()),
+            MaxLoad(OptimalContiguousPartitionMode(hist, 3)));
+  EXPECT_EQ(MaxLoad(opt.value()), 10u);  // pair each 9 with a 1
+}
+
+TEST(OptimalContiguousTest, SinglePart) {
+  const std::vector<uint64_t> hist = {1, 2, 3};
+  const ModePartition p = OptimalContiguousPartitionMode(hist, 1);
+  EXPECT_EQ(MaxLoad(p), 6u);
+}
+
+}  // namespace
+}  // namespace dismastd

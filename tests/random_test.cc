@@ -1,0 +1,149 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dismastd {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(9);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.NextBounded(5)];
+  for (int count : seen) EXPECT_GT(count, 100);  // ~200 expected each
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SplitIsIndependentAndDeterministic) {
+  Rng parent_a(5), parent_b(5);
+  Rng child_a = parent_a.Split();
+  Rng child_b = parent_b.Split();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child_a.NextU64(), child_b.NextU64());
+  }
+  // Child differs from parent stream.
+  Rng parent_c(5);
+  Rng child_c = parent_c.Split();
+  EXPECT_NE(child_c.NextU64(), parent_c.NextU64());
+}
+
+TEST(ZipfSamplerTest, UniformExponentIsUniform) {
+  ZipfSampler sampler(10, 0.0);
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 40);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  ZipfSampler sampler(100, 1.5);
+  Rng rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(sampler.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElementAlwaysZero) {
+  ZipfSampler sampler(1, 2.0);
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, HigherExponentConcentratesHead) {
+  const double exponent = GetParam();
+  ZipfSampler sampler(1000, exponent);
+  Rng rng(29);
+  const int n = 30000;
+  int head = 0;  // draws landing in the top-10 ranks
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(rng) < 10) ++head;
+  }
+  const double head_fraction = static_cast<double>(head) / n;
+  if (exponent == 0.0) {
+    EXPECT_NEAR(head_fraction, 0.01, 0.005);
+  } else if (exponent >= 1.0) {
+    // Skewed: top-10 of 1000 captures far more than its uniform share.
+    EXPECT_GT(head_fraction, 0.2);
+  } else {
+    EXPECT_GT(head_fraction, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSkewTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5));
+
+TEST(ZipfSamplerTest, FrequencyMonotoneInRank) {
+  ZipfSampler sampler(50, 1.2);
+  Rng rng(31);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler.Sample(rng)];
+  // Rank 0 must dominate rank 10, which dominates rank 40.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[40]);
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,117 @@
+#include "common/serialization.h"
+
+#include <gtest/gtest.h>
+
+namespace dismastd {
+namespace {
+
+TEST(SerializationTest, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(7);
+  writer.WriteU32(123456);
+  writer.WriteU64(1ULL << 40);
+  writer.WriteI64(-42);
+  writer.WriteDouble(3.14159);
+
+  ByteReader reader(writer.bytes());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 1ULL << 40);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializationTest, StringRoundTrip) {
+  ByteWriter writer;
+  writer.WriteString("hello world");
+  writer.WriteString("");
+  ByteReader reader(writer.bytes());
+  std::string a, b;
+  ASSERT_TRUE(reader.ReadString(&a).ok());
+  ASSERT_TRUE(reader.ReadString(&b).ok());
+  EXPECT_EQ(a, "hello world");
+  EXPECT_EQ(b, "");
+}
+
+TEST(SerializationTest, SpanRoundTrip) {
+  const std::vector<double> doubles = {1.0, -2.5, 1e300};
+  const std::vector<uint64_t> ints = {0, 7, UINT64_MAX};
+  ByteWriter writer;
+  writer.WriteDoubleSpan(doubles.data(), doubles.size());
+  writer.WriteU64Span(ints.data(), ints.size());
+  ByteReader reader(writer.bytes());
+  std::vector<double> d_out;
+  std::vector<uint64_t> i_out;
+  ASSERT_TRUE(reader.ReadDoubleVec(&d_out).ok());
+  ASSERT_TRUE(reader.ReadU64Vec(&i_out).ok());
+  EXPECT_EQ(d_out, doubles);
+  EXPECT_EQ(i_out, ints);
+}
+
+TEST(SerializationTest, EmptySpanRoundTrip) {
+  ByteWriter writer;
+  writer.WriteDoubleSpan(nullptr, 0);
+  ByteReader reader(writer.bytes());
+  std::vector<double> out = {99.0};
+  ASSERT_TRUE(reader.ReadDoubleVec(&out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SerializationTest, ReadPastEndFails) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  ByteReader reader(writer.bytes());
+  uint64_t v;
+  const Status s = reader.ReadU64(&v);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializationTest, TruncatedStringFails) {
+  ByteWriter writer;
+  writer.WriteU64(100);  // claims 100 bytes follow, none do
+  ByteReader reader(writer.bytes());
+  std::string out;
+  EXPECT_EQ(reader.ReadString(&out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializationTest, TruncatedSpanFails) {
+  ByteWriter writer;
+  writer.WriteU64(1000);  // claims 1000 doubles
+  writer.WriteDouble(1.0);
+  ByteReader reader(writer.bytes());
+  std::vector<double> out;
+  EXPECT_EQ(reader.ReadDoubleVec(&out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializationTest, RemainingTracksPosition) {
+  ByteWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 8u);
+  uint32_t v;
+  ASSERT_TRUE(reader.ReadU32(&v).ok());
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+TEST(SerializationTest, TakeBytesMovesBuffer) {
+  ByteWriter writer;
+  writer.WriteU32(5);
+  const std::vector<uint8_t> bytes = writer.TakeBytes();
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(writer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dismastd

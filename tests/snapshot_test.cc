@@ -1,0 +1,133 @@
+#include "stream/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dismastd {
+namespace {
+
+TEST(ThetaTupleTest, ClassifiesSubTensors) {
+  const std::vector<uint64_t> old_dims = {2, 3, 4};
+  const uint64_t inside[] = {1, 2, 3};
+  EXPECT_EQ(ThetaTuple(inside, old_dims), 0u);
+  const uint64_t new_mode0[] = {2, 0, 0};
+  EXPECT_EQ(ThetaTuple(new_mode0, old_dims), 1u);
+  const uint64_t new_mode1[] = {0, 3, 0};
+  EXPECT_EQ(ThetaTuple(new_mode1, old_dims), 2u);
+  const uint64_t new_mode2[] = {0, 0, 4};
+  EXPECT_EQ(ThetaTuple(new_mode2, old_dims), 4u);
+  const uint64_t corner[] = {5, 5, 5};
+  EXPECT_EQ(ThetaTuple(corner, old_dims), 7u);
+}
+
+TEST(RelativeComplementTest, KeepsOnlyNewEntries) {
+  SparseTensor t({4, 4});
+  t.Add({0, 0}, 1.0);  // old block
+  t.Add({3, 0}, 2.0);  // new in mode 0
+  t.Add({0, 3}, 3.0);  // new in mode 1
+  t.Add({3, 3}, 4.0);  // new corner
+  const SparseTensor delta = RelativeComplement(t, {2, 2});
+  EXPECT_EQ(delta.nnz(), 3u);
+  EXPECT_EQ(delta.dims(), t.dims());
+  for (size_t e = 0; e < delta.nnz(); ++e) {
+    EXPECT_NE(ThetaTuple(delta.IndexTuple(e), {2, 2}), 0u);
+  }
+}
+
+TEST(RelativeComplementTest, ZeroOldDimsKeepsEverything) {
+  SparseTensor t({2, 2});
+  t.Add({0, 0}, 1.0);
+  t.Add({1, 1}, 2.0);
+  EXPECT_EQ(RelativeComplement(t, {0, 0}).nnz(), 2u);
+}
+
+TEST(RelativeComplementTest, FullOldDimsKeepsNothing) {
+  SparseTensor t({2, 2});
+  t.Add({0, 0}, 1.0);
+  t.Add({1, 1}, 2.0);
+  EXPECT_EQ(RelativeComplement(t, {2, 2}).nnz(), 0u);
+}
+
+TEST(RestrictToBoxTest, FiltersAndShrinksDims) {
+  SparseTensor t({4, 4});
+  t.Add({0, 1}, 1.0);
+  t.Add({3, 3}, 2.0);
+  t.Add({1, 0}, 3.0);
+  const SparseTensor boxed = RestrictToBox(t, {2, 2});
+  EXPECT_EQ(boxed.nnz(), 2u);
+  EXPECT_EQ(boxed.dims(), (std::vector<uint64_t>{2, 2}));
+  EXPECT_TRUE(boxed.Validate().ok());
+}
+
+TEST(GrowthScheduleTest, PaperProtocol) {
+  const auto schedule = MakeGrowthSchedule({1000, 200, 40}, 0.75, 0.05, 6);
+  ASSERT_EQ(schedule.size(), 6u);
+  EXPECT_EQ(schedule[0], (std::vector<uint64_t>{750, 150, 30}));
+  EXPECT_EQ(schedule[5], (std::vector<uint64_t>{1000, 200, 40}));
+  for (size_t t = 1; t < 6; ++t) {
+    for (size_t m = 0; m < 3; ++m) {
+      EXPECT_GE(schedule[t][m], schedule[t - 1][m]);
+    }
+  }
+}
+
+TEST(GrowthScheduleTest, ClampsAtFullAndAtOne) {
+  const auto schedule = MakeGrowthSchedule({10, 1}, 0.5, 0.3, 4);
+  EXPECT_EQ(schedule[3], (std::vector<uint64_t>{10, 1}));
+  for (const auto& dims : schedule) {
+    EXPECT_GE(dims[1], 1u);
+  }
+}
+
+StreamingTensorSequence MakeSequence() {
+  SparseTensor full({8, 8});
+  Rng rng(55);
+  for (int e = 0; e < 40; ++e) {
+    full.Add({rng.NextBounded(8), rng.NextBounded(8)}, rng.NextDouble());
+  }
+  full.Coalesce();
+  return StreamingTensorSequence(
+      std::move(full), {{4, 4}, {6, 6}, {8, 8}});
+}
+
+TEST(StreamingSequenceTest, SnapshotsAreNested) {
+  const StreamingTensorSequence seq = MakeSequence();
+  EXPECT_EQ(seq.num_steps(), 3u);
+  uint64_t prev_nnz = 0;
+  for (size_t t = 0; t < 3; ++t) {
+    const SparseTensor snap = seq.SnapshotAt(t);
+    EXPECT_EQ(snap.dims(), seq.DimsAt(t));
+    EXPECT_GE(snap.nnz(), prev_nnz);
+    EXPECT_EQ(snap.nnz(), seq.SnapshotNnz(t));
+    prev_nnz = snap.nnz();
+  }
+}
+
+TEST(StreamingSequenceTest, DeltasPartitionTheSnapshots) {
+  const StreamingTensorSequence seq = MakeSequence();
+  // nnz(snapshot_t) == Σ_{s<=t} nnz(delta_s): deltas are disjoint and cover.
+  uint64_t cumulative = 0;
+  for (size_t t = 0; t < seq.num_steps(); ++t) {
+    cumulative += seq.DeltaAt(t).nnz();
+    EXPECT_EQ(cumulative, seq.SnapshotNnz(t)) << "step " << t;
+  }
+}
+
+TEST(StreamingSequenceTest, DeltaEntriesAreOutsidePreviousBox) {
+  const StreamingTensorSequence seq = MakeSequence();
+  for (size_t t = 1; t < seq.num_steps(); ++t) {
+    const SparseTensor delta = seq.DeltaAt(t);
+    for (size_t e = 0; e < delta.nnz(); ++e) {
+      EXPECT_NE(ThetaTuple(delta.IndexTuple(e), seq.DimsAt(t - 1)), 0u);
+    }
+  }
+}
+
+TEST(StreamingSequenceTest, FirstDeltaIsFirstSnapshot) {
+  const StreamingTensorSequence seq = MakeSequence();
+  EXPECT_TRUE(seq.DeltaAt(0) == seq.SnapshotAt(0));
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,91 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dismastd {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  const auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  const auto parts = SplitString(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(ParseU64Test, ParsesValidIntegers) {
+  uint64_t v = 0;
+  ASSERT_TRUE(ParseU64("0", &v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(ParseU64(" 123 ", &v).ok());
+  EXPECT_EQ(v, 123u);
+  ASSERT_TRUE(ParseU64("18446744073709551615", &v).ok());
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseU64Test, RejectsGarbage) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseU64("", &v).ok());
+  EXPECT_FALSE(ParseU64("-1", &v).ok());
+  EXPECT_FALSE(ParseU64("12x", &v).ok());
+  EXPECT_FALSE(ParseU64("1.5", &v).ok());
+}
+
+TEST(ParseU64Test, RejectsOverflow) {
+  uint64_t v = 0;
+  const Status s = ParseU64("18446744073709551616", &v);  // 2^64
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  double v = 0.0;
+  ASSERT_TRUE(ParseDouble("3.5", &v).ok());
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  ASSERT_TRUE(ParseDouble("-1e-3", &v).ok());
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v).ok());
+  EXPECT_FALSE(ParseDouble("abc", &v).ok());
+  EXPECT_FALSE(ParseDouble("1.5zzz", &v).ok());
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+}
+
+TEST(FormatBytesTest, PicksUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(1536 * 1024), "1.5 MiB");
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,33 @@
+#ifndef DISMASTD_TESTS_TEST_UTIL_H_
+#define DISMASTD_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "stream/generator.h"
+
+namespace dismastd {
+namespace test {
+
+/// A *fully observed* low-rank tensor: every coordinate of the box carries
+/// the model value (plus optional Gaussian noise). CP decomposition treats
+/// absent entries as zeros, so recovery-style assertions (fit -> 1) are only
+/// meaningful on fully observed data — a sparsely sampled dense model is
+/// *not* recoverable under the zeros-are-data semantics the paper (and any
+/// sparse MTTKRP) uses.
+struct DenseLowRank {
+  SparseTensor tensor;
+  std::vector<Matrix> ground_truth;
+};
+
+inline DenseLowRank MakeDenseLowRank(const std::vector<uint64_t>& dims,
+                                     size_t rank, uint64_t seed,
+                                     double noise_stddev = 0.0) {
+  GeneratedTensor g =
+      GenerateDenseLowRankTensor(dims, rank, noise_stddev, seed);
+  return DenseLowRank{std::move(g.tensor), std::move(g.ground_truth)};
+}
+
+}  // namespace test
+}  // namespace dismastd
+
+#endif  // DISMASTD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,67 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dismastd {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsAllTasks) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadRequestedIsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);
+}
+
+TEST(ThreadPoolTest, MultiThreadRunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(1000, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, EachIndexSeenExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(256);
+  pool.ParallelFor(256, [&](size_t i) { seen[i].fetch_add(1); });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReusePool) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, SingleTaskRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,189 @@
+#include "tensor/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tensor/dense_tensor.h"
+
+namespace dismastd {
+namespace {
+
+SparseTensor MakeTensor() {
+  SparseTensor t({4, 3, 2});
+  t.Add({0, 1, 0}, 1.0);
+  t.Add({3, 2, 1}, 2.0);
+  t.Add({1, 0, 1}, -3.0);
+  return t;
+}
+
+TEST(PermuteModesTest, ReversesModes) {
+  const SparseTensor t = MakeTensor();
+  Result<SparseTensor> p = PermuteModes(t, {2, 1, 0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dims(), (std::vector<uint64_t>{2, 3, 4}));
+  EXPECT_EQ(p.value().nnz(), t.nnz());
+  // Entry (3,2,1) becomes (1,2,3).
+  const DenseTensor dense = DenseTensor::FromSparse(p.value());
+  EXPECT_EQ(dense.At({1, 2, 3}), 2.0);
+  EXPECT_EQ(dense.At({0, 1, 0}), 1.0);  // (0,1,0) is a palindrome here
+}
+
+TEST(PermuteModesTest, IdentityIsNoop) {
+  const SparseTensor t = MakeTensor();
+  Result<SparseTensor> p = PermuteModes(t, {0, 1, 2});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value() == t);
+}
+
+TEST(PermuteModesTest, DoublePermuteRoundTrips) {
+  const SparseTensor t = MakeTensor();
+  const SparseTensor once = PermuteModes(t, {1, 2, 0}).value();
+  // Inverse of {1,2,0} is {2,0,1}.
+  const SparseTensor back = PermuteModes(once, {2, 0, 1}).value();
+  EXPECT_TRUE(back == t);
+}
+
+TEST(PermuteModesTest, RejectsBadPermutations) {
+  const SparseTensor t = MakeTensor();
+  EXPECT_FALSE(PermuteModes(t, {0, 1}).ok());
+  EXPECT_FALSE(PermuteModes(t, {0, 1, 1}).ok());
+  EXPECT_FALSE(PermuteModes(t, {0, 1, 5}).ok());
+}
+
+TEST(AddTensorsTest, SumsAndCoalesces) {
+  SparseTensor a({2, 2}), b({2, 2});
+  a.Add({0, 0}, 1.0);
+  a.Add({1, 1}, 2.0);
+  b.Add({0, 0}, 0.5);
+  b.Add({1, 0}, 3.0);
+  Result<SparseTensor> sum = AddTensors(a, b);
+  ASSERT_TRUE(sum.ok());
+  const DenseTensor dense = DenseTensor::FromSparse(sum.value());
+  EXPECT_EQ(dense.At({0, 0}), 1.5);
+  EXPECT_EQ(dense.At({1, 1}), 2.0);
+  EXPECT_EQ(dense.At({1, 0}), 3.0);
+}
+
+TEST(AddTensorsTest, ExactCancellationDropsEntry) {
+  SparseTensor a({2}), b({2});
+  a.Add({0}, 5.0);
+  b.Add({0}, -5.0);
+  Result<SparseTensor> sum = AddTensors(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum.value().nnz(), 0u);
+}
+
+TEST(AddTensorsTest, RejectsDimMismatch) {
+  EXPECT_FALSE(AddTensors(SparseTensor({2, 2}), SparseTensor({3, 2})).ok());
+}
+
+TEST(ScaleTensorTest, ScalesValues) {
+  const SparseTensor t = MakeTensor();
+  const SparseTensor scaled = ScaleTensor(t, -2.0);
+  EXPECT_EQ(scaled.nnz(), t.nnz());
+  for (size_t e = 0; e < t.nnz(); ++e) {
+    EXPECT_EQ(scaled.Value(e), -2.0 * t.Value(e));
+  }
+  EXPECT_EQ(ScaleTensor(t, 0.0).nnz(), 0u);
+}
+
+TEST(SliceTensorTest, ExtractsSlices) {
+  const SparseTensor t = MakeTensor();
+  Result<SparseTensor> slice = SliceTensor(t, 2, 1);  // last-mode index 1
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice.value().dims(), (std::vector<uint64_t>{4, 3}));
+  EXPECT_EQ(slice.value().nnz(), 2u);  // (3,2,1) and (1,0,1)
+  const DenseTensor dense = DenseTensor::FromSparse(slice.value());
+  EXPECT_EQ(dense.At({3, 2}), 2.0);
+  EXPECT_EQ(dense.At({1, 0}), -3.0);
+}
+
+TEST(SliceTensorTest, EmptySliceIsEmpty) {
+  const SparseTensor t = MakeTensor();
+  Result<SparseTensor> slice = SliceTensor(t, 0, 2);  // no entries at i=2
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice.value().nnz(), 0u);
+}
+
+TEST(SliceTensorTest, RejectsBadArguments) {
+  const SparseTensor t = MakeTensor();
+  EXPECT_FALSE(SliceTensor(t, 7, 0).ok());
+  EXPECT_FALSE(SliceTensor(t, 0, 99).ok());
+  SparseTensor vec({5});
+  EXPECT_FALSE(SliceTensor(vec, 0, 1).ok());
+}
+
+TEST(TensorIndexTest, LookupsMatchStoredEntries) {
+  const SparseTensor t = MakeTensor();
+  const TensorIndex index(t);
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.ValueAt({0, 1, 0}), 1.0);
+  EXPECT_EQ(index.ValueAt({3, 2, 1}), 2.0);
+  EXPECT_EQ(index.ValueAt({1, 0, 1}), -3.0);
+  EXPECT_EQ(index.ValueAt({0, 0, 0}), 0.0);
+  EXPECT_TRUE(index.Contains({0, 1, 0}));
+  EXPECT_FALSE(index.Contains({0, 0, 0}));
+}
+
+TEST(TensorIndexTest, DuplicatesSumLikeCoalesce) {
+  SparseTensor t({3, 3});
+  t.Add({1, 1}, 2.0);
+  t.Add({1, 1}, 3.0);
+  const TensorIndex index(t);
+  EXPECT_EQ(index.ValueAt({1, 1}), 5.0);
+}
+
+TEST(NormalizeKruskalTest, ColumnsUnitNormWeightsSorted) {
+  Rng rng(3);
+  std::vector<Matrix> factors = {Matrix::Random(5, 3, rng),
+                                 Matrix::Random(4, 3, rng),
+                                 Matrix::Random(3, 3, rng)};
+  const KruskalTensor k(factors);
+  const NormalizedKruskal normalized = NormalizeKruskal(k);
+  ASSERT_EQ(normalized.weights.size(), 3u);
+  // Unit columns in every mode.
+  for (size_t m = 0; m < 3; ++m) {
+    for (size_t f = 0; f < 3; ++f) {
+      double norm_sq = 0.0;
+      const Matrix& fm = normalized.factors.factor(m);
+      for (size_t r = 0; r < fm.rows(); ++r) norm_sq += fm(r, f) * fm(r, f);
+      EXPECT_NEAR(norm_sq, 1.0, 1e-10);
+    }
+  }
+  // Descending weights.
+  for (size_t f = 1; f < 3; ++f) {
+    EXPECT_GE(normalized.weights[f - 1], normalized.weights[f]);
+  }
+}
+
+TEST(NormalizeKruskalTest, ReconstructionPreserved) {
+  Rng rng(4);
+  std::vector<Matrix> factors = {Matrix::Random(4, 2, rng),
+                                 Matrix::Random(3, 2, rng)};
+  const KruskalTensor k(factors);
+  const NormalizedKruskal normalized = NormalizeKruskal(k);
+  // Weighted model reproduces the original values.
+  for (uint64_t i = 0; i < 4; ++i) {
+    for (uint64_t j = 0; j < 3; ++j) {
+      const uint64_t idx[] = {i, j};
+      EXPECT_NEAR(normalized.ValueAt(idx), k.ValueAt(idx), 1e-10);
+    }
+  }
+  // Denormalizing folds weights back exactly.
+  const KruskalTensor back = DenormalizeKruskal(normalized);
+  EXPECT_TRUE(back.Reconstruct().AllClose(k.Reconstruct(), 1e-10));
+}
+
+TEST(NormalizeKruskalTest, ZeroColumnGetsZeroWeight) {
+  Matrix a(3, 2);
+  a(0, 0) = 1.0;  // column 1 is all-zero
+  Matrix b(2, 2);
+  b(1, 0) = 2.0;
+  const KruskalTensor k({a, b});
+  const NormalizedKruskal normalized = NormalizeKruskal(k);
+  EXPECT_GT(normalized.weights[0], 0.0);
+  EXPECT_EQ(normalized.weights[1], 0.0);
+}
+
+}  // namespace
+}  // namespace dismastd

@@ -1,0 +1,348 @@
+#include "tools/cli.h"
+
+#include <ostream>
+
+#include "common/string_util.h"
+#include "core/driver.h"
+#include "stream/generator.h"
+#include "tensor/checkpoint.h"
+#include "tensor/io.h"
+
+namespace dismastd {
+namespace cli {
+
+std::string Args::Get(const std::string& key,
+                      const std::string& fallback) const {
+  std::string value = fallback;
+  for (const auto& [k, v] : flags) {
+    if (k == key) value = v;
+  }
+  return value;
+}
+
+bool Args::Has(const std::string& key) const {
+  for (const auto& [k, v] : flags) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Result<Args> ParseArgs(int argc, const char* const* argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + token);
+    }
+    token = token.substr(2);
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      args.flags.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    } else {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + token + " needs a value");
+      }
+      args.flags.emplace_back(token, argv[++i]);
+    }
+  }
+  return args;
+}
+
+Result<std::vector<uint64_t>> ParseDims(const std::string& text) {
+  const char delim = text.find('x') != std::string::npos ? 'x' : ',';
+  std::vector<uint64_t> dims;
+  for (const std::string& part : SplitString(text, delim)) {
+    uint64_t value = 0;
+    DISMASTD_RETURN_IF_ERROR(ParseU64(part, &value));
+    if (value == 0) return Status::InvalidArgument("zero dim");
+    dims.push_back(value);
+  }
+  if (dims.empty()) return Status::InvalidArgument("empty dims");
+  return dims;
+}
+
+Result<std::vector<double>> ParseDoubleList(const std::string& text) {
+  std::vector<double> values;
+  for (const std::string& part : SplitString(text, ',')) {
+    double value = 0.0;
+    DISMASTD_RETURN_IF_ERROR(ParseDouble(part, &value));
+    values.push_back(value);
+  }
+  return values;
+}
+
+namespace {
+
+Result<uint64_t> GetU64(const Args& args, const std::string& key,
+                        uint64_t fallback) {
+  if (!args.Has(key)) return fallback;
+  uint64_t value = 0;
+  DISMASTD_RETURN_IF_ERROR(ParseU64(args.Get(key), &value));
+  return value;
+}
+
+Result<double> GetDouble(const Args& args, const std::string& key,
+                         double fallback) {
+  if (!args.Has(key)) return fallback;
+  double value = 0.0;
+  DISMASTD_RETURN_IF_ERROR(ParseDouble(args.Get(key), &value));
+  return value;
+}
+
+Result<DecompositionOptions> GetAlsOptions(const Args& args) {
+  DecompositionOptions options;
+  Result<uint64_t> rank = GetU64(args, "rank", options.rank);
+  if (!rank.ok()) return rank.status();
+  options.rank = static_cast<size_t>(rank.value());
+  if (options.rank == 0) return Status::InvalidArgument("rank must be >= 1");
+  Result<uint64_t> iters = GetU64(args, "iterations", options.max_iterations);
+  if (!iters.ok()) return iters.status();
+  options.max_iterations = static_cast<size_t>(iters.value());
+  Result<double> mu = GetDouble(args, "mu", options.mu);
+  if (!mu.ok()) return mu.status();
+  options.mu = mu.value();
+  Result<uint64_t> seed = GetU64(args, "seed", options.seed);
+  if (!seed.ok()) return seed.status();
+  options.seed = seed.value();
+  Result<double> tol = GetDouble(args, "tolerance", options.tolerance);
+  if (!tol.ok()) return tol.status();
+  options.tolerance = tol.value();
+  return options;
+}
+
+Status CmdGenerate(const Args& args, std::ostream& out) {
+  const std::string output = args.Get("output");
+  if (output.empty()) return Status::InvalidArgument("generate needs --output");
+  Result<std::vector<uint64_t>> dims = ParseDims(args.Get("dims", "100x100x100"));
+  if (!dims.ok()) return dims.status();
+
+  GeneratorOptions gen;
+  gen.dims = dims.value();
+  Result<uint64_t> nnz = GetU64(args, "nnz", 10000);
+  if (!nnz.ok()) return nnz.status();
+  gen.nnz = nnz.value();
+  if (args.Has("zipf")) {
+    Result<std::vector<double>> zipf = ParseDoubleList(args.Get("zipf"));
+    if (!zipf.ok()) return zipf.status();
+    if (zipf.value().size() != gen.dims.size()) {
+      return Status::InvalidArgument("--zipf needs one exponent per mode");
+    }
+    gen.zipf_exponents = zipf.value();
+  }
+  Result<uint64_t> rank = GetU64(args, "rank", 0);
+  if (!rank.ok()) return rank.status();
+  gen.latent_rank = static_cast<size_t>(rank.value());
+  Result<double> noise = GetDouble(args, "noise", 0.0);
+  if (!noise.ok()) return noise.status();
+  gen.noise_stddev = noise.value();
+  Result<uint64_t> seed = GetU64(args, "seed", 42);
+  if (!seed.ok()) return seed.status();
+  gen.seed = seed.value();
+
+  const GeneratedTensor g = GenerateSparseTensor(gen);
+  DISMASTD_RETURN_IF_ERROR(WriteTensorTextFile(g.tensor, output));
+  out << "wrote " << g.tensor.nnz() << " non-zeros to " << output << "\n";
+  return Status::OK();
+}
+
+Status CmdInfo(const Args& args, std::ostream& out) {
+  Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
+  if (!tensor.ok()) return tensor.status();
+  const SparseTensor& t = tensor.value();
+  out << "order   : " << t.order() << "\n";
+  out << "dims    :";
+  for (uint64_t d : t.dims()) out << " " << d;
+  out << "\nnnz     : " << FormatWithCommas(t.nnz()) << "\n";
+  out << "norm^2  : " << t.NormSquared() << "\n";
+  double total_cells = 1.0;
+  for (uint64_t d : t.dims()) total_cells *= static_cast<double>(d);
+  out << "density : " << static_cast<double>(t.nnz()) / total_cells << "\n";
+  for (size_t mode = 0; mode < t.order(); ++mode) {
+    const auto counts = t.SliceNnzCounts(mode);
+    uint64_t max_count = 0, used = 0;
+    for (uint64_t c : counts) {
+      max_count = std::max(max_count, c);
+      used += c > 0 ? 1 : 0;
+    }
+    out << "mode " << mode << "  : " << used << "/" << counts.size()
+        << " slices non-empty, heaviest slice " << max_count << " nnz\n";
+  }
+  return Status::OK();
+}
+
+Status CmdDecompose(const Args& args, std::ostream& out) {
+  Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
+  if (!tensor.ok()) return tensor.status();
+  Result<DecompositionOptions> options = GetAlsOptions(args);
+  if (!options.ok()) return options.status();
+
+  const AlsResult result = CpAls(tensor.value(), options.value());
+  out << "iterations : " << result.iterations << "\n";
+  out << "loss       :";
+  for (double loss : result.loss_history) out << " " << loss;
+  out << "\nfit        : " << result.factors.Fit(tensor.value()) << "\n";
+  const std::string factors_path = args.Get("factors");
+  if (!factors_path.empty()) {
+    DISMASTD_RETURN_IF_ERROR(
+        WriteKruskalFile(result.factors, factors_path));
+    out << "factors    : written to " << factors_path << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdStream(const Args& args, std::ostream& out) {
+  Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
+  if (!tensor.ok()) return tensor.status();
+  Result<DecompositionOptions> als = GetAlsOptions(args);
+  if (!als.ok()) return als.status();
+
+  DistributedOptions options;
+  options.als = als.value();
+  Result<uint64_t> workers = GetU64(args, "workers", 8);
+  if (!workers.ok()) return workers.status();
+  options.num_workers = static_cast<uint32_t>(workers.value());
+  Result<uint64_t> parts = GetU64(args, "parts", 0);
+  if (!parts.ok()) return parts.status();
+  options.parts_per_mode = static_cast<uint32_t>(parts.value());
+  const std::string partitioner = args.Get("partitioner", "mtp");
+  if (partitioner == "mtp") {
+    options.partitioner = PartitionerKind::kMaxMin;
+  } else if (partitioner == "gtp") {
+    options.partitioner = PartitionerKind::kGreedy;
+  } else {
+    return Status::InvalidArgument("--partitioner must be mtp or gtp");
+  }
+  const std::string method_name = args.Get("method", "dismastd");
+  MethodKind method;
+  if (method_name == "dismastd") {
+    method = MethodKind::kDisMastd;
+  } else if (method_name == "dmsmg") {
+    method = MethodKind::kDmsMg;
+  } else {
+    return Status::InvalidArgument("--method must be dismastd or dmsmg");
+  }
+
+  Result<double> start = GetDouble(args, "start", 0.75);
+  if (!start.ok()) return start.status();
+  Result<double> step = GetDouble(args, "step", 0.05);
+  if (!step.ok()) return step.status();
+  Result<uint64_t> steps = GetU64(args, "steps", 6);
+  if (!steps.ok()) return steps.status();
+  if (start.value() <= 0.0 || start.value() > 1.0 || steps.value() == 0) {
+    return Status::InvalidArgument("bad --start/--steps");
+  }
+
+  auto schedule = MakeGrowthSchedule(tensor.value().dims(), start.value(),
+                                     step.value(),
+                                     static_cast<size_t>(steps.value()));
+  const StreamingTensorSequence stream(std::move(tensor).value(),
+                                       std::move(schedule));
+  const auto metrics =
+      RunStreamingExperiment(stream, method, options, /*compute_fit=*/true);
+
+  out << MethodLabel(method, options.partitioner) << " on "
+      << options.num_workers << " workers\n";
+  out << "step  snapshot_nnz  processed_nnz  s/iter(sim)  fit\n";
+  char line[128];
+  for (const StreamStepMetrics& m : metrics) {
+    std::snprintf(line, sizeof(line), "%-5zu %-13llu %-14llu %-12.4f %.4f",
+                  m.step, (unsigned long long)m.snapshot_nnz,
+                  (unsigned long long)m.processed_nnz,
+                  m.sim_seconds_per_iteration, m.fit);
+    out << line << "\n";
+  }
+
+  const std::string checkpoint_path = args.Get("checkpoint");
+  if (!checkpoint_path.empty() && method == MethodKind::kDisMastd) {
+    // Re-derive the final factors for the checkpoint.
+    KruskalTensor prev;
+    std::vector<uint64_t> prev_dims(stream.full().order(), 0);
+    for (size_t t = 0; t < stream.num_steps(); ++t) {
+      DistributedOptions step_options = options;
+      step_options.als.seed = options.als.seed + t * 7919;
+      prev = DisMastdDecompose(stream.DeltaAt(t), prev_dims, prev,
+                               step_options)
+                 .als.factors;
+      prev_dims = stream.DimsAt(t);
+    }
+    StreamCheckpoint checkpoint;
+    checkpoint.factors = std::move(prev);
+    checkpoint.dims = prev_dims;
+    checkpoint.step = stream.num_steps() - 1;
+    DISMASTD_RETURN_IF_ERROR(
+        WriteStreamCheckpointFile(checkpoint, checkpoint_path));
+    out << "checkpoint written to " << checkpoint_path << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdPartitionStats(const Args& args, std::ostream& out) {
+  Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
+  if (!tensor.ok()) return tensor.status();
+  std::vector<uint64_t> part_counts = {8, 15, 23};
+  if (args.Has("parts")) {
+    Result<std::vector<uint64_t>> parsed = ParseDims(args.Get("parts"));
+    if (!parsed.ok()) return parsed.status();
+    part_counts = parsed.value();
+  }
+  out << "parts  method  mean_cv_over_modes\n";
+  for (uint64_t parts : part_counts) {
+    if (parts == 0) return Status::InvalidArgument("zero partition count");
+    for (PartitionerKind kind :
+         {PartitionerKind::kGreedy, PartitionerKind::kMaxMin}) {
+      const TensorPartitioning tp = PartitionTensor(
+          kind, tensor.value(), static_cast<uint32_t>(parts));
+      char line[64];
+      std::snprintf(line, sizeof(line), "%-6llu %-7s %.6f",
+                    (unsigned long long)parts, PartitionerKindName(kind),
+                    MeanCvOverModes(tp));
+      out << line << "\n";
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return
+      "dismastd_cli — distributed multi-aspect streaming tensor "
+      "decomposition\n"
+      "\n"
+      "commands:\n"
+      "  generate        --output F --dims IxJxK --nnz N [--zipf a,b,c]\n"
+      "                  [--rank R --noise S] [--seed N]\n"
+      "  info            --input F\n"
+      "  decompose       --input F [--rank R --iterations N --seed N]\n"
+      "                  [--factors OUT.krs]\n"
+      "  stream          --input F [--method dismastd|dmsmg]\n"
+      "                  [--partitioner mtp|gtp] [--workers M] [--parts P]\n"
+      "                  [--start 0.75 --step 0.05 --steps 6]\n"
+      "                  [--rank R --mu MU --iterations N]\n"
+      "                  [--checkpoint OUT]\n"
+      "  partition-stats --input F [--parts 8x15x23] [--partitioner "
+      "mtp|gtp]\n"
+      "  help\n";
+}
+
+Status RunCli(int argc, const char* const* argv, std::ostream& out) {
+  Result<Args> parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    out << UsageText();
+    return parsed.status();
+  }
+  const Args& args = parsed.value();
+  if (args.command == "generate") return CmdGenerate(args, out);
+  if (args.command == "info") return CmdInfo(args, out);
+  if (args.command == "decompose") return CmdDecompose(args, out);
+  if (args.command == "stream") return CmdStream(args, out);
+  if (args.command == "partition-stats") return CmdPartitionStats(args, out);
+  out << UsageText();
+  if (args.command == "help") return Status::OK();
+  return Status::InvalidArgument("unknown command: " + args.command);
+}
+
+}  // namespace cli
+}  // namespace dismastd

@@ -1,0 +1,54 @@
+#ifndef DISMASTD_TOOLS_CLI_H_
+#define DISMASTD_TOOLS_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dismastd {
+namespace cli {
+
+/// Parsed command-line flags: positional command plus --key value pairs
+/// (also accepts --key=value).
+struct Args {
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  /// Last occurrence wins; returns `fallback` when absent.
+  std::string Get(const std::string& key, const std::string& fallback = "") const;
+  bool Has(const std::string& key) const;
+};
+
+/// Parses argv into an Args structure. argv[1] is the command.
+Result<Args> ParseArgs(int argc, const char* const* argv);
+
+/// Parses "AxBxC" or "A,B,C" into a dims vector.
+Result<std::vector<uint64_t>> ParseDims(const std::string& text);
+
+/// Parses "a,b,c" into doubles.
+Result<std::vector<double>> ParseDoubleList(const std::string& text);
+
+/// Entry point shared by the binary and the tests. Commands:
+///   generate        --output F --dims IxJxK --nnz N [--zipf a,b,c]
+///                   [--rank R --noise S] [--seed N]
+///   info            --input F
+///   decompose       --input F [--rank R --iterations N --seed N]
+///                   [--factors OUT.krs]
+///   stream          --input F [--method dismastd|dmsmg]
+///                   [--partitioner mtp|gtp] [--workers M] [--parts P]
+///                   [--start 0.75 --step 0.05 --steps 6]
+///                   [--rank R --mu MU --iterations N] [--checkpoint OUT]
+///   partition-stats --input F [--parts 8,15,23] [--partitioner mtp|gtp]
+/// Writes human-readable output to `out`; returns non-OK on usage or IO
+/// errors.
+Status RunCli(int argc, const char* const* argv, std::ostream& out);
+
+/// The usage text printed for `help` / unknown commands.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace dismastd
+
+#endif  // DISMASTD_TOOLS_CLI_H_

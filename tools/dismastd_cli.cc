@@ -1,0 +1,15 @@
+// Command-line front-end; see tools/cli.h for the command reference and
+// `dismastd_cli help` for usage.
+
+#include <iostream>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  const dismastd::Status status = dismastd::cli::RunCli(argc, argv, std::cout);
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return 1;
+  }
+  return 0;
+}
