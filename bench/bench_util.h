@@ -14,6 +14,17 @@
 namespace dismastd {
 namespace bench {
 
+/// Execution-engine threads for the bench harnesses, via the environment
+/// variable DISMASTD_BENCH_THREADS (0 = hardware concurrency, 1 =
+/// sequential). Thread count changes wall-clock only; every reported
+/// simulated metric is bit-identical across settings.
+inline size_t BenchThreads() {
+  const char* env = std::getenv("DISMASTD_BENCH_THREADS");
+  if (env == nullptr) return 0;
+  const long threads = std::atol(env);
+  return threads > 0 ? static_cast<size_t>(threads) : 0;
+}
+
 /// Paper experimental setup (§V-A): R = 10, μ = 0.8, 10 iterations, a
 /// 15-node cluster, partitions = nodes unless swept.
 inline DistributedOptions PaperOptions() {
@@ -23,6 +34,7 @@ inline DistributedOptions PaperOptions() {
   options.als.max_iterations = 10;
   options.num_workers = 15;
   options.partitioner = PartitionerKind::kMaxMin;
+  options.execution.num_threads = BenchThreads();
   return options;
 }
 

@@ -1,11 +1,20 @@
 // google-benchmark microbenchmarks for the hot kernels underneath
 // DisMASTD: sparse MTTKRP (the bottleneck operator, §IV-B1), Khatri-Rao and
-// Gram products, the R x R Cholesky normal-equation solve, and the GTP/MTP
-// partitioners.
+// Gram products, the R x R Cholesky normal-equation solve, the GTP/MTP
+// partitioners, and a whole simulated distributed step.
+//
+// Run with --threads N to set the execution engine's thread count for
+// BM_DisMastdStep (0 = all cores); compare --threads 1 vs --threads 8 to
+// measure the shared-memory speedup of the cluster simulation.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 #include "common/random.h"
+#include "core/dismastd.h"
 #include "la/ops.h"
 #include "la/solve.h"
 #include "partition/gtp.h"
@@ -15,6 +24,9 @@
 
 namespace dismastd {
 namespace {
+
+// Set by main() from --threads before benchmarks run.
+size_t g_engine_threads = 0;
 
 SparseTensor MakeTensor(uint64_t nnz) {
   GeneratorOptions options;
@@ -112,5 +124,60 @@ BENCHMARK(BM_Partitioner)
     ->Args({100000, 0})
     ->Args({100000, 1});
 
+void BM_DisMastdStep(benchmark::State& state) {
+  // One full simulated distributed decomposition step (partitioning plus
+  // ALS sweeps) on an 8-worker cluster — the unit the execution engine
+  // parallelizes. The real work per benchmark iteration is the per-worker
+  // MTTKRP/update/reduce compute, so wall time here scales with --threads.
+  const uint32_t workers = static_cast<uint32_t>(state.range(0));
+  GeneratorOptions g;
+  g.dims = {300, 200, 100};
+  g.nnz = 60000;
+  g.seed = 42;
+  const SparseTensor snapshot = GenerateSparseTensor(g).tensor;
+
+  DistributedOptions options;
+  options.als.rank = 10;
+  options.als.max_iterations = 2;
+  options.num_workers = workers;
+  options.partitioner = PartitionerKind::kMaxMin;
+  options.execution.num_threads = g_engine_threads;
+
+  const std::vector<uint64_t> old_dims(snapshot.order(), 0);
+  const KruskalTensor no_prev;
+  for (auto _ : state) {
+    DistributedResult result =
+        DisMastdDecompose(snapshot, old_dims, no_prev, options);
+    benchmark::DoNotOptimize(result.metrics.total_flops);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(snapshot.nnz()) *
+                          state.iterations());
+  state.SetLabel("threads=" + std::to_string(g_engine_threads));
+}
+BENCHMARK(BM_DisMastdStep)->Arg(8)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace dismastd
+
+// Custom main: benchmark_main rejects flags it does not know, so strip our
+// --threads flag before handing argv to the benchmark library.
+int main(int argc, char** argv) {
+  int out = 1;  // keep argv[0]
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      dismastd::g_engine_threads =
+          static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      dismastd::g_engine_threads =
+          static_cast<size_t>(std::atol(argv[i] + 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -143,6 +143,18 @@ void Result<T>::CheckOk() const {
       ::dismastd::internal::DieCheckFailed(#expr, __FILE__, __LINE__);   \
   } while (0)
 
+/// Fail-fast on a non-OK Status from an expression that cannot propagate
+/// it (e.g. option validation at an entry point returning a value type).
+/// Dies printing the status message, so misconfiguration is loud instead
+/// of silently clamped.
+#define DISMASTD_CHECK_OK(expr)                                          \
+  do {                                                                   \
+    ::dismastd::Status _st = (expr);                                     \
+    if (!_st.ok())                                                       \
+      ::dismastd::internal::DieCheckFailed(_st.ToString().c_str(),       \
+                                           __FILE__, __LINE__);          \
+  } while (0)
+
 }  // namespace dismastd
 
 #endif  // DISMASTD_COMMON_STATUS_H_

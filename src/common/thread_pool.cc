@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <memory>
+#include <utility>
+
 namespace dismastd {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -26,37 +29,48 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock,
                            [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      if (tasks_.empty()) return;  // shutdown with the queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // The wrapper pushed by ParallelFor never throws: it captures task
+    // exceptions into the batch, so an escaping exception cannot
+    // terminate the worker thread or strand the batch.
     task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ == 0) batch_done_.notify_all();
-    }
   }
 }
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
-  if (threads_.empty() || count <= 1) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = count;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    pending_ += count;
     for (size_t i = 0; i < count; ++i) {
-      tasks_.push([&fn, i] { fn(i); });
+      // `fn` is captured by reference: the submitter blocks until
+      // `remaining` hits zero, which happens only after every task body has
+      // returned, so the reference outlives all uses.
+      tasks_.push([batch, &fn, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> batch_lock(batch->mutex);
+          if (!batch->error) batch->error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> batch_lock(batch->mutex);
+        if (--batch->remaining == 0) batch->done.notify_all();
+      });
     }
   }
   task_available_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  batch_done_.wait(lock, [this] { return pending_ == 0; });
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 }  // namespace dismastd

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -25,19 +26,31 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, count) and blocks until all complete.
   /// Tasks may run on any pool thread, or inline when the pool is empty.
+  /// `count == 0` returns immediately. If one or more tasks throw, the
+  /// remaining tasks of the batch still run to completion and the first
+  /// exception is rethrown on the calling thread; the pool stays usable.
+  /// Safe to call concurrently from multiple threads (each call is an
+  /// independent batch).
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  /// Completion state of one ParallelFor call. Tasks hold a shared_ptr so
+  /// the batch outlives the submitter even on early rethrow paths.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining = 0;
+    std::exception_ptr error;  // first failure, rethrown by the submitter
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;
-  std::condition_variable batch_done_;
-  size_t pending_ = 0;
   bool shutdown_ = false;
 };
 

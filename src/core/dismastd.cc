@@ -5,6 +5,7 @@
 #include "common/timer.h"
 #include "core/dtd.h"
 #include "dist/cluster.h"
+#include "dist/execution.h"
 #include "la/ops.h"
 #include "la/solve.h"
 #include "partition/factor_assign.h"
@@ -17,6 +18,15 @@ double DistributedRunMetrics::MeanIterationSeconds() const {
   double sum = 0.0;
   for (double s : sim_seconds_per_iteration) sum += s;
   return sum / static_cast<double>(sim_seconds_per_iteration.size());
+}
+
+Status DistributedOptions::Validate() const {
+  DISMASTD_RETURN_IF_ERROR(als.Validate());
+  if (num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  DISMASTD_RETURN_IF_ERROR(cost_model.Validate());
+  return Status::OK();
 }
 
 namespace {
@@ -38,17 +48,23 @@ std::vector<std::vector<uint64_t>> RowsOfParts(const ModePartition& partition) {
 
 }  // namespace
 
+// Parallel execution layout: every per-worker compute step below runs
+// through WorkerExecutor::Run with worker w handling its partitions
+// (q ≡ w mod M) in ascending q order — exactly the per-worker sub-sequence
+// of the old sequential q-loop. Each worker writes only state it owns
+// (its factor/MTTKRP rows, its partial matrices, its accounting shard), so
+// the parallel schedule is race-free and bit-identical to the sequential
+// one; reductions and the simulated clock stay on the calling thread.
 DistributedResult DisMastdDecompose(const SparseTensor& delta,
                                     const std::vector<uint64_t>& old_dims,
                                     const KruskalTensor& prev,
                                     const DistributedOptions& options) {
   WallTimer wall;
+  DISMASTD_CHECK_OK(options.Validate());
   const size_t order = delta.order();
   const size_t rank = options.als.rank;
   const double mu = options.als.mu;
   DISMASTD_CHECK(old_dims.size() == order);
-  DISMASTD_CHECK(rank >= 1);
-  DISMASTD_CHECK(options.num_workers >= 1);
   const uint32_t workers = options.num_workers;
   const uint32_t parts =
       options.parts_per_mode == 0 ? workers : options.parts_per_mode;
@@ -57,6 +73,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   for (uint64_t d : old_dims) has_prev = has_prev || d > 0;
 
   Cluster cluster(workers, options.cost_model);
+  WorkerExecutor exec(workers, options.execution);
   DistributedResult result;
 
   // ---------------------------------------------------------------------
@@ -80,12 +97,12 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
               ? slices * (64 - static_cast<uint64_t>(
                                    __builtin_clzll(slices | 1)))
               : slices;
-      for (uint32_t w = 0; w < workers; ++w) {
+      exec.Run(&acct, [&](uint32_t w, SuperstepAccounting& shard) {
         // Counting pass over the non-zeros (sparse) plus boundary
         // assignment (dense index work).
-        acct.AddSparseTask(w, delta.nnz() / workers + 1,
-                           assign_cost / workers + 1);
-      }
+        shard.AddSparseTask(w, delta.nnz() / workers + 1,
+                            assign_cost / workers + 1);
+      });
       // Ship every non-zero (and the induced factor rows) to its owner
       // (Theorem 4's O(nnz) + O(NIR) communication terms). A one-worker
       // cluster keeps everything local.
@@ -106,8 +123,12 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
         acct.AddSend((q + 1) % workers, row_bytes);
         acct.AddReceive(dst, row_bytes);
       }
-      mode_data[n] = BuildModePartitionData(delta, partitioning, n);
     }
+    // The per-mode partition-data builds (the O(nnz) split + row-access
+    // sets) are independent of each other — run them on the pool.
+    exec.pool().ParallelFor(order, [&](size_t n) {
+      mode_data[n] = BuildModePartitionData(delta, partitioning, n);
+    });
     cluster.CommitSuperstep(acct);
     result.metrics.sim_seconds_partitioning = cluster.ElapsedSimSeconds();
   }
@@ -153,17 +174,19 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   // all-to-all reduces them.
   {
     SuperstepAccounting acct = cluster.NewSuperstep();
+    // Canonical replicated values; one independent build per mode.
+    exec.pool().ParallelFor(order, [&](size_t n) { local_products(n); });
     for (size_t n = 0; n < order; ++n) {
-      local_products(n);  // canonical values
       std::vector<Matrix> partial_stub(workers, Matrix(rank, rank));
       // Account the reduction traffic for the three products per mode.
       for (int rep = 0; rep < 3; ++rep) {
         (void)cluster.AllToAllReduceMatrix(partial_stub, &acct);
       }
-      for (uint32_t q = 0; q < parts; ++q) {
-        acct.AddTask(q % workers,
-                     rows_of_part[n][q].size() * 3 * rank * rank);
-      }
+      exec.Run(&acct, [&](uint32_t w, SuperstepAccounting& shard) {
+        for (uint32_t q = w; q < parts; q += workers) {
+          shard.AddTask(w, rows_of_part[n][q].size() * 3 * rank * rank);
+        }
+      });
     }
     cluster.CommitSuperstep(acct);
   }
@@ -213,68 +236,72 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
       Matrix mttkrp(factors[n].rows(), rank);
       std::vector<const Matrix*> factor_ptrs(order);
       for (size_t k = 0; k < order; ++k) factor_ptrs[k] = &factors[k];
-      for (uint32_t q = 0; q < parts; ++q) {
-        const uint32_t w = q % workers;
-        const SparseTensor& local = mode_data[n].part_tensors[q];
-        // Partition q's slices are disjoint from every other partition's,
-        // so accumulating into the shared buffer is race-free and yields
-        // the same per-row contraction order as the centralized pass.
-        MttkrpAccumulate(local, factor_ptrs, n, &mttkrp);
-        acct.AddSparseTask(w, local.nnz(),
-                           MttkrpFlops(local.nnz(), order, rank));
-      }
+      // Partition q's slices are disjoint from every other partition's,
+      // so accumulating into the shared buffer is race-free and yields
+      // the same per-row contraction order as the centralized pass.
+      exec.Run(&acct, [&](uint32_t w, SuperstepAccounting& shard) {
+        for (uint32_t q = w; q < parts; q += workers) {
+          const SparseTensor& local = mode_data[n].part_tensors[q];
+          MttkrpAccumulate(local, factor_ptrs, n, &mttkrp);
+          shard.AddSparseTask(w, local.nnz(),
+                              MttkrpFlops(local.nnz(), order, rank));
+        }
+      });
 
-      // Row-wise factor update (Eq. 5) on each owner partition.
+      // Row-wise factor update (Eq. 5) on each owner partition. Each
+      // worker rewrites only the factor rows its partitions own.
       const Matrix denom0 =
           LinearCombine(1.0, had_g01, -(1.0 - mu), had_g0);
-      for (uint32_t q = 0; q < parts; ++q) {
-        const uint32_t w = q % workers;
-        const auto& rows = rows_of_part[n][q];
-        if (rows.empty()) continue;
-        // Gather this partition's numerator rows, split old/new.
-        std::vector<uint64_t> rows_old, rows_new;
-        for (uint64_t r : rows) {
-          (static_cast<size_t>(r) < old_rows ? rows_old : rows_new)
-              .push_back(r);
-        }
-        if (!rows_old.empty()) {
-          Matrix numerator(rows_old.size(), rank);
-          for (size_t i = 0; i < rows_old.size(); ++i) {
-            const size_t r = static_cast<size_t>(rows_old[i]);
-            const double* prow = prev.factor(n).RowPtr(r);
-            double* out = numerator.RowPtr(i);
-            // numerator = μ Ã[r,:]·had_h + Â[r,:]
-            for (size_t c = 0; c < rank; ++c) {
-              double acc = 0.0;
-              for (size_t f = 0; f < rank; ++f) {
-                acc += prow[f] * had_h(f, c);
+      exec.Run(&acct, [&](uint32_t w, SuperstepAccounting& shard) {
+        for (uint32_t q = w; q < parts; q += workers) {
+          const auto& rows = rows_of_part[n][q];
+          if (rows.empty()) continue;
+          // Gather this partition's numerator rows, split old/new.
+          std::vector<uint64_t> rows_old, rows_new;
+          for (uint64_t r : rows) {
+            (static_cast<size_t>(r) < old_rows ? rows_old : rows_new)
+                .push_back(r);
+          }
+          if (!rows_old.empty()) {
+            Matrix numerator(rows_old.size(), rank);
+            for (size_t i = 0; i < rows_old.size(); ++i) {
+              const size_t r = static_cast<size_t>(rows_old[i]);
+              const double* prow = prev.factor(n).RowPtr(r);
+              double* out = numerator.RowPtr(i);
+              // numerator = μ Ã[r,:]·had_h + Â[r,:]
+              for (size_t c = 0; c < rank; ++c) {
+                double acc = 0.0;
+                for (size_t f = 0; f < rank; ++f) {
+                  acc += prow[f] * had_h(f, c);
+                }
+                out[c] = mu * acc + mttkrp(r, c);
               }
-              out[c] = mu * acc + mttkrp(r, c);
+            }
+            const Matrix updated =
+                SolveNormalEquationsRows(denom0, numerator);
+            for (size_t i = 0; i < rows_old.size(); ++i) {
+              std::copy(updated.RowPtr(i), updated.RowPtr(i) + rank,
+                        factors[n].RowPtr(static_cast<size_t>(rows_old[i])));
             }
           }
-          const Matrix updated = SolveNormalEquationsRows(denom0, numerator);
-          for (size_t i = 0; i < rows_old.size(); ++i) {
-            std::copy(updated.RowPtr(i), updated.RowPtr(i) + rank,
-                      factors[n].RowPtr(static_cast<size_t>(rows_old[i])));
+          if (!rows_new.empty()) {
+            Matrix numerator(rows_new.size(), rank);
+            for (size_t i = 0; i < rows_new.size(); ++i) {
+              const size_t r = static_cast<size_t>(rows_new[i]);
+              std::copy(mttkrp.RowPtr(r), mttkrp.RowPtr(r) + rank,
+                        numerator.RowPtr(i));
+            }
+            const Matrix updated =
+                SolveNormalEquationsRows(had_g01, numerator);
+            for (size_t i = 0; i < rows_new.size(); ++i) {
+              std::copy(updated.RowPtr(i), updated.RowPtr(i) + rank,
+                        factors[n].RowPtr(static_cast<size_t>(rows_new[i])));
+            }
           }
+          shard.AddTask(w, rows.size() * 4 * rank * rank +
+                               rank * rank * rank);
         }
-        if (!rows_new.empty()) {
-          Matrix numerator(rows_new.size(), rank);
-          for (size_t i = 0; i < rows_new.size(); ++i) {
-            const size_t r = static_cast<size_t>(rows_new[i]);
-            std::copy(mttkrp.RowPtr(r), mttkrp.RowPtr(r) + rank,
-                      numerator.RowPtr(i));
-          }
-          const Matrix updated =
-              SolveNormalEquationsRows(had_g01, numerator);
-          for (size_t i = 0; i < rows_new.size(); ++i) {
-            std::copy(updated.RowPtr(i), updated.RowPtr(i) + rank,
-                      factors[n].RowPtr(static_cast<size_t>(rows_new[i])));
-          }
-        }
-        acct.AddTask(w, rows.size() * 4 * rank * rank +
-                            rank * rank * rank);
-      }
+      });
       {
         const double before = cluster.ElapsedSimSeconds();
         cluster.CommitSuperstep(acct);
@@ -287,32 +314,33 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
       std::vector<Matrix> p_g0(workers, Matrix(rank, rank));
       std::vector<Matrix> p_g1(workers, Matrix(rank, rank));
       std::vector<Matrix> p_h(workers, Matrix(rank, rank));
-      for (uint32_t q = 0; q < parts; ++q) {
-        const uint32_t w = q % workers;
-        uint64_t gram_flops = 0;
-        for (uint64_t row : rows_of_part[n][q]) {
-          const size_t r = static_cast<size_t>(row);
-          const double* arow = factors[n].RowPtr(r);
-          if (r < old_rows) {
-            const double* prow = prev.factor(n).RowPtr(r);
-            for (size_t i = 0; i < rank; ++i) {
-              for (size_t j = 0; j < rank; ++j) {
-                p_g0[w](i, j) += arow[i] * arow[j];
-                p_h[w](i, j) += prow[i] * arow[j];
+      exec.Run(&reduce_acct, [&](uint32_t w, SuperstepAccounting& shard) {
+        for (uint32_t q = w; q < parts; q += workers) {
+          uint64_t gram_flops = 0;
+          for (uint64_t row : rows_of_part[n][q]) {
+            const size_t r = static_cast<size_t>(row);
+            const double* arow = factors[n].RowPtr(r);
+            if (r < old_rows) {
+              const double* prow = prev.factor(n).RowPtr(r);
+              for (size_t i = 0; i < rank; ++i) {
+                for (size_t j = 0; j < rank; ++j) {
+                  p_g0[w](i, j) += arow[i] * arow[j];
+                  p_h[w](i, j) += prow[i] * arow[j];
+                }
               }
-            }
-            gram_flops += 2 * rank * rank;
-          } else {
-            for (size_t i = 0; i < rank; ++i) {
-              for (size_t j = 0; j < rank; ++j) {
-                p_g1[w](i, j) += arow[i] * arow[j];
+              gram_flops += 2 * rank * rank;
+            } else {
+              for (size_t i = 0; i < rank; ++i) {
+                for (size_t j = 0; j < rank; ++j) {
+                  p_g1[w](i, j) += arow[i] * arow[j];
+                }
               }
+              gram_flops += rank * rank;
             }
-            gram_flops += rank * rank;
           }
+          shard.AddTask(w, gram_flops);
         }
-        reduce_acct.AddTask(w, gram_flops);
-      }
+      });
       g0[n] = cluster.AllToAllReduceMatrix(p_g0, &reduce_acct);
       g1[n] = cluster.AllToAllReduceMatrix(p_g1, &reduce_acct);
       h[n] = cluster.AllToAllReduceMatrix(p_h, &reduce_acct);
@@ -343,29 +371,31 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
     // Partial inner products over the last mode's owned rows, reduced.
     const size_t last = order - 1;
     std::vector<double> partial_inner(workers, 0.0);
-    for (uint32_t q = 0; q < parts; ++q) {
-      const uint32_t w = q % workers;
-      double local = 0.0;
-      for (uint64_t row : rows_of_part[last][q]) {
-        const size_t r = static_cast<size_t>(row);
-        const double* mrow = mttkrp_last.RowPtr(r);
-        const double* arow = factors[last].RowPtr(r);
-        for (size_t f = 0; f < rank; ++f) local += mrow[f] * arow[f];
+    exec.Run(&loss_acct, [&](uint32_t w, SuperstepAccounting& shard) {
+      for (uint32_t q = w; q < parts; q += workers) {
+        double local = 0.0;
+        for (uint64_t row : rows_of_part[last][q]) {
+          const size_t r = static_cast<size_t>(row);
+          const double* mrow = mttkrp_last.RowPtr(r);
+          const double* arow = factors[last].RowPtr(r);
+          for (size_t f = 0; f < rank; ++f) local += mrow[f] * arow[f];
+        }
+        partial_inner[w] += local;
+        shard.AddTask(w, rows_of_part[last][q].size() * rank);
       }
-      partial_inner[w] += local;
-      loss_acct.AddTask(w, rows_of_part[last][q].size() * rank);
-    }
+    });
     double inner = cluster.AllToAllReduceScalar(partial_inner, &loss_acct);
     if (!options.als.reuse_intermediates) {
       // Ablation: recompute the inner product by streaming the tensor
       // again (extra O(nnz·N·R) work and an extra reduction round).
       inner = KruskalTensor(factors).InnerWithSparse(delta);
-      for (uint32_t q = 0; q < parts; ++q) {
-        const uint32_t w = q % workers;
-        const uint64_t part_nnz = mode_data[last].part_tensors[q].nnz();
-        loss_acct.AddSparseTask(w, part_nnz,
-                                MttkrpFlops(part_nnz, order, rank));
-      }
+      exec.Run(&loss_acct, [&](uint32_t w, SuperstepAccounting& shard) {
+        for (uint32_t q = w; q < parts; q += workers) {
+          const uint64_t part_nnz = mode_data[last].part_tensors[q].nnz();
+          shard.AddSparseTask(w, part_nnz,
+                              MttkrpFlops(part_nnz, order, rank));
+        }
+      });
       (void)cluster.AllToAllReduceScalar(partial_inner, &loss_acct);
     }
     {

@@ -7,6 +7,7 @@
 #include "core/cp_als.h"
 #include "core/options.h"
 #include "dist/cost_model.h"
+#include "dist/execution.h"
 #include "partition/partition.h"
 #include "partition/stats.h"
 #include "tensor/coo_tensor.h"
@@ -26,6 +27,17 @@ struct DistributedOptions {
   uint32_t parts_per_mode = 0;
   /// Simulated-hardware constants.
   CostModelConfig cost_model;
+  /// Shared-memory parallelism of the simulation itself (real threads
+  /// executing per-worker compute). Affects wall-clock only: results and
+  /// simulated metrics are bit-identical for every thread count.
+  ExecutionOptions execution;
+
+  /// Rejects invalid settings (invalid ALS options, zero workers, bad
+  /// cost-model constants). parts_per_mode is unconstrained beyond its
+  /// type: p < num_workers simply idles the excess workers, a
+  /// configuration the paper's Fig. 6 sweep (p = 8 on 15 nodes) relies on.
+  /// Decomposition entry points fail fast on a non-OK status.
+  Status Validate() const;
 };
 
 /// Resource metrics of one distributed decomposition.

@@ -1,6 +1,21 @@
 #include "core/driver.h"
 
+#include <algorithm>
+#include <cctype>
+
 namespace dismastd {
+
+namespace {
+
+std::string AsciiLower(const std::string& text) {
+  std::string lower = text;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return lower;
+}
+
+}  // namespace
 
 const char* MethodKindName(MethodKind kind) {
   switch (kind) {
@@ -17,9 +32,28 @@ std::string MethodLabel(MethodKind method, PartitionerKind partitioner) {
          PartitionerKindName(partitioner);
 }
 
+Result<MethodKind> ParseMethodKind(const std::string& text) {
+  const std::string token = AsciiLower(text);
+  if (token == "dismastd") return MethodKind::kDisMastd;
+  if (token == "dmsmg" || token == "dms-mg") return MethodKind::kDmsMg;
+  return Status::InvalidArgument("unknown method '" + text +
+                                 "' (expected dismastd or dmsmg)");
+}
+
+Result<PartitionerKind> ParsePartitionerKind(const std::string& text) {
+  const std::string token = AsciiLower(text);
+  if (token == "gtp" || token == "greedy") return PartitionerKind::kGreedy;
+  if (token == "mtp" || token == "maxmin" || token == "max-min") {
+    return PartitionerKind::kMaxMin;
+  }
+  return Status::InvalidArgument("unknown partitioner '" + text +
+                                 "' (expected mtp or gtp)");
+}
+
 std::vector<StreamStepMetrics> RunStreamingExperiment(
     const StreamingTensorSequence& stream, MethodKind method,
     const DistributedOptions& options, bool compute_fit) {
+  DISMASTD_CHECK_OK(options.Validate());
   std::vector<StreamStepMetrics> metrics;
   metrics.reserve(stream.num_steps());
 

@@ -23,6 +23,16 @@ const char* MethodKindName(MethodKind kind);
 /// Human-readable method label, e.g. "DisMASTD-MTP" or "DMS-MG-GTP".
 std::string MethodLabel(MethodKind method, PartitionerKind partitioner);
 
+/// Inverse of MethodKindName, case-insensitive; also accepts the CLI
+/// token ("dismastd" / "dmsmg" / "dms-mg"). This is the single place
+/// method names round-trip through — CLI flags and bench harness knobs
+/// must parse with it rather than matching strings ad hoc.
+Result<MethodKind> ParseMethodKind(const std::string& text);
+
+/// Inverse of PartitionerKindName, case-insensitive; also accepts the
+/// spelled-out aliases ("greedy" / "maxmin" / "max-min").
+Result<PartitionerKind> ParsePartitionerKind(const std::string& text);
+
 /// Per-snapshot metrics of a streaming run.
 struct StreamStepMetrics {
   size_t step = 0;

@@ -1,0 +1,23 @@
+#include "core/options.h"
+
+#include <cmath>
+#include <string>
+
+namespace dismastd {
+
+Status DecompositionOptions::Validate() const {
+  if (rank == 0) {
+    return Status::InvalidArgument("rank must be >= 1");
+  }
+  // !(mu > 0.0) also rejects NaN.
+  if (!(mu > 0.0) || mu > 1.0) {
+    return Status::InvalidArgument("mu must be in (0, 1], got " +
+                                   std::to_string(mu));
+  }
+  if (!std::isfinite(tolerance) || tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace dismastd

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace dismastd {
 
 /// Options shared by every decomposition algorithm in this library
@@ -28,6 +30,11 @@ struct DecompositionOptions {
   /// MTTKRP result and Gram products; when false it is recomputed from
   /// scratch each iteration (ablation baseline).
   bool reuse_intermediates = true;
+
+  /// Rejects invalid settings: rank must be >= 1, mu in (0, 1], tolerance
+  /// finite and non-negative. Decomposition entry points fail fast on a
+  /// non-OK status instead of silently clamping.
+  Status Validate() const;
 };
 
 }  // namespace dismastd

@@ -1,10 +1,58 @@
 #include "dist/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/status.h"
 
 namespace dismastd {
+
+Status CostModelConfig::Validate() const {
+  const auto positive_rate = [](double value, const char* name) {
+    if (!std::isfinite(value) || value <= 0.0) {
+      return Status::InvalidArgument(std::string(name) +
+                                     " must be a positive finite rate");
+    }
+    return Status::OK();
+  };
+  DISMASTD_RETURN_IF_ERROR(positive_rate(flops_per_second, "flops_per_second"));
+  DISMASTD_RETURN_IF_ERROR(
+      positive_rate(sparse_elements_per_second, "sparse_elements_per_second"));
+  DISMASTD_RETURN_IF_ERROR(positive_rate(bandwidth_bytes_per_second,
+                                         "bandwidth_bytes_per_second"));
+  const auto non_negative = [](double value, const char* name) {
+    if (!std::isfinite(value) || value < 0.0) {
+      return Status::InvalidArgument(std::string(name) +
+                                     " must be non-negative");
+    }
+    return Status::OK();
+  };
+  DISMASTD_RETURN_IF_ERROR(non_negative(latency_seconds, "latency_seconds"));
+  DISMASTD_RETURN_IF_ERROR(
+      non_negative(task_startup_seconds, "task_startup_seconds"));
+  return Status::OK();
+}
+
+void SuperstepAccounting::Reset() {
+  std::fill(flops_.begin(), flops_.end(), 0);
+  std::fill(sparse_elements_.begin(), sparse_elements_.end(), 0);
+  std::fill(bytes_sent_.begin(), bytes_sent_.end(), 0);
+  std::fill(bytes_recv_.begin(), bytes_recv_.end(), 0);
+  std::fill(messages_.begin(), messages_.end(), 0);
+  std::fill(tasks_.begin(), tasks_.end(), 0);
+}
+
+void SuperstepAccounting::MergeFrom(const SuperstepAccounting& other) {
+  DISMASTD_CHECK(other.num_workers() == num_workers());
+  for (uint32_t w = 0; w < num_workers(); ++w) {
+    flops_[w] += other.flops_[w];
+    sparse_elements_[w] += other.sparse_elements_[w];
+    bytes_sent_[w] += other.bytes_sent_[w];
+    bytes_recv_[w] += other.bytes_recv_[w];
+    messages_[w] += other.messages_[w];
+    tasks_[w] += other.tasks_[w];
+  }
+}
 
 uint64_t SuperstepAccounting::total_flops() const {
   uint64_t total = 0;

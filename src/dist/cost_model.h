@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace dismastd {
 
 /// Hardware/runtime constants for converting counted work into simulated
@@ -28,6 +30,10 @@ struct CostModelConfig {
   double latency_seconds = 5.0e-5;
   /// Per-task scheduling/launch overhead (Spark task startup).
   double task_startup_seconds = 0.001;
+
+  /// Rejects non-finite or non-positive rates (they are divisors in the
+  /// cost formula) and negative per-message/per-task overheads.
+  Status Validate() const;
 };
 
 /// Per-worker accounting for one bulk-synchronous superstep. The engine
@@ -67,6 +73,15 @@ class SuperstepAccounting {
   void AddReceive(uint32_t worker, uint64_t bytes) {
     bytes_recv_[worker] += bytes;
   }
+
+  /// Zeroes every counter (shard reuse across supersteps).
+  void Reset();
+
+  /// Element-wise adds `other`'s counters into this accounting. Used to
+  /// fold per-worker thread-local shards back into the superstep's
+  /// accounting; all counters are integral so the merge order cannot
+  /// change any total.
+  void MergeFrom(const SuperstepAccounting& other);
 
   uint64_t flops(uint32_t worker) const { return flops_[worker]; }
   uint64_t total_flops() const;

@@ -1,0 +1,39 @@
+#include "dist/execution.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace dismastd {
+
+size_t ResolveNumThreads(size_t num_threads, uint32_t num_workers) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+  return std::min(num_threads, static_cast<size_t>(num_workers));
+}
+
+WorkerExecutor::WorkerExecutor(uint32_t num_workers,
+                               const ExecutionOptions& options)
+    : num_workers_(num_workers),
+      pool_(ResolveNumThreads(options.num_threads, num_workers)) {
+  if (pool_.num_threads() > 0) {
+    shards_.resize(num_workers_, SuperstepAccounting(num_workers_));
+  }
+}
+
+void WorkerExecutor::Run(SuperstepAccounting* acct, const WorkerBody& body) {
+  if (pool_.num_threads() == 0 || num_workers_ == 1) {
+    for (uint32_t w = 0; w < num_workers_; ++w) body(w, *acct);
+    return;
+  }
+  for (auto& shard : shards_) shard.Reset();
+  pool_.ParallelFor(num_workers_, [&](size_t w) {
+    body(static_cast<uint32_t>(w), shards_[w]);
+  });
+  // Integral counters: the fixed merge order is for auditability, the sums
+  // cannot depend on it.
+  for (const auto& shard : shards_) acct->MergeFrom(shard);
+}
+
+}  // namespace dismastd

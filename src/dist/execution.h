@@ -1,0 +1,69 @@
+#ifndef DISMASTD_DIST_EXECUTION_H_
+#define DISMASTD_DIST_EXECUTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dist/cost_model.h"
+
+namespace dismastd {
+
+/// Shared-memory execution knobs for the simulated cluster: how many real
+/// threads execute per-worker compute steps. The thread count changes only
+/// wall-clock time — the simulated clock, communication totals and factor
+/// matrices are bit-identical for every setting (see WorkerExecutor).
+struct ExecutionOptions {
+  /// 0 = one thread per hardware core; 1 = inline on the caller
+  /// (deterministic by construction, zero dispatch overhead).
+  size_t num_threads = 0;
+};
+
+/// Resolves an ExecutionOptions::num_threads request: 0 becomes the
+/// hardware concurrency, and the result is capped at `num_workers` (more
+/// threads than simulated workers can never be used).
+size_t ResolveNumThreads(size_t num_threads, uint32_t num_workers);
+
+/// Executes the per-worker compute steps of one simulated BSP superstep,
+/// optionally on real threads.
+///
+/// Determinism contract: `Run(acct, body)` calls `body(w, shard_w)` once
+/// per worker w. In parallel mode each worker writes into its own
+/// thread-local SuperstepAccounting shard, and the shards are merged into
+/// `*acct` in ascending worker order after every body has returned; in
+/// inline mode the bodies run in ascending worker order directly against
+/// `*acct`. As long as each body only touches state owned by its worker
+/// (its accounting row, its factor rows, its partial matrices), both modes
+/// produce bit-identical accounting, clocks and numerics.
+class WorkerExecutor {
+ public:
+  /// Builds the executor (and its thread pool) once per decomposition; the
+  /// pool is reused across all supersteps and ALS sweeps.
+  WorkerExecutor(uint32_t num_workers, const ExecutionOptions& options);
+
+  uint32_t num_workers() const { return num_workers_; }
+  /// Real pool threads (0 = inline execution).
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Underlying pool, for parallel loops that are not per-worker (e.g.
+  /// independent per-mode builds).
+  ThreadPool& pool() { return pool_; }
+
+  using WorkerBody = std::function<void(uint32_t, SuperstepAccounting&)>;
+
+  /// Runs `body(w, shard_w)` for every worker w in [0, num_workers) and
+  /// merges the accounting shards into `*acct` in worker order.
+  void Run(SuperstepAccounting* acct, const WorkerBody& body);
+
+ private:
+  uint32_t num_workers_;
+  ThreadPool pool_;
+  /// Per-worker accounting shards, allocated once and reset per Run.
+  std::vector<SuperstepAccounting> shards_;
+};
+
+}  // namespace dismastd
+
+#endif  // DISMASTD_DIST_EXECUTION_H_

@@ -156,6 +156,43 @@ TEST(CliTest, StreamDmsMgAndGtpVariants) {
   std::remove(tensor_path.c_str());
 }
 
+TEST(CliTest, StreamThreadsFlagAccepted) {
+  const std::string tensor_path = TempPath("cli_tensor4.tns");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "30x20x10", "--nnz", "800", "--seed", "9"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--workers", "4",
+                          "--threads", "4", "--steps", "2", "--iterations",
+                          "2", "--rank", "2"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("DisMASTD-MTP"), std::string::npos);
+  std::remove(tensor_path.c_str());
+}
+
+TEST(CliTest, InvalidOptionsSurfaceValidateMessage) {
+  const std::string tensor_path = TempPath("cli_tensor5.tns");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "10x10", "--nnz", "50"},
+                         &output)
+                  .ok());
+  // Fail fast with the Validate() message, not a clamp or an abort.
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--mu", "2.0"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--workers", "0"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(
+      RunCommand({"stream", "--input", tensor_path, "--rank", "0"}, &output)
+          .ok());
+  std::remove(tensor_path.c_str());
+}
+
 TEST(CliTest, BadInputsReportErrors) {
   std::string output;
   EXPECT_FALSE(RunCommand({"generate", "--dims", "4x4"}, &output).ok());  // no output

@@ -1,0 +1,131 @@
+// The execution engine's contract: the thread count changes wall-clock
+// only. Factors, loss history, and every simulated metric must be
+// *bit-identical* between the inline path (num_threads = 1) and the
+// thread-pool path (num_threads = 4), for both methods and both
+// partitioners. Matrix::operator== compares exactly, no tolerance.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/dismastd.h"
+#include "core/dms_mg.h"
+#include "core/driver.h"
+#include "stream/generator.h"
+#include "stream/snapshot.h"
+#include "test_util.h"
+
+namespace dismastd {
+namespace {
+
+void ExpectFactorsIdentical(const KruskalTensor& a, const KruskalTensor& b) {
+  ASSERT_EQ(a.order(), b.order());
+  for (size_t n = 0; n < a.order(); ++n) {
+    EXPECT_TRUE(a.factor(n) == b.factor(n)) << "mode " << n;
+  }
+}
+
+void ExpectMetricsIdentical(const DistributedRunMetrics& a,
+                            const DistributedRunMetrics& b) {
+  EXPECT_EQ(a.sim_seconds_total, b.sim_seconds_total);
+  EXPECT_EQ(a.sim_seconds_partitioning, b.sim_seconds_partitioning);
+  ASSERT_EQ(a.sim_seconds_per_iteration.size(),
+            b.sim_seconds_per_iteration.size());
+  for (size_t i = 0; i < a.sim_seconds_per_iteration.size(); ++i) {
+    EXPECT_EQ(a.sim_seconds_per_iteration[i], b.sim_seconds_per_iteration[i])
+        << "iteration " << i;
+  }
+  EXPECT_EQ(a.sim_seconds_mttkrp_update, b.sim_seconds_mttkrp_update);
+  EXPECT_EQ(a.sim_seconds_gram_reduce, b.sim_seconds_gram_reduce);
+  EXPECT_EQ(a.sim_seconds_loss, b.sim_seconds_loss);
+  EXPECT_EQ(a.comm_messages, b.comm_messages);
+  EXPECT_EQ(a.comm_payload_bytes, b.comm_payload_bytes);
+  EXPECT_EQ(a.total_flops, b.total_flops);
+}
+
+void ExpectResultsIdentical(const DistributedResult& a,
+                            const DistributedResult& b) {
+  ExpectFactorsIdentical(a.als.factors, b.als.factors);
+  ASSERT_EQ(a.als.loss_history.size(), b.als.loss_history.size());
+  for (size_t i = 0; i < a.als.loss_history.size(); ++i) {
+    EXPECT_EQ(a.als.loss_history[i], b.als.loss_history[i]) << "sweep " << i;
+  }
+  EXPECT_EQ(a.als.iterations, b.als.iterations);
+  ExpectMetricsIdentical(a.metrics, b.metrics);
+}
+
+DistributedOptions DetOpts(PartitionerKind kind, size_t threads) {
+  DistributedOptions o;
+  o.als.rank = 3;
+  o.als.max_iterations = 5;
+  o.partitioner = kind;
+  o.num_workers = 6;
+  o.parts_per_mode = 9;  // parts > workers: each thread walks several q.
+  o.execution.num_threads = threads;
+  return o;
+}
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<MethodKind, PartitionerKind>> {
+};
+
+TEST_P(DeterminismTest, ParallelBitIdenticalToSequential) {
+  const auto [method, kind] = GetParam();
+  const SparseTensor full =
+      test::MakeDenseLowRank({22, 17, 13}, 2, /*seed=*/41, 0.05).tensor;
+
+  DistributedResult seq, par;
+  if (method == MethodKind::kDisMastd) {
+    const std::vector<uint64_t> old_dims = {17, 13, 10};
+    const SparseTensor delta = RelativeComplement(full, old_dims);
+    DecompositionOptions cold;
+    cold.rank = 3;
+    cold.max_iterations = 10;
+    const KruskalTensor prev =
+        CpAls(RestrictToBox(full, old_dims), cold).factors;
+    seq = DisMastdDecompose(delta, old_dims, prev, DetOpts(kind, 1));
+    par = DisMastdDecompose(delta, old_dims, prev, DetOpts(kind, 4));
+  } else {
+    seq = DmsMgDecompose(full, DetOpts(kind, 1));
+    par = DmsMgDecompose(full, DetOpts(kind, 4));
+  }
+  ExpectResultsIdentical(seq, par);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndPartitioners, DeterminismTest,
+    ::testing::Combine(::testing::Values(MethodKind::kDisMastd,
+                                         MethodKind::kDmsMg),
+                       ::testing::Values(PartitionerKind::kGreedy,
+                                         PartitionerKind::kMaxMin)),
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param) ==
+                                 MethodKind::kDisMastd
+                             ? "DisMastd"
+                             : "DmsMg") +
+             PartitionerKindName(std::get<1>(param_info.param));
+    });
+
+TEST(DeterminismTest, DefaultThreadCountMatchesSequential) {
+  // num_threads = 0 (hardware concurrency, whatever it is on this host)
+  // must also reproduce the sequential result exactly.
+  const SparseTensor full =
+      test::MakeDenseLowRank({20, 15, 11}, 2, /*seed=*/42, 0.06).tensor;
+  const DistributedResult seq =
+      DmsMgDecompose(full, DetOpts(PartitionerKind::kMaxMin, 1));
+  const DistributedResult par =
+      DmsMgDecompose(full, DetOpts(PartitionerKind::kMaxMin, 0));
+  ExpectResultsIdentical(seq, par);
+}
+
+TEST(DeterminismTest, MoreThreadsThanWorkersIsClamped) {
+  const SparseTensor full =
+      test::MakeDenseLowRank({20, 15, 11}, 2, /*seed=*/43, 0.06).tensor;
+  const DistributedResult seq =
+      DmsMgDecompose(full, DetOpts(PartitionerKind::kGreedy, 1));
+  const DistributedResult par =
+      DmsMgDecompose(full, DetOpts(PartitionerKind::kGreedy, 64));
+  ExpectResultsIdentical(seq, par);
+}
+
+}  // namespace
+}  // namespace dismastd

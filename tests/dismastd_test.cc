@@ -71,12 +71,13 @@ TEST(DisMastdTest, MatchesCentralizedDtdSingleWorker) {
 
 class DisMastdEquivalenceTest
     : public ::testing::TestWithParam<
-          std::tuple<uint32_t, PartitionerKind, uint32_t>> {};
+          std::tuple<uint32_t, PartitionerKind, uint32_t, size_t>> {};
 
 TEST_P(DisMastdEquivalenceTest, DistributedEqualsCentralized) {
-  const auto [workers, kind, parts] = GetParam();
+  const auto [workers, kind, parts, threads] = GetParam();
   const StreamFixture fx(2);
-  const DistributedOptions options = DistOpts(workers, kind, parts);
+  DistributedOptions options = DistOpts(workers, kind, parts);
+  options.execution.num_threads = threads;
   const DistributedResult dist =
       DisMastdDecompose(fx.delta, fx.old_dims, fx.prev, options);
   const AlsResult central =
@@ -90,7 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 7u),
                        ::testing::Values(PartitionerKind::kGreedy,
                                          PartitionerKind::kMaxMin),
-                       ::testing::Values(0u, 9u)));
+                       ::testing::Values(0u, 9u),
+                       ::testing::Values(size_t{1}, size_t{3})));
 
 TEST(DisMastdTest, TracksFullTensor) {
   const StreamFixture fx(3);

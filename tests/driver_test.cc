@@ -33,6 +33,41 @@ TEST(DriverTest, MethodLabels) {
             "DMS-MG-MTP");
 }
 
+TEST(DriverTest, ParseMethodKindRoundTrips) {
+  EXPECT_EQ(ParseMethodKind("dismastd").value(), MethodKind::kDisMastd);
+  EXPECT_EQ(ParseMethodKind("DisMASTD").value(), MethodKind::kDisMastd);
+  EXPECT_EQ(ParseMethodKind("dmsmg").value(), MethodKind::kDmsMg);
+  EXPECT_EQ(ParseMethodKind("DMS-MG").value(), MethodKind::kDmsMg);
+  const auto bad = ParseMethodKind("spark");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("spark"), std::string::npos);
+}
+
+TEST(DriverTest, ParsePartitionerKindRoundTrips) {
+  EXPECT_EQ(ParsePartitionerKind("gtp").value(), PartitionerKind::kGreedy);
+  EXPECT_EQ(ParsePartitionerKind("GTP").value(), PartitionerKind::kGreedy);
+  EXPECT_EQ(ParsePartitionerKind("greedy").value(), PartitionerKind::kGreedy);
+  EXPECT_EQ(ParsePartitionerKind("mtp").value(), PartitionerKind::kMaxMin);
+  EXPECT_EQ(ParsePartitionerKind("max-min").value(), PartitionerKind::kMaxMin);
+  EXPECT_FALSE(ParsePartitionerKind("random").ok());
+}
+
+TEST(DriverTest, ParseAcceptsKindNameOutput) {
+  // Whatever the canonical names print, the parsers must accept — the
+  // round-trip keeps CLI output reusable as CLI input.
+  for (PartitionerKind kind :
+       {PartitionerKind::kGreedy, PartitionerKind::kMaxMin}) {
+    const auto parsed = ParsePartitionerKind(PartitionerKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  for (MethodKind kind : {MethodKind::kDisMastd, MethodKind::kDmsMg}) {
+    const auto parsed = ParseMethodKind(MethodKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+}
+
 TEST(DriverTest, DisMastdProcessesOnlyDeltas) {
   const StreamingTensorSequence stream = MakeStream(1);
   const auto metrics =

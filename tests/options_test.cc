@@ -1,0 +1,115 @@
+// Fail-fast option validation: invalid settings are rejected with a
+// descriptive status instead of being silently clamped.
+#include "core/options.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/dismastd.h"
+
+namespace dismastd {
+namespace {
+
+TEST(DecompositionOptionsTest, DefaultsValidate) {
+  DecompositionOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(DecompositionOptionsTest, ZeroRankRejected) {
+  DecompositionOptions o;
+  o.rank = 0;
+  const Status s = o.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("rank"), std::string::npos);
+}
+
+TEST(DecompositionOptionsTest, MuOutOfRangeRejected) {
+  DecompositionOptions o;
+  o.mu = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o.mu = -0.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o.mu = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o.mu = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(o.Validate().ok());
+  o.mu = 1.0;  // The boundary is inclusive: mu = 1 means "no forgetting".
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(DecompositionOptionsTest, NegativeToleranceRejected) {
+  DecompositionOptions o;
+  o.tolerance = -1e-6;
+  EXPECT_FALSE(o.Validate().ok());
+  o.tolerance = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(o.Validate().ok());
+  o.tolerance = 0.0;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(DistributedOptionsTest, DefaultsValidate) {
+  DistributedOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(DistributedOptionsTest, ZeroWorkersRejected) {
+  DistributedOptions o;
+  o.num_workers = 0;
+  const Status s = o.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("workers"), std::string::npos);
+}
+
+TEST(DistributedOptionsTest, InvalidAlsOptionsPropagate) {
+  DistributedOptions o;
+  o.als.rank = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(DistributedOptionsTest, FewerPartsThanWorkersAllowed) {
+  // p < M idles the excess workers; the paper's Fig. 6 sweep runs p = 8 on
+  // a 15-node cluster, so this must stay a legal configuration.
+  DistributedOptions o;
+  o.num_workers = 15;
+  o.parts_per_mode = 8;
+  EXPECT_TRUE(o.Validate().ok());
+}
+
+TEST(CostModelConfigTest, DefaultsValidate) {
+  CostModelConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(CostModelConfigTest, NonPositiveRatesRejected) {
+  CostModelConfig c;
+  c.flops_per_second = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = CostModelConfig();
+  c.sparse_elements_per_second = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = CostModelConfig();
+  c.bandwidth_bytes_per_second = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(CostModelConfigTest, NegativeLatencyRejected) {
+  CostModelConfig c;
+  c.latency_seconds = -1e-6;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = CostModelConfig();
+  c.task_startup_seconds = -0.5;
+  EXPECT_FALSE(c.Validate().ok());
+
+  // Zero overheads are valid (tests use them to isolate compute terms).
+  c = CostModelConfig();
+  c.latency_seconds = 0.0;
+  c.task_startup_seconds = 0.0;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace dismastd

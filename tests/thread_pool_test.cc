@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace dismastd {
@@ -61,6 +63,70 @@ TEST(ThreadPoolTest, SingleTaskRunsInline) {
     count.fetch_add(1);
   });
   EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, TaskExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i) {
+                                  if (i == 37) throw std::runtime_error("boom");
+                                  count.fetch_add(1);
+                                }),
+               std::runtime_error);
+  // The batch still drained: every non-throwing task ran.
+  EXPECT_EQ(count.load(), 99);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(10, [](size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, InlineModeExceptionPropagates) {
+  ThreadPool pool(0);
+  EXPECT_THROW(
+      pool.ParallelFor(5, [](size_t i) {
+        if (i == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, StressManyBatchesWithPeriodicThrows) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    if (batch % 7 == 3) {
+      EXPECT_THROW(pool.ParallelFor(
+                       16,
+                       [&](size_t i) {
+                         if (i % 5 == 0) throw std::runtime_error("boom");
+                         count.fetch_add(1);
+                       }),
+                   std::runtime_error);
+    } else {
+      pool.ParallelFor(16, [&](size_t) { count.fetch_add(1); });
+    }
+  }
+  EXPECT_GT(count.load(), 0);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersShareOnePool) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      pool.ParallelFor(100, [&](size_t) { count.fetch_add(1); });
+    });
+  }
+  for (auto& s : submitters) s.join();
+  EXPECT_EQ(count.load(), 400);
 }
 
 }  // namespace

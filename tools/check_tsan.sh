@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs
+# them. A clean pass is a release gate for the execution engine: the
+# thread pool, the simulated cluster, and the parallel-vs-sequential
+# determinism contract must all be race-free.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDISMASTD_SANITIZE=thread \
+  -DDISMASTD_BUILD_BENCHMARKS=OFF \
+  -DDISMASTD_BUILD_EXAMPLES=OFF
+
+cmake --build "${build_dir}" -j \
+  --target thread_pool_test cluster_test determinism_test
+
+ctest --test-dir "${build_dir}" --output-on-failure \
+  -R '^(thread_pool_test|cluster_test|determinism_test)$'
+
+echo "TSan: all clean"

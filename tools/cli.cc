@@ -96,7 +96,6 @@ Result<DecompositionOptions> GetAlsOptions(const Args& args) {
   Result<uint64_t> rank = GetU64(args, "rank", options.rank);
   if (!rank.ok()) return rank.status();
   options.rank = static_cast<size_t>(rank.value());
-  if (options.rank == 0) return Status::InvalidArgument("rank must be >= 1");
   Result<uint64_t> iters = GetU64(args, "iterations", options.max_iterations);
   if (!iters.ok()) return iters.status();
   options.max_iterations = static_cast<size_t>(iters.value());
@@ -109,6 +108,7 @@ Result<DecompositionOptions> GetAlsOptions(const Args& args) {
   Result<double> tol = GetDouble(args, "tolerance", options.tolerance);
   if (!tol.ok()) return tol.status();
   options.tolerance = tol.value();
+  DISMASTD_RETURN_IF_ERROR(options.Validate());
   return options;
 }
 
@@ -206,23 +206,19 @@ Status CmdStream(const Args& args, std::ostream& out) {
   Result<uint64_t> parts = GetU64(args, "parts", 0);
   if (!parts.ok()) return parts.status();
   options.parts_per_mode = static_cast<uint32_t>(parts.value());
-  const std::string partitioner = args.Get("partitioner", "mtp");
-  if (partitioner == "mtp") {
-    options.partitioner = PartitionerKind::kMaxMin;
-  } else if (partitioner == "gtp") {
-    options.partitioner = PartitionerKind::kGreedy;
-  } else {
-    return Status::InvalidArgument("--partitioner must be mtp or gtp");
-  }
-  const std::string method_name = args.Get("method", "dismastd");
-  MethodKind method;
-  if (method_name == "dismastd") {
-    method = MethodKind::kDisMastd;
-  } else if (method_name == "dmsmg") {
-    method = MethodKind::kDmsMg;
-  } else {
-    return Status::InvalidArgument("--method must be dismastd or dmsmg");
-  }
+  Result<uint64_t> threads = GetU64(args, "threads", 0);
+  if (!threads.ok()) return threads.status();
+  options.execution.num_threads = static_cast<size_t>(threads.value());
+  Result<PartitionerKind> partitioner =
+      ParsePartitionerKind(args.Get("partitioner", "mtp"));
+  if (!partitioner.ok()) return partitioner.status();
+  options.partitioner = partitioner.value();
+  Result<MethodKind> method_kind = ParseMethodKind(args.Get("method", "dismastd"));
+  if (!method_kind.ok()) return method_kind.status();
+  const MethodKind method = method_kind.value();
+  // Surface option errors here with the Validate message rather than
+  // letting the decomposition entry point fail-fast abort.
+  DISMASTD_RETURN_IF_ERROR(options.Validate());
 
   Result<double> start = GetDouble(args, "start", 0.75);
   if (!start.ok()) return start.status();
@@ -319,6 +315,7 @@ std::string UsageText() {
       "                  [--factors OUT.krs]\n"
       "  stream          --input F [--method dismastd|dmsmg]\n"
       "                  [--partitioner mtp|gtp] [--workers M] [--parts P]\n"
+      "                  [--threads T]  (0 = all cores, 1 = sequential)\n"
       "                  [--start 0.75 --step 0.05 --steps 6]\n"
       "                  [--rank R --mu MU --iterations N]\n"
       "                  [--checkpoint OUT]\n"
