@@ -9,9 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "core/dismastd.h"
@@ -19,6 +21,7 @@
 #include "la/solve.h"
 #include "partition/gtp.h"
 #include "partition/mtp.h"
+#include "serve/servable_model.h"
 #include "stream/generator.h"
 #include "tensor/mttkrp.h"
 
@@ -123,6 +126,71 @@ BENCHMARK(BM_Partitioner)
     ->Args({10000, 1})
     ->Args({100000, 0})
     ->Args({100000, 1});
+
+KruskalTensor MakeModel(const std::vector<uint64_t>& dims, size_t rank) {
+  Rng rng(11);
+  std::vector<Matrix> factors;
+  for (uint64_t d : dims) {
+    factors.push_back(Matrix::Random(static_cast<size_t>(d), rank, rng));
+  }
+  return KruskalTensor(std::move(factors));
+}
+
+void BM_KruskalValueAt(benchmark::State& state) {
+  // The serving point-prediction kernel: Σ_f Π_n A_n[i_n, f]. Sweep R.
+  const size_t rank = static_cast<size_t>(state.range(0));
+  const std::vector<uint64_t> dims = {20000, 5000, 500};
+  const KruskalTensor model = MakeModel(dims, rank);
+  Rng rng(12);
+  constexpr size_t kNumIndices = 1024;
+  std::vector<std::array<uint64_t, 3>> indices(kNumIndices);
+  for (auto& index : indices) {
+    for (size_t n = 0; n < dims.size(); ++n) {
+      index[n] = rng.NextBounded(dims[n]);
+    }
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const double value = model.ValueAt(indices[cursor].data());
+    benchmark::DoNotOptimize(value);
+    cursor = (cursor + 1) % kNumIndices;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KruskalValueAt)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_TopKScore(benchmark::State& state) {
+  // The serving recommendation kernel: one R-vector x factor-matrix
+  // product over all J candidates plus a partial sort of the best K.
+  // Sweep R and K; J is fixed at the product-mode size.
+  const size_t rank = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const std::vector<uint64_t> dims = {20000, 50000, 500};
+  const auto model =
+      serve::ServableModel::Build(MakeModel(dims, rank), 1, 0);
+  Rng rng(13);
+  constexpr size_t kNumAnchors = 256;
+  std::vector<std::vector<uint64_t>> anchors(kNumAnchors);
+  for (auto& anchor : anchors) {
+    anchor = {rng.NextBounded(dims[0]), 0, rng.NextBounded(dims[2])};
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    const auto top = model->TopK(/*target_mode=*/1, anchors[cursor], k);
+    benchmark::DoNotOptimize(top.data());
+    cursor = (cursor + 1) % kNumAnchors;
+  }
+  // Candidates scored per second is the serving-relevant rate.
+  state.SetItemsProcessed(static_cast<int64_t>(dims[1]) *
+                          state.iterations());
+}
+BENCHMARK(BM_TopKScore)
+    ->Args({5, 10})
+    ->Args({10, 10})
+    ->Args({20, 10})
+    ->Args({10, 1})
+    ->Args({10, 100})
+    ->Args({10, 1000});
 
 void BM_DisMastdStep(benchmark::State& state) {
   // One full simulated distributed decomposition step (partitioning plus

@@ -1,0 +1,120 @@
+// Serving-plane throughput harness: decompose-and-serve end to end.
+//
+// Streams a synthetic rating tensor through DisMASTD, publishing every
+// step's factors into the versioned ModelStore, then replays a synthetic
+// query log (point / batch / top-K mix) against the live store, sweeping
+// the number of client threads. Reported per sweep: achieved QPS, per-type
+// latency percentiles and the staleness ledger (queries per model version).
+//
+// The first sweep runs concurrently with the streaming decomposition, so
+// it also demonstrates the overlap contract: queries are answered from
+// version t while step t+1 is being computed.
+//
+// DISMASTD_BENCH_SCALE scales the tensor, DISMASTD_BENCH_THREADS the
+// decomposition engine's thread count.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "serve/query_log.h"
+#include "serve/serve_session.h"
+#include "stream/generator.h"
+
+using namespace dismastd;
+
+int main() {
+  bench::PrintHeader("Serve throughput: versioned model store + query engine");
+
+  GeneratorOptions gen;
+  gen.dims = {20000, 4000, 200};
+  gen.nnz = 400000;
+  gen.zipf_exponents = {1.0, 1.0, 0.5};
+  gen.seed = 42;
+  const double scale = bench::BenchScale();
+  if (scale != 1.0) {
+    for (auto& d : gen.dims) {
+      d = std::max<uint64_t>(8, static_cast<uint64_t>(
+                                    static_cast<double>(d) * scale));
+    }
+    gen.nnz = std::max<uint64_t>(
+        512, static_cast<uint64_t>(static_cast<double>(gen.nnz) * scale));
+  }
+  const SparseTensor full = GenerateSparseTensor(gen).tensor;
+  std::printf("tensor %zux%zux%zu, %zu nnz\n", (size_t)full.dim(0),
+              (size_t)full.dim(1), (size_t)full.dim(2), (size_t)full.nnz());
+
+  DistributedOptions options = bench::PaperOptions();
+  options.als.rank = 10;
+  options.als.max_iterations = 5;
+  auto schedule = MakeGrowthSchedule(full.dims(), 0.7, 0.1, 4);
+  const StreamingTensorSequence stream(full, std::move(schedule));
+
+  serve::ServeSessionOptions session_options;
+  session_options.store.keep_depth = 4;
+  serve::ServeSession session(session_options);
+
+  serve::QueryLogOptions log_options;
+  log_options.num_queries = static_cast<uint64_t>(20000 * scale) + 2000;
+  log_options.k = 10;
+  log_options.batch_size = 64;
+  const std::vector<serve::QueryRecord> log =
+      serve::GenerateQueryLog(stream.DimsAt(0), log_options);
+  std::printf("query log: %zu records (%.0f%% topk, %.0f%% batch of %zu)\n\n",
+              log.size(), log_options.topk_fraction * 100,
+              log_options.batch_fraction * 100, log_options.batch_size);
+
+  // Phase 1: queries overlapping the streaming decomposition.
+  std::thread producer([&] {
+    RunStreamingExperiment(stream, MethodKind::kDisMastd, options,
+                           /*compute_fit=*/false, session.PublishObserver());
+  });
+  while (session.store().Current() == nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  WallTimer overlap_timer;
+  serve::ReplayStats overlap =
+      serve::ReplayQueryLog(session.engine(), log, 4);
+  const double overlap_seconds = overlap_timer.ElapsedSeconds();
+  producer.join();
+
+  std::printf("overlapped with decomposition (4 clients): %llu queries in "
+              "%.3f s = %.0f QPS (%llu failed)\n",
+              (unsigned long long)overlap.answered, overlap_seconds,
+              static_cast<double>(overlap.answered) / overlap_seconds,
+              (unsigned long long)overlap.failed);
+  std::printf("versions published: %llu\n\n",
+              (unsigned long long)session.store().num_published());
+
+  // Phase 2: steady-state sweep over client counts on the final model.
+  bench::CsvWriter csv("serve_throughput.csv");
+  csv.Row("clients", "queries", "qps", "point_p50_us", "point_p99_us",
+          "topk_p50_us", "topk_p99_us");
+  std::printf("%-8s %-10s %-12s %-14s %-14s\n", "clients", "queries", "QPS",
+              "point p50/p99", "topk p50/p99");
+  for (size_t clients : {1, 2, 4, 8}) {
+    // A fresh metrics plane per sweep so percentiles don't mix runs.
+    serve::ServeMetrics sweep_metrics;
+    serve::QueryEngine engine(&session.store(), nullptr, &sweep_metrics);
+    WallTimer timer;
+    const serve::ReplayStats stats =
+        serve::ReplayQueryLog(engine, log, clients);
+    const double seconds = timer.ElapsedSeconds();
+    const serve::ServeMetricsReport report = sweep_metrics.Report();
+    const auto& point =
+        report.latency[static_cast<size_t>(serve::QueryType::kPoint)];
+    const auto& topk =
+        report.latency[static_cast<size_t>(serve::QueryType::kTopK)];
+    const double qps = static_cast<double>(stats.answered) / seconds;
+    std::printf("%-8zu %-10llu %-12.0f %6.2f/%-7.2f %6.2f/%-7.2f\n",
+                clients, (unsigned long long)stats.answered, qps,
+                point.p50_seconds * 1e6, point.p99_seconds * 1e6,
+                topk.p50_seconds * 1e6, topk.p99_seconds * 1e6);
+    csv.Row(clients, stats.answered, qps, point.p50_seconds * 1e6,
+            point.p99_seconds * 1e6, topk.p50_seconds * 1e6,
+            topk.p99_seconds * 1e6);
+  }
+  std::printf("\nstaleness during overlap: %s",
+              session.metrics().Report().ToString().c_str());
+  return 0;
+}

@@ -52,7 +52,8 @@ Result<PartitionerKind> ParsePartitionerKind(const std::string& text) {
 
 std::vector<StreamStepMetrics> RunStreamingExperiment(
     const StreamingTensorSequence& stream, MethodKind method,
-    const DistributedOptions& options, bool compute_fit) {
+    const DistributedOptions& options, bool compute_fit,
+    const StreamStepObserver& observer) {
   DISMASTD_CHECK_OK(options.Validate());
   std::vector<StreamStepMetrics> metrics;
   metrics.reserve(stream.num_steps());
@@ -101,6 +102,7 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
       const SparseTensor snapshot = stream.SnapshotAt(step);
       sm.fit = result.als.factors.Fit(snapshot);
     }
+    if (observer) observer(sm, result.als.factors);
     metrics.push_back(std::move(sm));
   }
   return metrics;

@@ -1,6 +1,7 @@
 #ifndef DISMASTD_CORE_DRIVER_H_
 #define DISMASTD_CORE_DRIVER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,15 @@ struct StreamStepMetrics {
   double fit = 0.0;
 };
 
+/// Called after every completed streaming step with that step's metrics
+/// and the factors the method produced for it. This is the hook the
+/// serving plane attaches to: publishing the factors here lets queries be
+/// answered from step t's model while step t+1 is being decomposed. The
+/// observer runs on the driver thread; it receives its own copy-by-ref of
+/// the factors and must not retain the reference past the call.
+using StreamStepObserver =
+    std::function<void(const StreamStepMetrics&, const KruskalTensor&)>;
+
 /// Runs a full streaming experiment: at every step of `stream`, decomposes
 /// the snapshot with the chosen method and collects metrics.
 ///
@@ -64,10 +74,12 @@ struct StreamStepMetrics {
 /// DMS-MG re-decomposes every snapshot from scratch.
 ///
 /// When `compute_fit` is true (slower), each step's factors are scored
-/// against the materialized snapshot.
+/// against the materialized snapshot. A non-null `observer` is invoked
+/// once per step, after the step's metrics are final.
 std::vector<StreamStepMetrics> RunStreamingExperiment(
     const StreamingTensorSequence& stream, MethodKind method,
-    const DistributedOptions& options, bool compute_fit = false);
+    const DistributedOptions& options, bool compute_fit = false,
+    const StreamStepObserver& observer = nullptr);
 
 }  // namespace dismastd
 

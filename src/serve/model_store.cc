@@ -1,0 +1,63 @@
+#include "serve/model_store.h"
+
+namespace dismastd {
+namespace serve {
+
+ModelStore::ModelStore(ModelStoreOptions options) : options_(options) {
+  DISMASTD_CHECK(options_.keep_depth >= 1);
+}
+
+uint64_t ModelStore::PublishModel(KruskalTensor factors, uint64_t step) {
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  const uint64_t version = next_version_++;
+  // Build (Gram/norm precompute, fingerprint) happens under the publisher
+  // mutex but before the exclusive swap lock: readers keep querying the
+  // previous version the whole time.
+  std::shared_ptr<const ServableModel> model =
+      ServableModel::Build(std::move(factors), version, step);
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    retained_.push_back(model);
+    while (retained_.size() > options_.keep_depth) retained_.pop_front();
+    // Counter first: a reader that sees the new head must never observe
+    // num_published() < its version.
+    num_published_.fetch_add(1, std::memory_order_relaxed);
+    current_ = std::move(model);
+  }
+  return version;
+}
+
+uint64_t ModelStore::Publish(KruskalTensor factors, uint64_t step) {
+  return PublishModel(std::move(factors), step);
+}
+
+Result<uint64_t> ModelStore::WarmStart(const StreamCheckpoint& checkpoint) {
+  if (checkpoint.factors.order() == 0) {
+    return Status::InvalidArgument("warm start from empty checkpoint");
+  }
+  if (checkpoint.dims != checkpoint.factors.dims()) {
+    return Status::InvalidArgument(
+        "checkpoint dims disagree with factor shapes");
+  }
+  return PublishModel(checkpoint.factors, checkpoint.step);
+}
+
+std::shared_ptr<const ServableModel> ModelStore::Version(
+    uint64_t version) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& model : retained_) {
+    if (model->version() == version) return model;
+  }
+  return nullptr;
+}
+
+std::vector<uint64_t> ModelStore::RetainedVersions() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<uint64_t> versions;
+  versions.reserve(retained_.size());
+  for (const auto& model : retained_) versions.push_back(model->version());
+  return versions;
+}
+
+}  // namespace serve
+}  // namespace dismastd

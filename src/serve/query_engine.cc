@@ -1,0 +1,112 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace dismastd {
+namespace serve {
+
+QueryEngine::QueryEngine(const ModelStore* store, ThreadPool* pool,
+                         ServeMetrics* metrics)
+    : store_(store), pool_(pool), metrics_(metrics) {
+  DISMASTD_CHECK(store_ != nullptr);
+}
+
+Result<std::shared_ptr<const ServableModel>> QueryEngine::Snapshot() const {
+  std::shared_ptr<const ServableModel> model = store_->Current();
+  if (model == nullptr) {
+    return Status::FailedPrecondition("no model published yet");
+  }
+  return model;
+}
+
+void QueryEngine::Record(QueryType type, double seconds,
+                         const ServableModel& model) const {
+  if (metrics_ != nullptr) {
+    metrics_->RecordQuery(type, seconds, model.version(), model.step());
+  }
+}
+
+Result<double> QueryEngine::Predict(
+    const std::vector<uint64_t>& index) const {
+  WallTimer timer;
+  Result<std::shared_ptr<const ServableModel>> snapshot = Snapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  const ServableModel& model = *snapshot.value();
+  DISMASTD_RETURN_IF_ERROR(model.ValidateIndex(index));
+  const double value = model.Predict(index.data());
+  Record(QueryType::kPoint, timer.ElapsedSeconds(), model);
+  return value;
+}
+
+Result<std::vector<double>> QueryEngine::PredictBatch(
+    const std::vector<std::vector<uint64_t>>& indices) const {
+  WallTimer timer;
+  Result<std::shared_ptr<const ServableModel>> snapshot = Snapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  const ServableModel& model = *snapshot.value();
+  for (const auto& index : indices) {
+    DISMASTD_RETURN_IF_ERROR(model.ValidateIndex(index));
+  }
+
+  std::vector<double> values(indices.size());
+  const size_t shards =
+      pool_ == nullptr || pool_->num_threads() == 0
+          ? 1
+          : std::min(pool_->num_threads() + 1,
+                     std::max<size_t>(
+                         1, indices.size() / kMinTuplesPerShard));
+  if (shards <= 1) {
+    for (size_t i = 0; i < indices.size(); ++i) {
+      values[i] = model.Predict(indices[i].data());
+    }
+  } else {
+    const size_t per_shard = (indices.size() + shards - 1) / shards;
+    pool_->ParallelFor(shards, [&](size_t shard) {
+      const size_t begin = shard * per_shard;
+      const size_t end = std::min(indices.size(), begin + per_shard);
+      for (size_t i = begin; i < end; ++i) {
+        values[i] = model.Predict(indices[i].data());
+      }
+    });
+  }
+  Record(QueryType::kBatch, timer.ElapsedSeconds(), model);
+  return values;
+}
+
+Result<std::vector<ScoredIndex>> QueryEngine::TopK(
+    const TopKQuery& query) const {
+  WallTimer timer;
+  Result<std::shared_ptr<const ServableModel>> snapshot = Snapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  const ServableModel& model = *snapshot.value();
+
+  if (query.target_mode >= model.order()) {
+    return Status::InvalidArgument(
+        "target mode " + std::to_string(query.target_mode) +
+        " out of range for order " + std::to_string(model.order()));
+  }
+  if (query.k == 0) return Status::InvalidArgument("top-K needs k >= 1");
+  if (query.anchor.size() != model.order()) {
+    return Status::InvalidArgument(
+        "anchor arity " + std::to_string(query.anchor.size()) +
+        " does not match model order " + std::to_string(model.order()));
+  }
+  for (size_t n = 0; n < model.order(); ++n) {
+    if (n == query.target_mode) continue;
+    if (query.anchor[n] >= model.dims()[n]) {
+      return Status::OutOfRange(
+          "anchor index " + std::to_string(query.anchor[n]) +
+          " out of range for mode " + std::to_string(n));
+    }
+  }
+
+  std::vector<ScoredIndex> top =
+      model.TopK(query.target_mode, query.anchor, query.k);
+  Record(QueryType::kTopK, timer.ElapsedSeconds(), model);
+  return top;
+}
+
+}  // namespace serve
+}  // namespace dismastd

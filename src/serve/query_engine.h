@@ -1,0 +1,75 @@
+#ifndef DISMASTD_SERVE_QUERY_ENGINE_H_
+#define DISMASTD_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "serve/model_store.h"
+#include "serve/serve_metrics.h"
+#include "serve/servable_model.h"
+
+namespace dismastd {
+namespace serve {
+
+/// A top-K recommendation request: pin every mode to `anchor[n]` except
+/// `target_mode`, rank that mode's slices. anchor[target_mode] is ignored
+/// (conventionally 0).
+struct TopKQuery {
+  size_t target_mode = 1;
+  std::vector<uint64_t> anchor;
+  size_t k = 10;
+};
+
+/// Concurrent read path over a ModelStore.
+///
+/// Every request acquires exactly one model snapshot up front and is
+/// answered entirely from it — a batch never mixes versions even if a
+/// publish lands mid-request (the consistency contract of DESIGN.md §8).
+/// The engine is stateless apart from borrowed pointers, so one instance
+/// can be shared by any number of client threads.
+///
+/// Large batches are sharded across the ThreadPool (request batching);
+/// `pool == nullptr` executes inline, which is also the deterministic
+/// single-core configuration.
+class QueryEngine {
+ public:
+  /// `store` must outlive the engine; `pool` and `metrics` may be nullptr
+  /// (inline execution / no recording).
+  QueryEngine(const ModelStore* store, ThreadPool* pool = nullptr,
+              ServeMetrics* metrics = nullptr);
+
+  /// Model value at one index tuple.
+  Result<double> Predict(const std::vector<uint64_t>& index) const;
+
+  /// Model values at many index tuples, all answered from one model
+  /// snapshot. Fails on the first invalid tuple (arity/bounds).
+  Result<std::vector<double>> PredictBatch(
+      const std::vector<std::vector<uint64_t>>& indices) const;
+
+  /// Top-K recommendation (see TopKQuery). `query.anchor` must have
+  /// order() entries with every non-target entry in bounds, k >= 1, and
+  /// target_mode < order().
+  Result<std::vector<ScoredIndex>> TopK(const TopKQuery& query) const;
+
+  /// Batch shards smaller than this run inline even with a pool — below
+  /// it, the handoff costs more than the R-flops per tuple it hides.
+  static constexpr size_t kMinTuplesPerShard = 256;
+
+ private:
+  /// Latest snapshot or FailedPrecondition before the first publish.
+  Result<std::shared_ptr<const ServableModel>> Snapshot() const;
+
+  void Record(QueryType type, double seconds,
+              const ServableModel& model) const;
+
+  const ModelStore* store_;
+  ThreadPool* pool_;
+  ServeMetrics* metrics_;
+};
+
+}  // namespace serve
+}  // namespace dismastd
+
+#endif  // DISMASTD_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,136 @@
+#include "serve/servable_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "la/ops.h"
+
+namespace dismastd {
+namespace serve {
+namespace {
+
+/// FNV-1a over a byte span; doubles are hashed by representation so the
+/// fingerprint is exact, not tolerance-based.
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t hash) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+uint64_t FingerprintFactors(const KruskalTensor& factors) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t n = 0; n < factors.order(); ++n) {
+    const Matrix& f = factors.factor(n);
+    const uint64_t shape[2] = {f.rows(), f.cols()};
+    hash = Fnv1a(shape, sizeof(shape), hash);
+    hash = Fnv1a(f.data(), f.size() * sizeof(double), hash);
+  }
+  return hash;
+}
+
+}  // namespace
+
+ServableModel::ServableModel(KruskalTensor factors, uint64_t version,
+                             uint64_t step)
+    : factors_(std::move(factors)),
+      dims_(factors_.dims()),
+      version_(version),
+      step_(step) {
+  const size_t n = factors_.order();
+  const size_t r = factors_.rank();
+  grams_.reserve(n);
+  column_norms_.reserve(n);
+  for (size_t mode = 0; mode < n; ++mode) {
+    grams_.push_back(TransposeTimes(factors_.factor(mode),
+                                    factors_.factor(mode)));
+    std::vector<double> norms(r);
+    for (size_t f = 0; f < r; ++f) {
+      norms[f] = std::sqrt(grams_.back()(f, f));
+    }
+    column_norms_.push_back(std::move(norms));
+  }
+  Matrix acc = grams_[0];
+  for (size_t mode = 1; mode < n; ++mode) {
+    HadamardInPlace(acc, grams_[mode]);
+  }
+  norm_squared_ = SumAll(acc);
+  fingerprint_ = FingerprintFactors(factors_);
+}
+
+std::shared_ptr<const ServableModel> ServableModel::Build(
+    KruskalTensor factors, uint64_t version, uint64_t step) {
+  DISMASTD_CHECK(factors.order() > 0);
+  return std::shared_ptr<const ServableModel>(
+      new ServableModel(std::move(factors), version, step));
+}
+
+uint64_t ServableModel::ComputeFingerprint() const {
+  return FingerprintFactors(factors_);
+}
+
+Status ServableModel::ValidateIndex(
+    const std::vector<uint64_t>& index) const {
+  if (index.size() != order()) {
+    return Status::InvalidArgument(
+        "query index arity " + std::to_string(index.size()) +
+        " does not match model order " + std::to_string(order()));
+  }
+  for (size_t n = 0; n < order(); ++n) {
+    if (index[n] >= dims_[n]) {
+      return Status::OutOfRange("query index " + std::to_string(index[n]) +
+                                " out of range for mode " +
+                                std::to_string(n) + " (dim " +
+                                std::to_string(dims_[n]) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> ServableModel::CombinationWeights(
+    size_t target_mode, const std::vector<uint64_t>& anchor) const {
+  const size_t r = rank();
+  std::vector<double> weights(r, 1.0);
+  for (size_t n = 0; n < order(); ++n) {
+    if (n == target_mode) continue;
+    const double* row =
+        factors_.factor(n).RowPtr(static_cast<size_t>(anchor[n]));
+    for (size_t f = 0; f < r; ++f) weights[f] *= row[f];
+  }
+  return weights;
+}
+
+std::vector<ScoredIndex> ServableModel::TopK(
+    size_t target_mode, const std::vector<uint64_t>& anchor,
+    size_t k) const {
+  const std::vector<double> weights =
+      CombinationWeights(target_mode, anchor);
+  const Matrix& target = factors_.factor(target_mode);
+  const size_t candidates = target.rows();
+  const size_t r = rank();
+
+  std::vector<ScoredIndex> scored(candidates);
+  for (size_t j = 0; j < candidates; ++j) {
+    const double* row = target.RowPtr(j);
+    double score = 0.0;
+    for (size_t f = 0; f < r; ++f) score += row[f] * weights[f];
+    scored[j] = {static_cast<uint64_t>(j), score};
+  }
+
+  k = std::min(k, candidates);
+  const auto better = [](const ScoredIndex& a, const ScoredIndex& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  };
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(k),
+                    scored.end(), better);
+  scored.resize(k);
+  return scored;
+}
+
+}  // namespace serve
+}  // namespace dismastd

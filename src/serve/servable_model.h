@@ -1,0 +1,120 @@
+#ifndef DISMASTD_SERVE_SERVABLE_MODEL_H_
+#define DISMASTD_SERVE_SERVABLE_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+namespace serve {
+
+/// One entry of a top-K recommendation: a column index of the target mode
+/// and its predicted score under the CP model.
+struct ScoredIndex {
+  uint64_t index = 0;
+  double score = 0.0;
+
+  bool operator==(const ScoredIndex& other) const {
+    return index == other.index && score == other.score;
+  }
+};
+
+/// An immutable, query-ready published CP model.
+///
+/// A ServableModel freezes one decomposition result (the paper's §I online
+/// prediction scenario: the factors answer rating/recommendation queries
+/// while the next DTD step is being computed) together with everything the
+/// query engine wants precomputed:
+///   - per-mode Gram matrices A_nᵀA_n (R x R), so model-norm and similarity
+///     queries never touch the tall factors,
+///   - per-mode column norms ‖A_n[:,f]‖,
+///   - the model Frobenius norm derived from the Grams,
+///   - a fingerprint over the factor bytes, letting concurrency tests prove
+///     a reader never observes a half-published model.
+///
+/// Instances are created only through Build() and shared as
+/// `shared_ptr<const ServableModel>`; after Build returns, nothing mutates
+/// the object, so concurrent readers need no synchronization beyond the
+/// pointer acquisition itself.
+class ServableModel {
+ public:
+  /// Precomputes the serving metadata and freezes the model. `factors`
+  /// must be non-empty (order >= 1); `version` is assigned by the
+  /// ModelStore, `step` is the streaming step the factors correspond to.
+  static std::shared_ptr<const ServableModel> Build(KruskalTensor factors,
+                                                    uint64_t version,
+                                                    uint64_t step);
+
+  uint64_t version() const { return version_; }
+  uint64_t step() const { return step_; }
+
+  const KruskalTensor& factors() const { return factors_; }
+  size_t order() const { return factors_.order(); }
+  size_t rank() const { return factors_.rank(); }
+  const std::vector<uint64_t>& dims() const { return dims_; }
+
+  /// Gram matrix A_nᵀA_n of mode `mode` (R x R).
+  const Matrix& gram(size_t mode) const { return grams_[mode]; }
+
+  /// Euclidean norms of mode `mode`'s R factor columns.
+  const std::vector<double>& column_norms(size_t mode) const {
+    return column_norms_[mode];
+  }
+
+  /// ‖[[A_1..A_N]]‖_F², precomputed from the Grams at publish time.
+  double norm_squared() const { return norm_squared_; }
+
+  /// Content hash over all factor bytes, computed once at Build time.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Recomputes the fingerprint from the current factor bytes. Readers use
+  /// `ComputeFingerprint() == fingerprint()` to assert they are looking at
+  /// a fully-published, untouched model (no torn reads).
+  uint64_t ComputeFingerprint() const;
+
+  /// Model value at `index` (order() entries). The caller is responsible
+  /// for bounds; the query engine validates against dims() first.
+  double Predict(const uint64_t* index) const {
+    return factors_.ValueAt(index);
+  }
+
+  /// Returns OK iff `index` has order() entries all within dims().
+  Status ValidateIndex(const std::vector<uint64_t>& index) const;
+
+  /// Top-K recommendation over `target_mode`: with every other mode pinned
+  /// to `anchor[n]` (anchor[target_mode] is ignored), scores all
+  /// J = dims()[target_mode] candidates via one R-vector x factor-matrix
+  /// product and partial-sorts the best K. Scores tie-break on ascending
+  /// index so results are deterministic. K is clamped to J.
+  std::vector<ScoredIndex> TopK(size_t target_mode,
+                                const std::vector<uint64_t>& anchor,
+                                size_t k) const;
+
+  /// The combination weights w[f] = Π_{n != target_mode} A_n[anchor[n], f]
+  /// of a TopK query — exposed for the microbenchmark and brute-force
+  /// test oracles.
+  std::vector<double> CombinationWeights(size_t target_mode,
+                                         const std::vector<uint64_t>& anchor)
+      const;
+
+ private:
+  ServableModel(KruskalTensor factors, uint64_t version, uint64_t step);
+
+  KruskalTensor factors_;
+  std::vector<uint64_t> dims_;
+  uint64_t version_ = 0;
+  uint64_t step_ = 0;
+  std::vector<Matrix> grams_;
+  std::vector<std::vector<double>> column_norms_;
+  double norm_squared_ = 0.0;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace serve
+}  // namespace dismastd
+
+#endif  // DISMASTD_SERVE_SERVABLE_MODEL_H_

@@ -1,0 +1,150 @@
+#include "serve/serve_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dismastd {
+namespace serve {
+namespace {
+
+size_t BucketFor(uint64_t nanos) {
+  if (nanos <= 1) return 0;
+  // Index of the highest set bit: bucket b covers [2^b, 2^{b+1}).
+  return static_cast<size_t>(63 - __builtin_clzll(nanos));
+}
+
+double BucketMidSeconds(size_t bucket) {
+  // Geometric midpoint of [2^b, 2^{b+1}) ns, in seconds.
+  return std::exp2(static_cast<double>(bucket) + 0.5) * 1e-9;
+}
+
+}  // namespace
+
+const char* QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kPoint:
+      return "point";
+    case QueryType::kBatch:
+      return "batch";
+    case QueryType::kTopK:
+      return "topk";
+  }
+  return "?";
+}
+
+void LatencyHistogram::Record(double seconds) {
+  const uint64_t nanos =
+      seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
+  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) *
+         1e-9 / static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based, nearest-rank definition.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidSeconds(b);
+  }
+  return BucketMidSeconds(kNumBuckets - 1);
+}
+
+void ServeMetrics::RecordQuery(QueryType type, double seconds,
+                               uint64_t version, uint64_t model_step) {
+  histograms_[static_cast<size_t>(type)].Record(seconds);
+  queries_total_.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t latest = latest_step_.load(std::memory_order_relaxed);
+  const uint64_t age = latest > model_step ? latest - model_step : 0;
+  staleness_steps_total_.fetch_add(age, std::memory_order_relaxed);
+  uint64_t prev_max = staleness_steps_max_.load(std::memory_order_relaxed);
+  while (age > prev_max && !staleness_steps_max_.compare_exchange_weak(
+                               prev_max, age, std::memory_order_relaxed)) {
+  }
+
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  ++served_per_version_[version];
+}
+
+void ServeMetrics::NoteModelPublished(uint64_t step) {
+  uint64_t prev = latest_step_.load(std::memory_order_relaxed);
+  while (step > prev && !latest_step_.compare_exchange_weak(
+                            prev, step, std::memory_order_relaxed)) {
+  }
+}
+
+ServeMetricsReport ServeMetrics::Report() const {
+  ServeMetricsReport report;
+  for (size_t t = 0; t < kNumQueryTypes; ++t) {
+    const LatencyHistogram& h = histograms_[t];
+    report.latency[t].count = h.count();
+    report.latency[t].mean_seconds = h.MeanSeconds();
+    report.latency[t].p50_seconds = h.PercentileSeconds(0.50);
+    report.latency[t].p95_seconds = h.PercentileSeconds(0.95);
+    report.latency[t].p99_seconds = h.PercentileSeconds(0.99);
+  }
+  report.queries_total = queries_total();
+  report.elapsed_seconds = since_construction_.ElapsedSeconds();
+  report.qps = report.elapsed_seconds > 0.0
+                   ? static_cast<double>(report.queries_total) /
+                         report.elapsed_seconds
+                   : 0.0;
+  if (report.queries_total > 0) {
+    report.mean_staleness_steps =
+        static_cast<double>(
+            staleness_steps_total_.load(std::memory_order_relaxed)) /
+        static_cast<double>(report.queries_total);
+  }
+  report.max_staleness_steps =
+      staleness_steps_max_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(version_mutex_);
+    report.served_per_version = served_per_version_;
+  }
+  return report;
+}
+
+std::string ServeMetricsReport::ToString() const {
+  std::ostringstream os;
+  char line[160];
+  os << "type   count      mean(us)   p50(us)    p95(us)    p99(us)\n";
+  for (size_t t = 0; t < kNumQueryTypes; ++t) {
+    const LatencySummary& s = latency[t];
+    std::snprintf(line, sizeof(line), "%-6s %-10llu %-10.2f %-10.2f %-10.2f %.2f",
+                  QueryTypeName(static_cast<QueryType>(t)),
+                  (unsigned long long)s.count, s.mean_seconds * 1e6,
+                  s.p50_seconds * 1e6, s.p95_seconds * 1e6,
+                  s.p99_seconds * 1e6);
+    os << line << "\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "total %llu queries in %.3f s (%.0f QPS), staleness mean "
+                "%.2f / max %llu steps",
+                (unsigned long long)queries_total, elapsed_seconds, qps,
+                mean_staleness_steps,
+                (unsigned long long)max_staleness_steps);
+  os << line << "\n";
+  os << "served per version:";
+  for (const auto& [version, count] : served_per_version) {
+    os << " v" << version << "=" << count;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace serve
+}  // namespace dismastd

@@ -1,0 +1,116 @@
+#ifndef DISMASTD_SERVE_SERVE_METRICS_H_
+#define DISMASTD_SERVE_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace dismastd {
+namespace serve {
+
+/// The three request shapes the query engine serves.
+enum class QueryType : uint8_t { kPoint = 0, kBatch = 1, kTopK = 2 };
+inline constexpr size_t kNumQueryTypes = 3;
+
+const char* QueryTypeName(QueryType type);
+
+/// Lock-free latency histogram with power-of-two nanosecond buckets
+/// (bucket b holds latencies in [2^b, 2^{b+1}) ns). Concurrent Record()
+/// calls only touch atomics; percentile reads are approximate to within
+/// one bucket (the reported value is the bucket's geometric midpoint),
+/// which is the usual fidelity of serving dashboards.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(double seconds);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Mean latency in seconds (0 when empty).
+  double MeanSeconds() const;
+
+  /// Approximate p-quantile in seconds, p in [0, 1]; 0 when empty.
+  double PercentileSeconds(double p) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+/// Point-in-time rollup of one query type's latency distribution.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+/// Point-in-time rollup of the whole serving plane.
+struct ServeMetricsReport {
+  std::array<LatencySummary, kNumQueryTypes> latency{};  // by QueryType
+  uint64_t queries_total = 0;
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  /// Queries answered per model version — the staleness ledger: a healthy
+  /// pipeline spreads traffic across versions as publishes land.
+  std::map<uint64_t, uint64_t> served_per_version;
+  /// Model-staleness in steps (latest published step minus the step of the
+  /// model that answered), aggregated over all queries.
+  double mean_staleness_steps = 0.0;
+  uint64_t max_staleness_steps = 0;
+
+  std::string ToString() const;
+};
+
+/// Thread-safe serving observability: per-query-type latency histograms,
+/// a QPS window, and model-staleness counters. One instance is shared by
+/// all query threads of a ServeSession; Record* methods are safe to call
+/// concurrently with each other and with Report().
+class ServeMetrics {
+ public:
+  ServeMetrics() = default;
+
+  /// Records one answered query: its latency, the model version that
+  /// answered, and that model's streaming step.
+  void RecordQuery(QueryType type, double seconds, uint64_t version,
+                   uint64_t model_step);
+
+  /// The publisher advances this after every publish; staleness of a query
+  /// is measured against the newest step published so far.
+  void NoteModelPublished(uint64_t step);
+
+  uint64_t queries_total() const {
+    return queries_total_.load(std::memory_order_relaxed);
+  }
+
+  const LatencyHistogram& histogram(QueryType type) const {
+    return histograms_[static_cast<size_t>(type)];
+  }
+
+  ServeMetricsReport Report() const;
+
+ private:
+  std::array<LatencyHistogram, kNumQueryTypes> histograms_;
+  std::atomic<uint64_t> queries_total_{0};
+  std::atomic<uint64_t> latest_step_{0};
+  std::atomic<uint64_t> staleness_steps_total_{0};
+  std::atomic<uint64_t> staleness_steps_max_{0};
+  WallTimer since_construction_;
+
+  mutable std::mutex version_mutex_;  // guards served_per_version_
+  std::map<uint64_t, uint64_t> served_per_version_;
+};
+
+}  // namespace serve
+}  // namespace dismastd
+
+#endif  // DISMASTD_SERVE_SERVE_METRICS_H_

@@ -129,31 +129,35 @@ Status WriteStreamCheckpointFile(const StreamCheckpoint& checkpoint,
   return WriteBytesToStream(writer, os);
 }
 
-Result<StreamCheckpoint> ReadStreamCheckpointFile(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open for read: " + path);
-  Result<std::vector<uint8_t>> bytes = ReadAllBytes(is);
-  if (!bytes.ok()) return bytes.status();
-  ByteReader reader(bytes.value());
+namespace {
+
+/// Parses the checkpoint payload; errors carry no path (the file-level
+/// wrapper adds it once, so every failure names the offending file).
+Result<StreamCheckpoint> ParseStreamCheckpoint(ByteReader* reader) {
   uint32_t magic = 0, version = 0;
-  DISMASTD_RETURN_IF_ERROR(reader.ReadU32(&magic));
-  DISMASTD_RETURN_IF_ERROR(reader.ReadU32(&version));
+  DISMASTD_RETURN_IF_ERROR(reader->ReadU32(&magic));
+  DISMASTD_RETURN_IF_ERROR(reader->ReadU32(&version));
   if (magic != kCheckpointMagic) {
-    return Status::IoError("bad checkpoint magic in " + path);
+    return Status::IoError("bad checkpoint magic");
   }
-  if (version != kVersion) return Status::IoError("unsupported version");
+  if (version != kVersion) {
+    return Status::IoError("unsupported checkpoint format version " +
+                           std::to_string(version));
+  }
   StreamCheckpoint checkpoint;
-  DISMASTD_RETURN_IF_ERROR(reader.ReadU64(&checkpoint.step));
+  checkpoint.format_version = version;
+  DISMASTD_RETURN_IF_ERROR(reader->ReadU64(&checkpoint.step));
   uint64_t dim_count = 0;
-  DISMASTD_RETURN_IF_ERROR(reader.ReadU64(&dim_count));
+  DISMASTD_RETURN_IF_ERROR(reader->ReadU64(&dim_count));
   if (dim_count == 0 || dim_count > 16) {
-    return Status::IoError("bad checkpoint dim count");
+    return Status::IoError("bad checkpoint dim count " +
+                           std::to_string(dim_count));
   }
   checkpoint.dims.resize(dim_count);
   for (auto& d : checkpoint.dims) {
-    DISMASTD_RETURN_IF_ERROR(reader.ReadU64(&d));
+    DISMASTD_RETURN_IF_ERROR(reader->ReadU64(&d));
   }
-  Result<KruskalTensor> factors = ParseKruskal(&reader);
+  Result<KruskalTensor> factors = ParseKruskal(reader);
   if (!factors.ok()) return factors.status();
   checkpoint.factors = std::move(factors).value();
   if (checkpoint.dims.size() != checkpoint.factors.order()) {
@@ -161,10 +165,45 @@ Result<StreamCheckpoint> ReadStreamCheckpointFile(const std::string& path) {
   }
   for (size_t n = 0; n < checkpoint.dims.size(); ++n) {
     if (checkpoint.factors.factor(n).rows() != checkpoint.dims[n]) {
-      return Status::IoError("checkpoint dims/factor rows mismatch");
+      return Status::IoError(
+          "checkpoint dims/factor rows mismatch in mode " +
+          std::to_string(n) + " (dim " +
+          std::to_string(checkpoint.dims[n]) + ", factor rows " +
+          std::to_string(checkpoint.factors.factor(n).rows()) + ")");
     }
   }
   return checkpoint;
+}
+
+}  // namespace
+
+Result<StreamCheckpoint> ReadStreamCheckpointFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  Result<std::vector<uint8_t>> bytes = ReadAllBytes(is);
+  if (!bytes.ok()) return bytes.status();
+  ByteReader reader(bytes.value());
+  Result<StreamCheckpoint> checkpoint = ParseStreamCheckpoint(&reader);
+  if (!checkpoint.ok()) {
+    return Status(checkpoint.status().code(),
+                  path + ": " + checkpoint.status().message());
+  }
+  return checkpoint;
+}
+
+Result<CheckpointFileKind> SniffCheckpointFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (is.gcount() != sizeof(magic)) {
+    return CheckpointFileKind::kNotACheckpoint;
+  }
+  if (magic == kKruskalMagic) return CheckpointFileKind::kKruskalFactors;
+  if (magic == kCheckpointMagic) {
+    return CheckpointFileKind::kStreamCheckpoint;
+  }
+  return CheckpointFileKind::kNotACheckpoint;
 }
 
 }  // namespace dismastd

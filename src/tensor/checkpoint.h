@@ -35,7 +35,22 @@ struct StreamCheckpoint {
   KruskalTensor factors;
   std::vector<uint64_t> dims;
   uint64_t step = 0;
+  /// On-disk format version; stamped by the reader, informational for
+  /// writers (the writer always emits the current format).
+  uint32_t format_version = 1;
 };
+
+/// File-type sniffing for user-supplied paths (the CLI `info` command):
+/// which of our binary formats, if any, the first bytes announce.
+enum class CheckpointFileKind {
+  kNotACheckpoint,    // no recognizable magic — likely a text tensor
+  kKruskalFactors,    // WriteKruskalFile output ("KRSK")
+  kStreamCheckpoint,  // WriteStreamCheckpointFile output ("DCKP")
+};
+
+/// Reads the magic of `path` (IoError when unreadable). Never fails on
+/// short/garbage content — that's kNotACheckpoint.
+Result<CheckpointFileKind> SniffCheckpointFile(const std::string& path);
 
 Status WriteStreamCheckpointFile(const StreamCheckpoint& checkpoint,
                                  const std::string& path);

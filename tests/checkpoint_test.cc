@@ -127,6 +127,111 @@ TEST(CheckpointTest, StreamCheckpointRejectsInconsistentFile) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, StreamCheckpointReportsFormatVersion) {
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(20);
+  checkpoint.dims = {7, 5, 4};
+  const std::string path = TempPath("versioned.ckpt");
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  EXPECT_EQ(ReadStreamCheckpointFile(path).value().format_version, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, StreamCheckpointRejectsTruncatedFile) {
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(21);
+  checkpoint.dims = {7, 5, 4};
+  const std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Every proper prefix must be rejected cleanly, wherever the cut lands
+  // (header, dims, factor shapes, payload).
+  for (size_t keep : {size_t{2}, size_t{10}, size_t{30}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    Result<StreamCheckpoint> result = ReadStreamCheckpointFile(path);
+    ASSERT_FALSE(result.ok()) << "prefix of " << keep << " bytes";
+    // Whatever layer catches it (header check: IoError; raw read past the
+    // end: OutOfRange), the error names the file.
+    EXPECT_NE(result.status().message().find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, StreamCheckpointRejectsBadMagicNamingThePath) {
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(22);
+  checkpoint.dims = {7, 5, 4};
+  const std::string path = TempPath("badmagic.ckpt");
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  const uint32_t wrong = 0xDEADBEEF;
+  f.write(reinterpret_cast<const char*>(&wrong), sizeof(wrong));
+  f.close();
+  Result<StreamCheckpoint> result = ReadStreamCheckpointFile(path);
+  ASSERT_FALSE(result.ok());
+  // The error names the offending file — a deployment reads this from a
+  // log line, not a debugger.
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, StreamCheckpointRejectsFactorShapeMismatch) {
+  // dims say 7x5x4 but the corrupted dim entry says 999: the factor-rows
+  // cross-check must identify the inconsistency and name the mode.
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(23);
+  checkpoint.dims = {7, 5, 4};
+  const std::string path = TempPath("shape.ckpt");
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(4 + 4 + 8 + 8 + 8);  // magic, version, step, dim count, dims[0]
+  const uint64_t wrong = 999;
+  f.write(reinterpret_cast<const char*>(&wrong), sizeof(wrong));
+  f.close();
+  Result<StreamCheckpoint> result = ReadStreamCheckpointFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("mode 1"), std::string::npos);
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SniffIdentifiesFileKinds) {
+  const std::string factors_path = TempPath("sniff.krs");
+  ASSERT_TRUE(WriteKruskalFile(MakeFactors(24), factors_path).ok());
+  EXPECT_EQ(SniffCheckpointFile(factors_path).value(),
+            CheckpointFileKind::kKruskalFactors);
+
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(25);
+  checkpoint.dims = {7, 5, 4};
+  const std::string ckpt_path = TempPath("sniff.ckpt");
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, ckpt_path).ok());
+  EXPECT_EQ(SniffCheckpointFile(ckpt_path).value(),
+            CheckpointFileKind::kStreamCheckpoint);
+
+  const std::string text_path = TempPath("sniff.txt");
+  std::ofstream(text_path) << "3 3 3\n1 2 3 4.0\n";
+  EXPECT_EQ(SniffCheckpointFile(text_path).value(),
+            CheckpointFileKind::kNotACheckpoint);
+  const std::string tiny_path = TempPath("sniff.tiny");
+  std::ofstream(tiny_path) << "ab";
+  EXPECT_EQ(SniffCheckpointFile(tiny_path).value(),
+            CheckpointFileKind::kNotACheckpoint);
+  EXPECT_FALSE(SniffCheckpointFile("/nonexistent/file").ok());
+
+  std::remove(factors_path.c_str());
+  std::remove(ckpt_path.c_str());
+  std::remove(text_path.c_str());
+  std::remove(tiny_path.c_str());
+}
+
 TEST(CheckpointTest, ResumeProducesIdenticalFactors) {
   // The checkpoint carries everything needed to continue a streaming chain.
   const KruskalTensor factors = MakeFactors(7);

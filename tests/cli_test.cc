@@ -139,6 +139,123 @@ TEST(CliTest, GenerateInfoDecomposeStreamPipeline) {
   std::remove(checkpoint_path.c_str());
 }
 
+TEST(CliTest, InfoDescribesCheckpointAndFactorFiles) {
+  const std::string tensor_path = TempPath("cli_info.tns");
+  const std::string factors_path = TempPath("cli_info.krs");
+  const std::string checkpoint_path = TempPath("cli_info.ckpt");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "30x20x10", "--nnz", "800", "--seed", "3"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"decompose", "--input", tensor_path, "--rank", "2",
+                          "--iterations", "2", "--factors", factors_path},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--steps", "2",
+                          "--rank", "2", "--iterations", "2",
+                          "--checkpoint", checkpoint_path},
+                         &output)
+                  .ok());
+
+  // A streaming checkpoint is recognized and described, not fed to the
+  // text-tensor parser.
+  ASSERT_TRUE(
+      RunCommand({"info", "--input", checkpoint_path}, &output).ok())
+      << output;
+  EXPECT_NE(output.find("streaming checkpoint"), std::string::npos);
+  EXPECT_NE(output.find("version : 1"), std::string::npos);
+  EXPECT_NE(output.find("step    : 1"), std::string::npos);
+  EXPECT_NE(output.find("rank    : 2"), std::string::npos);
+  EXPECT_NE(output.find("order   : 3"), std::string::npos);
+
+  // Same for a bare Kruskal factor file (decomposed from the full
+  // tensor, so its dims are the tensor's).
+  ASSERT_TRUE(RunCommand({"info", "--input", factors_path}, &output).ok())
+      << output;
+  EXPECT_NE(output.find("Kruskal factors"), std::string::npos);
+  EXPECT_NE(output.find("rank    : 2"), std::string::npos);
+  EXPECT_NE(output.find("dims    : 30 20 10"), std::string::npos);
+
+  std::remove(tensor_path.c_str());
+  std::remove(factors_path.c_str());
+  std::remove(checkpoint_path.c_str());
+}
+
+TEST(CliTest, ServeBenchDecomposesAndServes) {
+  const std::string tensor_path = TempPath("cli_serve.tns");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "40x24x12", "--nnz", "1500", "--rank", "2",
+                          "--seed", "11"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"serve-bench", "--input", tensor_path, "--workers",
+                          "3", "--steps", "3", "--rank", "2", "--iterations",
+                          "2", "--queries", "200", "--clients", "2", "--k",
+                          "4", "--batch", "16"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("versions published : 3"), std::string::npos);
+  EXPECT_NE(output.find("queries answered   : 200 (0 failed)"),
+            std::string::npos);
+  EXPECT_NE(output.find("served per version:"), std::string::npos);
+  std::remove(tensor_path.c_str());
+}
+
+TEST(CliTest, ServeBenchWarmStartsFromCheckpoint) {
+  const std::string tensor_path = TempPath("cli_serve2.tns");
+  const std::string checkpoint_path = TempPath("cli_serve2.ckpt");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "30x20x10", "--nnz", "800", "--seed", "13"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--steps", "2",
+                          "--rank", "2", "--iterations", "2",
+                          "--checkpoint", checkpoint_path},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"serve-bench", "--input", tensor_path, "--steps",
+                          "2", "--rank", "2", "--iterations", "2",
+                          "--queries", "100", "--clients", "2",
+                          "--warm-checkpoint", checkpoint_path},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("warm-started v1"), std::string::npos);
+  // 2 streamed steps on top of the warm-start version.
+  EXPECT_NE(output.find("versions published : 3"), std::string::npos);
+  std::remove(tensor_path.c_str());
+  std::remove(checkpoint_path.c_str());
+}
+
+TEST(CliTest, ServeBenchValidatesFlags) {
+  std::string output;
+  EXPECT_FALSE(RunCommand({"serve-bench", "--input", "/nonexistent.tns"},
+                          &output)
+                   .ok());
+  const std::string tensor_path = TempPath("cli_serve3.tns");
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "10x10x10", "--nnz", "100"},
+                         &output)
+                  .ok());
+  EXPECT_FALSE(RunCommand({"serve-bench", "--input", tensor_path,
+                           "--clients", "0"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"serve-bench", "--input", tensor_path,
+                           "--keep-depth", "0"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"serve-bench", "--input", tensor_path,
+                           "--warm-checkpoint", "/nonexistent.ckpt"},
+                          &output)
+                   .ok());
+  std::remove(tensor_path.c_str());
+}
+
 TEST(CliTest, StreamDmsMgAndGtpVariants) {
   const std::string tensor_path = TempPath("cli_tensor2.tns");
   std::string output;

@@ -1,0 +1,214 @@
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "serve/query_log.h"
+
+namespace dismastd {
+namespace serve {
+namespace {
+
+KruskalTensor MakeFactors(uint64_t seed,
+                          std::vector<uint64_t> dims = {10, 8, 6},
+                          size_t rank = 3) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (uint64_t d : dims) {
+    factors.push_back(Matrix::Random(static_cast<size_t>(d), rank, rng));
+  }
+  return KruskalTensor(std::move(factors));
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : engine_(&store_, nullptr, &metrics_) {
+    store_.Publish(MakeFactors(1), 0);
+  }
+
+  ModelStore store_;
+  ServeMetrics metrics_;
+  QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, PredictMatchesModel) {
+  const auto model = store_.Current();
+  const std::vector<uint64_t> index = {3, 5, 2};
+  Result<double> value = engine_.Predict(index);
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value.value(), model->Predict(index.data()));
+}
+
+TEST_F(QueryEngineTest, PredictValidatesInput) {
+  EXPECT_EQ(engine_.Predict({1, 2}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.Predict({10, 0, 0}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(QueryEngineTest, EmptyStoreIsFailedPrecondition) {
+  ModelStore empty;
+  QueryEngine engine(&empty);
+  EXPECT_EQ(engine.Predict({0, 0, 0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.PredictBatch({{0, 0, 0}}).status().code(),
+            StatusCode::kFailedPrecondition);
+  TopKQuery query;
+  query.anchor = {0, 0, 0};
+  EXPECT_EQ(engine.TopK(query).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryEngineTest, BatchMatchesIndividualPredictions) {
+  Rng rng(7);
+  std::vector<std::vector<uint64_t>> indices;
+  for (size_t q = 0; q < 100; ++q) {
+    indices.push_back(
+        {rng.NextBounded(10), rng.NextBounded(8), rng.NextBounded(6)});
+  }
+  Result<std::vector<double>> batch = engine_.PredictBatch(indices);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch.value().size(), indices.size());
+  for (size_t q = 0; q < indices.size(); ++q) {
+    EXPECT_EQ(batch.value()[q], engine_.Predict(indices[q]).value());
+  }
+}
+
+TEST_F(QueryEngineTest, BatchFailsOnAnyBadTuple) {
+  EXPECT_EQ(
+      engine_.PredictBatch({{0, 0, 0}, {0, 99, 0}}).status().code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST_F(QueryEngineTest, BatchShardsAcrossThreadPool) {
+  ThreadPool pool(3);
+  QueryEngine pooled(&store_, &pool);
+  Rng rng(8);
+  std::vector<std::vector<uint64_t>> indices;
+  for (size_t q = 0; q < 4 * QueryEngine::kMinTuplesPerShard; ++q) {
+    indices.push_back(
+        {rng.NextBounded(10), rng.NextBounded(8), rng.NextBounded(6)});
+  }
+  Result<std::vector<double>> sharded = pooled.PredictBatch(indices);
+  Result<std::vector<double>> inline_values = engine_.PredictBatch(indices);
+  ASSERT_TRUE(sharded.ok());
+  // Sharding changes the execution schedule, not the values.
+  EXPECT_EQ(sharded.value(), inline_values.value());
+}
+
+TEST_F(QueryEngineTest, TopKMatchesModelKernel) {
+  TopKQuery query;
+  query.target_mode = 1;
+  query.anchor = {4, 0, 3};
+  query.k = 4;
+  Result<std::vector<ScoredIndex>> top = engine_.TopK(query);
+  ASSERT_TRUE(top.ok()) << top.status();
+  EXPECT_EQ(top.value(), store_.Current()->TopK(1, query.anchor, 4));
+}
+
+TEST_F(QueryEngineTest, TopKValidatesQuery) {
+  TopKQuery query;
+  query.target_mode = 9;
+  query.anchor = {0, 0, 0};
+  EXPECT_EQ(engine_.TopK(query).status().code(),
+            StatusCode::kInvalidArgument);
+  query.target_mode = 1;
+  query.anchor = {0, 0};
+  EXPECT_EQ(engine_.TopK(query).status().code(),
+            StatusCode::kInvalidArgument);
+  query.anchor = {0, 0, 77};
+  EXPECT_EQ(engine_.TopK(query).status().code(), StatusCode::kOutOfRange);
+  query.anchor = {0, 0, 0};
+  query.k = 0;
+  EXPECT_EQ(engine_.TopK(query).status().code(),
+            StatusCode::kInvalidArgument);
+  // The anchor entry of the target mode is ignored, even out-of-range.
+  query.k = 2;
+  query.anchor = {0, 9999, 0};
+  EXPECT_TRUE(engine_.TopK(query).ok());
+}
+
+TEST_F(QueryEngineTest, QueriesAreRecordedPerTypeAndVersion) {
+  ASSERT_TRUE(engine_.Predict({0, 0, 0}).ok());
+  ASSERT_TRUE(engine_.Predict({1, 1, 1}).ok());
+  ASSERT_TRUE(engine_.PredictBatch({{0, 0, 0}, {2, 2, 2}}).ok());
+  TopKQuery query;
+  query.anchor = {0, 0, 0};
+  ASSERT_TRUE(engine_.TopK(query).ok());
+
+  const ServeMetricsReport report = metrics_.Report();
+  EXPECT_EQ(report.queries_total, 4u);
+  EXPECT_EQ(
+      report.latency[static_cast<size_t>(QueryType::kPoint)].count, 2u);
+  EXPECT_EQ(
+      report.latency[static_cast<size_t>(QueryType::kBatch)].count, 1u);
+  EXPECT_EQ(report.latency[static_cast<size_t>(QueryType::kTopK)].count,
+            1u);
+  ASSERT_EQ(report.served_per_version.size(), 1u);
+  EXPECT_EQ(report.served_per_version.at(1), 4u);
+}
+
+TEST_F(QueryEngineTest, StalenessTracksPublishedSteps) {
+  // Model of step 0 is current; the publisher has since announced step 4.
+  metrics_.NoteModelPublished(4);
+  ASSERT_TRUE(engine_.Predict({0, 0, 0}).ok());
+  const ServeMetricsReport report = metrics_.Report();
+  EXPECT_EQ(report.max_staleness_steps, 4u);
+  EXPECT_DOUBLE_EQ(report.mean_staleness_steps, 4.0);
+}
+
+TEST(QueryLogTest, GeneratedLogIsDeterministicAndInBounds) {
+  QueryLogOptions options;
+  options.num_queries = 300;
+  options.batch_size = 8;
+  const std::vector<uint64_t> dims = {10, 8, 6};
+  const auto log_a = GenerateQueryLog(dims, options);
+  const auto log_b = GenerateQueryLog(dims, options);
+  ASSERT_EQ(log_a.size(), 300u);
+  size_t type_counts[kNumQueryTypes] = {0, 0, 0};
+  for (size_t q = 0; q < log_a.size(); ++q) {
+    EXPECT_EQ(log_a[q].type, log_b[q].type);
+    ++type_counts[static_cast<size_t>(log_a[q].type)];
+    for (const auto& index : log_a[q].indices) {
+      ASSERT_EQ(index.size(), dims.size());
+      for (size_t n = 0; n < dims.size(); ++n) {
+        EXPECT_LT(index[n], dims[n]);
+      }
+    }
+    if (log_a[q].type == QueryType::kBatch) {
+      EXPECT_EQ(log_a[q].indices.size(), 8u);
+    }
+  }
+  // All three types appear with the default mix.
+  EXPECT_GT(type_counts[0], 0u);
+  EXPECT_GT(type_counts[1], 0u);
+  EXPECT_GT(type_counts[2], 0u);
+}
+
+TEST(QueryLogTest, ReplayAnswersEveryQueryAgainstAPublishedModel) {
+  ModelStore store;
+  store.Publish(MakeFactors(5), 0);
+  ServeMetrics metrics;
+  QueryEngine engine(&store, nullptr, &metrics);
+  QueryLogOptions options;
+  options.num_queries = 200;
+  const auto log = GenerateQueryLog({10, 8, 6}, options);
+  const ReplayStats stats = ReplayQueryLog(engine, log, 3);
+  EXPECT_EQ(stats.answered, 200u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(metrics.queries_total(), 200u);
+}
+
+TEST(QueryLogTest, ReplayAgainstEmptyStoreReportsFailures) {
+  ModelStore store;
+  QueryEngine engine(&store);
+  QueryLogOptions options;
+  options.num_queries = 10;
+  const auto log = GenerateQueryLog({4, 4, 4}, options);
+  const ReplayStats stats = ReplayQueryLog(engine, log, 2);
+  EXPECT_EQ(stats.answered, 0u);
+  EXPECT_EQ(stats.failed, 10u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dismastd

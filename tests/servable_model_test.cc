@@ -1,0 +1,159 @@
+#include "serve/servable_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/ops.h"
+
+namespace dismastd {
+namespace serve {
+namespace {
+
+KruskalTensor MakeFactors(uint64_t seed, std::vector<uint64_t> dims = {9, 7, 5},
+                          size_t rank = 3) {
+  Rng rng(seed);
+  std::vector<Matrix> factors;
+  for (uint64_t d : dims) {
+    factors.push_back(Matrix::Random(static_cast<size_t>(d), rank, rng));
+  }
+  return KruskalTensor(std::move(factors));
+}
+
+TEST(ServableModelTest, CarriesVersionAndStepMetadata) {
+  const auto model = ServableModel::Build(MakeFactors(1), 7, 42);
+  EXPECT_EQ(model->version(), 7u);
+  EXPECT_EQ(model->step(), 42u);
+  EXPECT_EQ(model->order(), 3u);
+  EXPECT_EQ(model->rank(), 3u);
+  EXPECT_EQ(model->dims(), (std::vector<uint64_t>{9, 7, 5}));
+}
+
+TEST(ServableModelTest, PrecomputedGramsMatchDirectProducts) {
+  const KruskalTensor factors = MakeFactors(2);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  for (size_t mode = 0; mode < factors.order(); ++mode) {
+    const Matrix expected =
+        TransposeTimes(factors.factor(mode), factors.factor(mode));
+    EXPECT_TRUE(model->gram(mode).AllClose(expected, 1e-12));
+  }
+}
+
+TEST(ServableModelTest, ColumnNormsMatchManualComputation) {
+  const KruskalTensor factors = MakeFactors(3);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  for (size_t mode = 0; mode < factors.order(); ++mode) {
+    const Matrix& f = factors.factor(mode);
+    ASSERT_EQ(model->column_norms(mode).size(), f.cols());
+    for (size_t c = 0; c < f.cols(); ++c) {
+      double sum = 0.0;
+      for (size_t r = 0; r < f.rows(); ++r) sum += f(r, c) * f(r, c);
+      EXPECT_NEAR(model->column_norms(mode)[c], std::sqrt(sum), 1e-12);
+    }
+  }
+}
+
+TEST(ServableModelTest, NormSquaredMatchesKruskal) {
+  const KruskalTensor factors = MakeFactors(4);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  EXPECT_NEAR(model->norm_squared(), factors.NormSquaredViaGrams(), 1e-9);
+}
+
+TEST(ServableModelTest, PredictMatchesValueAt) {
+  const KruskalTensor factors = MakeFactors(5);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  for (uint64_t i = 0; i < 9; ++i) {
+    for (uint64_t j = 0; j < 7; ++j) {
+      const uint64_t index[] = {i, j, i % 5};
+      EXPECT_EQ(model->Predict(index), factors.ValueAt(index));
+    }
+  }
+}
+
+TEST(ServableModelTest, ValidateIndexChecksArityAndBounds) {
+  const auto model = ServableModel::Build(MakeFactors(6), 1, 0);
+  EXPECT_TRUE(model->ValidateIndex({0, 0, 0}).ok());
+  EXPECT_TRUE(model->ValidateIndex({8, 6, 4}).ok());
+  EXPECT_EQ(model->ValidateIndex({0, 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model->ValidateIndex({9, 0, 0}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(model->ValidateIndex({0, 0, 5}).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ServableModelTest, FingerprintIsStableAndRecomputable) {
+  const auto a = ServableModel::Build(MakeFactors(7), 1, 0);
+  const auto b = ServableModel::Build(MakeFactors(7), 2, 1);
+  const auto c = ServableModel::Build(MakeFactors(8), 3, 2);
+  // Same factors -> same fingerprint regardless of version metadata.
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
+  EXPECT_NE(a->fingerprint(), c->fingerprint());
+  EXPECT_EQ(a->ComputeFingerprint(), a->fingerprint());
+}
+
+/// Brute-force oracle: score every candidate with ValueAt, sort by
+/// (score desc, index asc), take K.
+std::vector<ScoredIndex> BruteForceTopK(const KruskalTensor& factors,
+                                        size_t target_mode,
+                                        std::vector<uint64_t> anchor,
+                                        size_t k) {
+  const uint64_t candidates = factors.dims()[target_mode];
+  std::vector<ScoredIndex> scored;
+  for (uint64_t j = 0; j < candidates; ++j) {
+    anchor[target_mode] = j;
+    scored.push_back({j, factors.ValueAt(anchor.data())});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredIndex& a, const ScoredIndex& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.index < b.index;
+            });
+  scored.resize(std::min<size_t>(k, scored.size()));
+  return scored;
+}
+
+TEST(ServableModelTest, TopKMatchesBruteForceRescore) {
+  const KruskalTensor factors = MakeFactors(9, {20, 40, 6}, 4);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  for (size_t target_mode = 0; target_mode < 3; ++target_mode) {
+    const std::vector<uint64_t> anchor = {3, 5, 2};
+    const auto got = model->TopK(target_mode, anchor, 5);
+    const auto expected = BruteForceTopK(factors, target_mode, anchor, 5);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].index, expected[i].index)
+          << "target_mode=" << target_mode << " position " << i;
+      EXPECT_NEAR(got[i].score, expected[i].score, 1e-12);
+    }
+  }
+}
+
+TEST(ServableModelTest, TopKClampsKToCandidateCount) {
+  const auto model = ServableModel::Build(MakeFactors(10), 1, 0);
+  const auto all = model->TopK(1, {0, 0, 0}, 1000);
+  EXPECT_EQ(all.size(), 7u);
+  // Clamped result is fully sorted.
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].score, all[i].score);
+  }
+}
+
+TEST(ServableModelTest, TopKScoresAreCombinationWeightsDotRows) {
+  const KruskalTensor factors = MakeFactors(11);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  const std::vector<uint64_t> anchor = {4, 0, 3};
+  const std::vector<double> weights = model->CombinationWeights(1, anchor);
+  const auto top = model->TopK(1, anchor, 7);
+  for (const ScoredIndex& entry : top) {
+    double expected = 0.0;
+    for (size_t f = 0; f < model->rank(); ++f) {
+      expected += factors.factor(1)(static_cast<size_t>(entry.index), f) *
+                  weights[f];
+    }
+    EXPECT_NEAR(entry.score, expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dismastd

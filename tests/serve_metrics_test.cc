@@ -1,0 +1,120 @@
+#include "serve/serve_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dismastd {
+namespace serve {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, MeanIsExactPercentileIsBucketed) {
+  LatencyHistogram h;
+  h.Record(1e-6);
+  h.Record(3e-6);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_NEAR(h.MeanSeconds(), 2e-6, 1e-9);
+  // Power-of-two buckets: the percentile is right to within a factor of 2.
+  const double p50 = h.PercentileSeconds(0.5);
+  EXPECT_GE(p50, 0.5e-6);
+  EXPECT_LE(p50, 2e-6);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndOrdered) {
+  LatencyHistogram h;
+  // 90 fast queries, 10 slow ones: the p50 and p99 must land in clearly
+  // different buckets.
+  for (int i = 0; i < 90; ++i) h.Record(1e-6);
+  for (int i = 0; i < 10; ++i) h.Record(1e-3);
+  const double p50 = h.PercentileSeconds(0.50);
+  const double p95 = h.PercentileSeconds(0.95);
+  const double p99 = h.PercentileSeconds(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LT(p50, 1e-4);
+  EXPECT_GT(p99, 1e-4);
+}
+
+TEST(LatencyHistogramTest, ExtremeQuantilesCoverTheRange) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1e-6 * (i + 1));
+  EXPECT_GT(h.PercentileSeconds(0.0), 0.0);
+  EXPECT_GE(h.PercentileSeconds(1.0), h.PercentileSeconds(0.0));
+}
+
+TEST(LatencyHistogramTest, ZeroAndNegativeLatenciesLandInFirstBucket) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-1.0);  // clock skew paranoia: still counted, not UB
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.PercentileSeconds(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (size_t i = 0; i < kPerThread; ++i) h.Record(1e-6);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(ServeMetricsTest, ReportAggregatesPerTypeAndVersion) {
+  ServeMetrics metrics;
+  metrics.NoteModelPublished(0);
+  metrics.RecordQuery(QueryType::kPoint, 1e-6, /*version=*/1,
+                      /*model_step=*/0);
+  metrics.NoteModelPublished(1);
+  metrics.RecordQuery(QueryType::kPoint, 1e-6, 2, 1);
+  metrics.RecordQuery(QueryType::kTopK, 5e-6, 1, 0);  // one step stale
+
+  const ServeMetricsReport report = metrics.Report();
+  EXPECT_EQ(report.queries_total, 3u);
+  EXPECT_EQ(report.latency[static_cast<size_t>(QueryType::kPoint)].count,
+            2u);
+  EXPECT_EQ(report.latency[static_cast<size_t>(QueryType::kTopK)].count,
+            1u);
+  EXPECT_EQ(report.latency[static_cast<size_t>(QueryType::kBatch)].count,
+            0u);
+  EXPECT_EQ(report.served_per_version.at(1), 2u);
+  EXPECT_EQ(report.served_per_version.at(2), 1u);
+  EXPECT_EQ(report.max_staleness_steps, 1u);
+  EXPECT_NEAR(report.mean_staleness_steps, 1.0 / 3.0, 1e-12);
+  EXPECT_GT(report.elapsed_seconds, 0.0);
+  EXPECT_GT(report.qps, 0.0);
+}
+
+TEST(ServeMetricsTest, PublishedStepNeverRegresses) {
+  ServeMetrics metrics;
+  metrics.NoteModelPublished(5);
+  metrics.NoteModelPublished(3);  // late/out-of-order publish announcement
+  metrics.RecordQuery(QueryType::kPoint, 1e-6, 1, 5);
+  EXPECT_EQ(metrics.Report().max_staleness_steps, 0u);
+}
+
+TEST(ServeMetricsTest, ToStringMentionsEveryQueryType) {
+  ServeMetrics metrics;
+  metrics.RecordQuery(QueryType::kBatch, 2e-6, 4, 0);
+  const std::string text = metrics.Report().ToString();
+  EXPECT_NE(text.find("point"), std::string::npos);
+  EXPECT_NE(text.find("batch"), std::string::npos);
+  EXPECT_NE(text.find("topk"), std::string::npos);
+  EXPECT_NE(text.find("v4=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dismastd

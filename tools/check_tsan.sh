@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the concurrency-sensitive tests under ThreadSanitizer and runs
-# them. A clean pass is a release gate for the execution engine: the
-# thread pool, the simulated cluster, and the parallel-vs-sequential
-# determinism contract must all be race-free.
+# them. A clean pass is a release gate for the execution engine and the
+# serving subsystem: the thread pool, the simulated cluster, the
+# parallel-vs-sequential determinism contract, and the RCU-style model
+# store with its concurrent query engine must all be race-free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,9 +16,10 @@ cmake -S "${repo_root}" -B "${build_dir}" \
   -DDISMASTD_BUILD_EXAMPLES=OFF
 
 cmake --build "${build_dir}" -j \
-  --target thread_pool_test cluster_test determinism_test
+  --target thread_pool_test cluster_test determinism_test \
+  model_store_test query_engine_test serve_metrics_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|model_store_test|query_engine_test|serve_metrics_test)$'
 
 echo "TSan: all clean"

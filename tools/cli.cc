@@ -1,9 +1,12 @@
 #include "tools/cli.h"
 
 #include <ostream>
+#include <thread>
 
 #include "common/string_util.h"
 #include "core/driver.h"
+#include "serve/query_log.h"
+#include "serve/serve_session.h"
 #include "stream/generator.h"
 #include "tensor/checkpoint.h"
 #include "tensor/io.h"
@@ -147,8 +150,43 @@ Status CmdGenerate(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+void PrintFactorSummary(const KruskalTensor& factors, std::ostream& out) {
+  out << "order   : " << factors.order() << "\n";
+  out << "rank    : " << factors.rank() << "\n";
+  out << "dims    :";
+  for (uint64_t d : factors.dims()) out << " " << d;
+  out << "\nnorm^2  : " << factors.NormSquaredViaGrams() << "\n";
+}
+
+/// `info` on a binary artifact: print its metadata instead of feeding
+/// checkpoint bytes to the text-tensor parser (which would fail opaquely
+/// with a parse error on line 1).
+Status CmdInfoCheckpoint(const std::string& path, CheckpointFileKind kind,
+                         std::ostream& out) {
+  if (kind == CheckpointFileKind::kStreamCheckpoint) {
+    Result<StreamCheckpoint> checkpoint = ReadStreamCheckpointFile(path);
+    if (!checkpoint.ok()) return checkpoint.status();
+    out << "file    : streaming checkpoint (DCKP)\n";
+    out << "version : " << checkpoint.value().format_version << "\n";
+    out << "step    : " << checkpoint.value().step << "\n";
+    PrintFactorSummary(checkpoint.value().factors, out);
+    return Status::OK();
+  }
+  Result<KruskalTensor> factors = ReadKruskalFile(path);
+  if (!factors.ok()) return factors.status();
+  out << "file    : Kruskal factors (KRSK)\n";
+  PrintFactorSummary(factors.value(), out);
+  return Status::OK();
+}
+
 Status CmdInfo(const Args& args, std::ostream& out) {
-  Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
+  const std::string input = args.Get("input");
+  Result<CheckpointFileKind> kind = SniffCheckpointFile(input);
+  if (!kind.ok()) return kind.status();
+  if (kind.value() != CheckpointFileKind::kNotACheckpoint) {
+    return CmdInfoCheckpoint(input, kind.value(), out);
+  }
+  Result<SparseTensor> tensor = ReadTensorTextFile(input);
   if (!tensor.ok()) return tensor.status();
   const SparseTensor& t = tensor.value();
   out << "order   : " << t.order() << "\n";
@@ -192,9 +230,7 @@ Status CmdDecompose(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
-Status CmdStream(const Args& args, std::ostream& out) {
-  Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
-  if (!tensor.ok()) return tensor.status();
+Result<DistributedOptions> GetDistributedOptions(const Args& args) {
   Result<DecompositionOptions> als = GetAlsOptions(args);
   if (!als.ok()) return als.status();
 
@@ -213,13 +249,16 @@ Status CmdStream(const Args& args, std::ostream& out) {
       ParsePartitionerKind(args.Get("partitioner", "mtp"));
   if (!partitioner.ok()) return partitioner.status();
   options.partitioner = partitioner.value();
-  Result<MethodKind> method_kind = ParseMethodKind(args.Get("method", "dismastd"));
-  if (!method_kind.ok()) return method_kind.status();
-  const MethodKind method = method_kind.value();
   // Surface option errors here with the Validate message rather than
   // letting the decomposition entry point fail-fast abort.
   DISMASTD_RETURN_IF_ERROR(options.Validate());
+  return options;
+}
 
+/// Builds the growth-schedule stream from --input/--start/--step/--steps.
+Result<StreamingTensorSequence> GetStream(const Args& args) {
+  Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
+  if (!tensor.ok()) return tensor.status();
   Result<double> start = GetDouble(args, "start", 0.75);
   if (!start.ok()) return start.status();
   Result<double> step = GetDouble(args, "step", 0.05);
@@ -229,12 +268,24 @@ Status CmdStream(const Args& args, std::ostream& out) {
   if (start.value() <= 0.0 || start.value() > 1.0 || steps.value() == 0) {
     return Status::InvalidArgument("bad --start/--steps");
   }
-
   auto schedule = MakeGrowthSchedule(tensor.value().dims(), start.value(),
                                      step.value(),
                                      static_cast<size_t>(steps.value()));
-  const StreamingTensorSequence stream(std::move(tensor).value(),
-                                       std::move(schedule));
+  return StreamingTensorSequence(std::move(tensor).value(),
+                                 std::move(schedule));
+}
+
+Status CmdStream(const Args& args, std::ostream& out) {
+  Result<DistributedOptions> options_result = GetDistributedOptions(args);
+  if (!options_result.ok()) return options_result.status();
+  const DistributedOptions& options = options_result.value();
+  Result<MethodKind> method_kind = ParseMethodKind(args.Get("method", "dismastd"));
+  if (!method_kind.ok()) return method_kind.status();
+  const MethodKind method = method_kind.value();
+
+  Result<StreamingTensorSequence> stream_result = GetStream(args);
+  if (!stream_result.ok()) return stream_result.status();
+  const StreamingTensorSequence& stream = stream_result.value();
   const auto metrics =
       RunStreamingExperiment(stream, method, options, /*compute_fit=*/true);
 
@@ -271,6 +322,93 @@ Status CmdStream(const Args& args, std::ostream& out) {
         WriteStreamCheckpointFile(checkpoint, checkpoint_path));
     out << "checkpoint written to " << checkpoint_path << "\n";
   }
+  return Status::OK();
+}
+
+/// Decompose-and-serve: streams the input tensor through the chosen
+/// method, publishing every step's factors into a ModelStore, while client
+/// threads replay a synthetic query log against the live store. The
+/// decomposition runs on its own thread, so queries overlap with it the
+/// same way they would in a deployment.
+Status CmdServeBench(const Args& args, std::ostream& out) {
+  Result<DistributedOptions> options_result = GetDistributedOptions(args);
+  if (!options_result.ok()) return options_result.status();
+  const DistributedOptions& options = options_result.value();
+  Result<MethodKind> method_kind =
+      ParseMethodKind(args.Get("method", "dismastd"));
+  if (!method_kind.ok()) return method_kind.status();
+
+  Result<StreamingTensorSequence> stream_result = GetStream(args);
+  if (!stream_result.ok()) return stream_result.status();
+  const StreamingTensorSequence& stream = stream_result.value();
+
+  Result<uint64_t> queries = GetU64(args, "queries", 2000);
+  if (!queries.ok()) return queries.status();
+  Result<uint64_t> clients = GetU64(args, "clients", 4);
+  if (!clients.ok()) return clients.status();
+  if (clients.value() == 0) {
+    return Status::InvalidArgument("serve-bench needs --clients >= 1");
+  }
+  Result<uint64_t> k = GetU64(args, "k", 10);
+  if (!k.ok()) return k.status();
+  Result<uint64_t> batch = GetU64(args, "batch", 64);
+  if (!batch.ok()) return batch.status();
+  Result<uint64_t> keep_depth = GetU64(args, "keep-depth", 4);
+  if (!keep_depth.ok()) return keep_depth.status();
+  if (keep_depth.value() == 0) {
+    return Status::InvalidArgument("serve-bench needs --keep-depth >= 1");
+  }
+
+  serve::ServeSessionOptions session_options;
+  session_options.store.keep_depth =
+      static_cast<size_t>(keep_depth.value());
+  session_options.num_query_threads = options.execution.num_threads;
+  serve::ServeSession session(session_options);
+
+  const std::string warm_path = args.Get("warm-checkpoint");
+  if (!warm_path.empty()) {
+    Result<uint64_t> version =
+        session.WarmStartFromCheckpointFile(warm_path);
+    if (!version.ok()) return version.status();
+    out << "warm-started v" << version.value() << " from " << warm_path
+        << "\n";
+  }
+
+  // The log is generated against the first snapshot's dims, so every
+  // query is in bounds for every published version.
+  serve::QueryLogOptions log_options;
+  log_options.num_queries = queries.value();
+  log_options.k = static_cast<size_t>(k.value());
+  log_options.batch_size = static_cast<size_t>(batch.value());
+  log_options.topk_target_mode = stream.DimsAt(0).size() > 1 ? 1 : 0;
+  log_options.seed = options.als.seed;
+  const std::vector<serve::QueryRecord> log =
+      serve::GenerateQueryLog(stream.DimsAt(0), log_options);
+
+  std::thread producer([&] {
+    RunStreamingExperiment(stream, method_kind.value(), options,
+                           /*compute_fit=*/false,
+                           session.PublishObserver());
+  });
+  // Cold start: hold queries until the first model lands (a server would
+  // return FailedPrecondition, which is exactly what the engine does —
+  // but the bench wants to measure steady-state latency, not 404s).
+  while (session.store().Current() == nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const serve::ReplayStats stats = serve::ReplayQueryLog(
+      session.engine(), log, static_cast<size_t>(clients.value()));
+  producer.join();
+
+  out << MethodLabel(method_kind.value(), options.partitioner) << " on "
+      << options.num_workers << " workers, " << clients.value()
+      << " query clients\n";
+  out << "versions published : " << session.store().num_published() << "\n";
+  out << "retained versions  :";
+  for (uint64_t v : session.store().RetainedVersions()) out << " v" << v;
+  out << "\nqueries answered   : " << stats.answered << " (" << stats.failed
+      << " failed)\n\n";
+  out << session.metrics().Report().ToString();
   return Status::OK();
 }
 
@@ -319,6 +457,9 @@ std::string UsageText() {
       "                  [--start 0.75 --step 0.05 --steps 6]\n"
       "                  [--rank R --mu MU --iterations N]\n"
       "                  [--checkpoint OUT]\n"
+      "  serve-bench     --input F [stream flags above]\n"
+      "                  [--queries N --clients C --k K --batch B]\n"
+      "                  [--keep-depth D] [--warm-checkpoint F]\n"
       "  partition-stats --input F [--parts 8x15x23] [--partitioner "
       "mtp|gtp]\n"
       "  help\n";
@@ -335,6 +476,7 @@ Status RunCli(int argc, const char* const* argv, std::ostream& out) {
   if (args.command == "info") return CmdInfo(args, out);
   if (args.command == "decompose") return CmdDecompose(args, out);
   if (args.command == "stream") return CmdStream(args, out);
+  if (args.command == "serve-bench") return CmdServeBench(args, out);
   if (args.command == "partition-stats") return CmdPartitionStats(args, out);
   out << UsageText();
   if (args.command == "help") return Status::OK();

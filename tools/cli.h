@@ -40,6 +40,8 @@ Result<std::vector<double>> ParseDoubleList(const std::string& text);
 ///                   [--partitioner mtp|gtp] [--workers M] [--parts P]
 ///                   [--start 0.75 --step 0.05 --steps 6]
 ///                   [--rank R --mu MU --iterations N] [--checkpoint OUT]
+///   serve-bench     --input F [stream flags] [--queries N --clients C]
+///                   [--k K --batch B --keep-depth D] [--warm-checkpoint F]
 ///   partition-stats --input F [--parts 8,15,23] [--partitioner mtp|gtp]
 /// Writes human-readable output to `out`; returns non-OK on usage or IO
 /// errors.
