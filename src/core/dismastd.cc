@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "core/dtd.h"
 #include "dist/cluster.h"
@@ -26,6 +27,7 @@ Status DistributedOptions::Validate() const {
     return Status::InvalidArgument("num_workers must be >= 1");
   }
   DISMASTD_RETURN_IF_ERROR(cost_model.Validate());
+  DISMASTD_RETURN_IF_ERROR(fault_plan.Validate());
   return Status::OK();
 }
 
@@ -75,6 +77,14 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   Cluster cluster(workers, options.cost_model);
   WorkerExecutor exec(workers, options.execution);
   DistributedResult result;
+
+  // Deterministic fault source for this run. Attached only when the plan
+  // can inject something for this streaming step, so a fault-free run is
+  // byte-for-byte identical to a build without the fault layer. All
+  // injector calls happen on this (driver) thread, so the RNG stream is
+  // independent of the execution engine's thread count.
+  FaultInjector injector(options.fault_plan, options.stream_step);
+  if (injector.enabled()) cluster.AttachFaultInjector(&injector);
 
   // ---------------------------------------------------------------------
   // Phase 1: data partitioning (§IV-A).
@@ -158,6 +168,11 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   // ---------------------------------------------------------------------
   std::vector<Matrix> factors =
       InitializeDtdFactors(delta.dims(), old_dims, prev, options.als);
+  // Crash recovery needs the step's input state: kCheckpoint replays from
+  // it (it is exactly what the last per-step checkpoint holds), kDegraded
+  // re-draws a lost new row from it.
+  std::vector<Matrix> init_factors;
+  if (injector.CrashArmed()) init_factors = factors;
 
   // Replicated R x R products (cached on every worker, §IV-B2/3).
   std::vector<Matrix> g0(order), g1(order), h(order);
@@ -170,11 +185,11 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
     h[n] = old_rows > 0 ? TransposeTimes(prev.factor(n), a0)
                         : Matrix(rank, rank);
   };
-  // Initial products: each worker computes partials over its owned rows and
-  // all-to-all reduces them.
-  {
-    SuperstepAccounting acct = cluster.NewSuperstep();
-    // Canonical replicated values; one independent build per mode.
+  // Builds the canonical replicated products and accounts one products
+  // superstep: each worker computes partials over its owned rows and
+  // all-to-all reduces the three R x R products per mode. Used once at
+  // initialization and again after a crash recovery.
+  auto products_superstep = [&](SuperstepAccounting& acct) {
     exec.pool().ParallelFor(order, [&](size_t n) { local_products(n); });
     for (size_t n = 0; n < order; ++n) {
       std::vector<Matrix> partial_stub(workers, Matrix(rank, rank));
@@ -188,6 +203,10 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
         }
       });
     }
+  };
+  {
+    SuperstepAccounting acct = cluster.NewSuperstep();
+    products_superstep(acct);
     cluster.CommitSuperstep(acct);
   }
 
@@ -195,6 +214,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
       has_prev ? prev.NormSquaredViaGrams() : 0.0;
   const double delta_norm_sq = delta.NormSquared();
 
+  const double sim_iterations_start = cluster.ElapsedSimSeconds();
   double sim_before_iters = cluster.ElapsedSimSeconds();
   double prev_loss = -1.0;
 
@@ -420,6 +440,87 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
                                                        sim_before_iters);
     sim_before_iters = sim_now;
 
+    // --- Crash schedule. A worker failure is detected at the BSP barrier
+    // (the boundary where a real driver notices the missing heartbeat);
+    // the plan fires at most once per run. Lost state is exactly the
+    // crashed worker's factor shard — everything else is replicated or
+    // rebuilt from the partitioned tensor, which is re-read from stable
+    // storage like an RDD/lineage re-materialization. ---
+    if (injector.CrashPending(cluster.committed_supersteps())) {
+      const uint32_t crashed = options.fault_plan.crash_worker % workers;
+      DISMASTD_LOG(Warning)
+          << "worker " << crashed << " crashed at superstep "
+          << cluster.committed_supersteps() << " (stream step "
+          << options.stream_step << "); recovering via "
+          << RecoveryModeName(options.recovery);
+      SuperstepAccounting racct = cluster.NewSuperstep();
+      if (options.recovery == RecoveryMode::kCheckpoint) {
+        ++injector.metrics().checkpoint_recoveries;
+        // The pre-crash sweeps are discarded work: they stay on the clock
+        // (they happened) and are attributed to recovery here.
+        injector.metrics().recovery_sim_seconds +=
+            cluster.ElapsedSimSeconds() - sim_iterations_start;
+        // Every worker reloads its factor shard from the last per-step
+        // checkpoint — the step's input state — and the sweeps replay
+        // bit-exactly: the CRC frame plus retransmission guarantees
+        // message faults never silently alter data.
+        factors = init_factors;
+        for (uint32_t w = 0; w < workers; ++w) {
+          uint64_t shard_rows = 0;
+          for (size_t n = 0; n < order; ++n) {
+            for (uint32_t q = w; q < parts; q += workers) {
+              shard_rows += rows_of_part[n][q].size();
+            }
+          }
+          racct.AddReceive(w, RowTransferBytes(shard_rows, rank));
+        }
+        result.als.loss_history.clear();
+        result.als.iterations = 0;
+        result.metrics.sim_seconds_per_iteration.clear();
+        iter = static_cast<size_t>(-1);  // restart the sweep loop
+      } else {
+        ++injector.metrics().degraded_recoveries;
+        // Degraded continuation: only the crashed worker's shard is
+        // rebuilt. Old-range rows come from the previous snapshot's
+        // Kruskal approximation (Eq. 2); new rows are re-drawn from the
+        // deterministic initialization. The surviving workers' progress
+        // is kept, so the run continues instead of replaying.
+        uint64_t lost_rows = 0;
+        for (size_t n = 0; n < order; ++n) {
+          const size_t old_rows_n = static_cast<size_t>(old_dims[n]);
+          for (uint32_t q = crashed % workers; q < parts; q += workers) {
+            for (uint64_t row : rows_of_part[n][q]) {
+              const size_t r = static_cast<size_t>(row);
+              if (r < old_rows_n) {
+                std::copy(prev.factor(n).RowPtr(r),
+                          prev.factor(n).RowPtr(r) + rank,
+                          factors[n].RowPtr(r));
+                ++injector.metrics().rows_rebuilt_from_prev;
+              } else {
+                std::copy(init_factors[n].RowPtr(r),
+                          init_factors[n].RowPtr(r) + rank,
+                          factors[n].RowPtr(r));
+                ++injector.metrics().rows_reinitialized;
+              }
+              ++lost_rows;
+            }
+          }
+        }
+        // The replacement worker pulls its rebuilt shard over the wire.
+        racct.AddReceive(crashed, RowTransferBytes(lost_rows, rank));
+      }
+      // Either way the replicated products are stale — rebuild them in
+      // one accounted recovery superstep before the next sweep.
+      products_superstep(racct);
+      const double before_recovery_commit = cluster.ElapsedSimSeconds();
+      cluster.CommitSuperstep(racct);
+      injector.metrics().recovery_sim_seconds +=
+          cluster.ElapsedSimSeconds() - before_recovery_commit;
+      sim_before_iters = cluster.ElapsedSimSeconds();
+      prev_loss = -1.0;  // the loss will jump; don't spuriously converge
+      continue;
+    }
+
     if (options.als.tolerance > 0.0 && prev_loss >= 0.0) {
       const double denom_loss = prev_loss > 0.0 ? prev_loss : 1.0;
       if (std::abs(prev_loss - loss) / denom_loss < options.als.tolerance) {
@@ -435,6 +536,8 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   result.metrics.comm_payload_bytes = cluster.total_comm_bytes();
   result.metrics.total_flops = cluster.total_flops();
   result.metrics.wall_seconds = wall.ElapsedSeconds();
+  result.metrics.recovery = injector.metrics();
+  result.metrics.orphaned_messages = cluster.network().stats().orphan_events;
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "core/options.h"
 #include "dist/cost_model.h"
 #include "dist/execution.h"
+#include "dist/fault.h"
 #include "partition/partition.h"
 #include "partition/stats.h"
 #include "tensor/coo_tensor.h"
@@ -31,9 +32,22 @@ struct DistributedOptions {
   /// executing per-worker compute). Affects wall-clock only: results and
   /// simulated metrics are bit-identical for every thread count.
   ExecutionOptions execution;
+  /// Deterministic faults to inject into this run (default: none).
+  FaultPlan fault_plan;
+  /// How a crashed worker's lost factor rows are rebuilt.
+  RecoveryMode recovery = RecoveryMode::kCheckpoint;
+  /// Which streaming step this decomposition belongs to; selects the
+  /// injector's RNG stream and arms the plan's crash when it matches
+  /// fault_plan.crash_stream_step. The streaming driver sets this.
+  uint64_t stream_step = 0;
+  /// When non-empty, the streaming driver checkpoints each step's factors
+  /// here (atomic write); crash recovery in kCheckpoint mode conceptually
+  /// reloads from it.
+  std::string checkpoint_dir;
 
   /// Rejects invalid settings (invalid ALS options, zero workers, bad
-  /// cost-model constants). parts_per_mode is unconstrained beyond its
+  /// cost-model constants, inconsistent fault plan). parts_per_mode is
+  /// unconstrained beyond its
   /// type: p < num_workers simply idles the excess workers, a
   /// configuration the paper's Fig. 6 sweep (p = 8 on 15 nodes) relies on.
   /// Decomposition entry points fail fast on a non-OK status.
@@ -62,6 +76,11 @@ struct DistributedRunMetrics {
   double wall_seconds = 0.0;
   /// Load balance achieved by the tensor partitioning, per mode.
   std::vector<PartitionBalance> balance_per_mode;
+  /// What the fault layer did to this run (all zero when fault-free).
+  RecoveryMetrics recovery;
+  /// Supersteps that committed with undelivered messages still pending
+  /// (collective hygiene violations surfaced by the network).
+  uint64_t orphaned_messages = 0;
 
   /// Mean simulated seconds per ALS sweep (the paper's reported metric).
   double MeanIterationSeconds() const;

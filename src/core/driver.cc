@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/logging.h"
+#include "tensor/checkpoint.h"
+
 namespace dismastd {
 
 namespace {
@@ -71,6 +74,9 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
     // re-randomization matches the paper's protocol.
     DistributedOptions step_options = options;
     step_options.als.seed = options.als.seed + step * 7919;
+    // Selects the fault injector's RNG stream and arms the plan's crash
+    // when this is its target step.
+    step_options.stream_step = step;
 
     if (method == MethodKind::kDisMastd) {
       const SparseTensor delta = stream.DeltaAt(step);
@@ -98,9 +104,27 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
     sm.final_loss = result.als.loss_history.empty()
                         ? 0.0
                         : result.als.loss_history.back();
+    sm.recovery = result.metrics.recovery;
+    sm.orphaned_messages = result.metrics.orphaned_messages;
     if (compute_fit) {
       const SparseTensor snapshot = stream.SnapshotAt(step);
       sm.fit = result.als.factors.Fit(snapshot);
+    }
+    if (!options.checkpoint_dir.empty()) {
+      // Per-step durable state: what a restarted process (or the crash
+      // recovery above) resumes from. Failures are logged, not fatal — a
+      // full disk must not kill a streaming run.
+      StreamCheckpoint ckpt;
+      ckpt.factors = result.als.factors;
+      ckpt.dims = sm.dims;
+      ckpt.step = step;
+      const std::string path = options.checkpoint_dir + "/step_" +
+                               std::to_string(step) + ".ckpt";
+      const Status written = WriteStreamCheckpointFile(ckpt, path);
+      if (!written.ok()) {
+        DISMASTD_LOG(Warning) << "step " << step
+                              << " checkpoint failed: " << written.message();
+      }
     }
     if (observer) observer(sm, result.als.factors);
     metrics.push_back(std::move(sm));

@@ -55,6 +55,10 @@ struct StreamStepMetrics {
   /// Fit of the returned factors against the *full* snapshot tensor
   /// (1 - relative residual; 1 is perfect).
   double fit = 0.0;
+  /// What the fault layer did to this step (all zero when fault-free).
+  RecoveryMetrics recovery;
+  /// Supersteps that committed with undelivered messages still pending.
+  uint64_t orphaned_messages = 0;
 };
 
 /// Called after every completed streaming step with that step's metrics

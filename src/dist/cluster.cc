@@ -1,5 +1,8 @@
 #include "dist/cluster.h"
 
+#include <algorithm>
+
+#include "common/logging.h"
 #include "common/serialization.h"
 #include "la/ops.h"
 
@@ -33,12 +36,73 @@ Cluster::Cluster(uint32_t num_workers, CostModelConfig config)
 
 void Cluster::CommitSuperstep(const SuperstepAccounting& acct) {
   sim_seconds_ += SuperstepSeconds(config_, acct);
+  // Fault overhead accrued during this superstep (straggler delays,
+  // retransmission backoff, recovery penalties) lands on the clock here,
+  // so the cost model prices unreliability alongside the regular work.
+  if (injector_ != nullptr) {
+    sim_seconds_ += injector_->DrainPendingSimSeconds();
+  }
   total_flops_ += acct.total_flops();
   total_comm_bytes_ += acct.total_bytes();
   for (uint32_t w = 0; w < acct.num_workers(); ++w) {
     total_comm_messages_ += acct.per_worker_messages()[w];
   }
   ++supersteps_;
+  // Every collective of a committed superstep must have drained its
+  // traffic; leftovers are surfaced as CommStats orphan warnings.
+  (void)network_.CheckNoOrphans();
+}
+
+Result<Message> Cluster::TransmitReliably(uint32_t src, uint32_t dst,
+                                          uint32_t tag,
+                                          const std::vector<uint8_t>& payload,
+                                          SuperstepAccounting* acct) {
+  const uint64_t wire = network_.WireBytes(payload.size());
+  const auto account_attempt = [&] {
+    if (acct != nullptr && src != dst) {
+      acct->AddSend(src, wire);
+      acct->AddReceive(dst, wire);
+    }
+  };
+  const uint32_t max_retries =
+      injector_ != nullptr ? injector_->plan().max_retries : 0;
+  for (uint32_t attempt = 0;; ++attempt) {
+    account_attempt();
+    DISMASTD_RETURN_IF_ERROR(network_.Send(src, dst, tag, payload));
+    Result<Message> msg = network_.Receive(dst, tag);
+    if (msg.ok()) return msg;
+    // NotFound = dropped in transit, IoError = checksum mismatch; anything
+    // else (or a fault-free fabric misbehaving) is a real error.
+    const StatusCode code = msg.status().code();
+    if (injector_ == nullptr ||
+        (code != StatusCode::kNotFound && code != StatusCode::kIoError)) {
+      return msg;
+    }
+    RecoveryMetrics& metrics = injector_->metrics();
+    if (attempt >= max_retries) {
+      // Bounded retries exhausted: deliver once out of band with faults
+      // suppressed, so an unlucky streak cannot wedge a collective. Every
+      // failed attempt has already been charged.
+      ++metrics.escalations;
+      DISMASTD_LOG(Warning)
+          << "transfer src=" << src << " dst=" << dst << " tag=" << tag
+          << " exhausted " << max_retries
+          << " retries; escalating to out-of-band delivery";
+      account_attempt();
+      injector_->SuppressFaults(true);
+      const Status sent = network_.Send(src, dst, tag, payload);
+      injector_->SuppressFaults(false);
+      DISMASTD_RETURN_IF_ERROR(sent);
+      return network_.Receive(dst, tag);
+    }
+    ++metrics.retransmissions;
+    metrics.retransmitted_bytes += wire;
+    // Exponential backoff before the retransmission, charged to the
+    // simulated clock at the next superstep commit.
+    const uint32_t shift = std::min<uint32_t>(attempt, 16);
+    injector_->ChargeFaultOverhead(config_.latency_seconds *
+                                   static_cast<double>(1ull << shift));
+  }
 }
 
 Matrix Cluster::AllToAllReduceMatrix(const std::vector<Matrix>& partials,
@@ -46,33 +110,26 @@ Matrix Cluster::AllToAllReduceMatrix(const std::vector<Matrix>& partials,
   const uint32_t workers = num_workers();
   DISMASTD_CHECK(partials.size() == workers);
   const uint32_t tag = next_tag_++;
-  // Phase 1: every worker ships its partial to every other worker.
+  // Every worker ships its partial to every other worker; each transfer is
+  // delivered reliably (retransmitted under fault injection). Every
+  // replica sums in the same worker order, so they are bit-identical; we
+  // compute worker 0's replica and return it.
+  std::vector<Matrix> received(workers);
   for (uint32_t src = 0; src < workers; ++src) {
     const std::vector<uint8_t> payload = SerializeMatrix(partials[src]);
     for (uint32_t dst = 0; dst < workers; ++dst) {
       if (dst == src) continue;
-      if (acct != nullptr) {
-        acct->AddSend(src, payload.size());
-        acct->AddReceive(dst, payload.size());
-      }
-      DISMASTD_CHECK(network_.Send(src, dst, tag, payload).ok());
-    }
-  }
-  // Phase 2: each worker drains its inbox and sums in worker order. Every
-  // replica sums in the same order, so they are bit-identical; we compute
-  // worker 0's replica and return it.
-  std::vector<Matrix> received(workers);
-  for (uint32_t dst = 0; dst < workers; ++dst) {
-    for (uint32_t k = 0; k + 1 < workers; ++k) {
-      Result<Message> msg = network_.Receive(dst, tag);
+      Result<Message> msg = TransmitReliably(src, dst, tag, payload, acct);
       DISMASTD_CHECK(msg.ok());
       if (dst == 0) {
         Result<Matrix> part = DeserializeMatrix(msg.value().payload);
         DISMASTD_CHECK(part.ok());
-        received[msg.value().src] = std::move(part).value();
+        received[src] = std::move(part).value();
       }
     }
-    if (acct != nullptr) {
+  }
+  if (acct != nullptr) {
+    for (uint32_t dst = 0; dst < workers; ++dst) {
       // Each replica performs (M-1) * size element-wise additions.
       acct->AddFlops(dst, (workers - 1) *
                               static_cast<uint64_t>(partials[dst].size()));
@@ -97,17 +154,7 @@ double Cluster::AllToAllReduceScalar(const std::vector<double>& partials,
     const std::vector<uint8_t> payload = writer.TakeBytes();
     for (uint32_t dst = 0; dst < workers; ++dst) {
       if (dst == src) continue;
-      if (acct != nullptr) {
-        acct->AddSend(src, payload.size());
-        acct->AddReceive(dst, payload.size());
-      }
-      DISMASTD_CHECK(network_.Send(src, dst, tag, payload).ok());
-    }
-  }
-  double sum = 0.0;
-  for (uint32_t dst = 0; dst < workers; ++dst) {
-    for (uint32_t k = 0; k + 1 < workers; ++k) {
-      Result<Message> msg = network_.Receive(dst, tag);
+      Result<Message> msg = TransmitReliably(src, dst, tag, payload, acct);
       DISMASTD_CHECK(msg.ok());
       if (dst == 0) {
         ByteReader reader(msg.value().payload);
@@ -119,6 +166,7 @@ double Cluster::AllToAllReduceScalar(const std::vector<double>& partials,
       }
     }
   }
+  double sum = 0.0;
   for (uint32_t w = 0; w < workers; ++w) sum += partials[w];
   return sum;
 }
@@ -128,12 +176,7 @@ Result<Matrix> Cluster::SendRows(uint32_t src, uint32_t dst,
                                  SuperstepAccounting* acct) {
   const uint32_t tag = next_tag_++;
   const std::vector<uint8_t> payload = SerializeMatrix(rows);
-  if (acct != nullptr && src != dst) {
-    acct->AddSend(src, payload.size());
-    acct->AddReceive(dst, payload.size());
-  }
-  DISMASTD_RETURN_IF_ERROR(network_.Send(src, dst, tag, payload));
-  Result<Message> msg = network_.Receive(dst, tag);
+  Result<Message> msg = TransmitReliably(src, dst, tag, payload, acct);
   if (!msg.ok()) return msg.status();
   return DeserializeMatrix(msg.value().payload);
 }

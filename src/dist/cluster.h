@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dist/cost_model.h"
+#include "dist/fault.h"
 #include "dist/network.h"
 #include "la/matrix.h"
 
@@ -31,6 +32,17 @@ class Cluster {
   uint32_t num_workers() const { return network_.num_workers(); }
   SimulatedNetwork& network() { return network_; }
   const CostModelConfig& config() const { return config_; }
+
+  /// Attaches a deterministic fault source to this cluster and its network
+  /// fabric. Collectives then retransmit dropped/corrupt messages with
+  /// bounded retries, charging retransmission bytes and exponential
+  /// backoff to the simulated clock. The injector must outlive the
+  /// cluster or be detached with nullptr.
+  void AttachFaultInjector(FaultInjector* injector) {
+    injector_ = injector;
+    network_.AttachFaultInjector(injector);
+  }
+  FaultInjector* fault_injector() const { return injector_; }
 
   /// Fresh accounting object for one superstep.
   SuperstepAccounting NewSuperstep() const {
@@ -69,9 +81,22 @@ class Cluster {
   Result<Matrix> SendRows(uint32_t src, uint32_t dst, const Matrix& rows,
                           SuperstepAccounting* acct);
 
+  /// Delivers one message even over a faulty fabric: sends, receives, and
+  /// on a drop (NotFound) or checksum failure (IoError) retransmits with
+  /// bounded retries, charging every attempt's bytes to `acct` and an
+  /// exponentially growing backoff to the simulated clock. After
+  /// `FaultPlan::max_retries` failed attempts the transfer escalates to
+  /// one fault-suppressed delivery (the reliable-side-channel analogue),
+  /// so collectives never wedge on an unlucky streak. Without an injector
+  /// this is exactly one send + receive.
+  Result<Message> TransmitReliably(uint32_t src, uint32_t dst, uint32_t tag,
+                                   const std::vector<uint8_t>& payload,
+                                   SuperstepAccounting* acct);
+
  private:
   SimulatedNetwork network_;
   CostModelConfig config_;
+  FaultInjector* injector_ = nullptr;  // not owned
   double sim_seconds_ = 0.0;
   uint64_t total_flops_ = 0;
   uint64_t total_comm_bytes_ = 0;

@@ -5,8 +5,12 @@
 namespace dismastd {
 
 std::string CommStats::ToString() const {
-  return "messages=" + FormatWithCommas(messages) +
-         " payload=" + FormatBytes(payload_bytes);
+  std::string text = "messages=" + FormatWithCommas(messages) +
+                     " payload=" + FormatBytes(payload_bytes);
+  if (orphan_events > 0) {
+    text += " orphan_events=" + FormatWithCommas(orphan_events);
+  }
+  return text;
 }
 
 }  // namespace dismastd

@@ -13,6 +13,11 @@ namespace dismastd {
 struct CommStats {
   uint64_t messages = 0;
   uint64_t payload_bytes = 0;
+  /// End-of-superstep hygiene violations: how many times the fabric was
+  /// found holding undelivered messages when a superstep committed. A
+  /// non-zero count means some collective leaked traffic (every committed
+  /// superstep must drain its inboxes) and is surfaced as a warning.
+  uint64_t orphan_events = 0;
 
   void Record(uint64_t bytes) {
     ++messages;
@@ -22,6 +27,7 @@ struct CommStats {
   void Merge(const CommStats& other) {
     messages += other.messages;
     payload_bytes += other.payload_bytes;
+    orphan_events += other.orphan_events;
   }
 
   void Reset() { *this = CommStats{}; }

@@ -1,6 +1,21 @@
 #include "dist/network.h"
 
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
 namespace dismastd {
+
+namespace {
+
+void AppendCrcFrame(std::vector<uint8_t>* payload) {
+  const uint32_t crc = Crc32(payload->data(), payload->size());
+  const uint8_t* raw = reinterpret_cast<const uint8_t*>(&crc);
+  payload->insert(payload->end(), raw, raw + sizeof(crc));
+}
+
+}  // namespace
 
 SimulatedNetwork::SimulatedNetwork(uint32_t num_workers)
     : num_workers_(num_workers),
@@ -16,12 +31,35 @@ Status SimulatedNetwork::Send(uint32_t src, uint32_t dst, uint32_t tag,
   if (src >= num_workers_ || dst >= num_workers_) {
     return Status::InvalidArgument("worker id out of range");
   }
+  if (framing_enabled()) AppendCrcFrame(&payload);
   const uint64_t size = payload.size();
   if (src != dst) {
     stats_.Record(size);
     bytes_sent_[src] += size;
-    bytes_recv_[dst] += size;
     ++msgs_sent_[src];
+    if (injector_ != nullptr) {
+      switch (injector_->OnSend()) {
+        case FaultInjector::Transit::kDrop:
+          // The bytes left the source but never arrive: count the send,
+          // skip the receive side, and enqueue nothing.
+          ++injector_->metrics().messages_dropped;
+          return Status::OK();
+        case FaultInjector::Transit::kCorrupt:
+          // Flip one byte in transit; the CRC frame makes Receive notice.
+          payload[injector_->CorruptOffset(payload.size())] ^= 0x5Au;
+          ++injector_->metrics().messages_corrupted;
+          break;
+        case FaultInjector::Transit::kDelay:
+          // Straggler link: delivered intact, but the configured delay is
+          // charged to the simulated clock at the next superstep commit.
+          ++injector_->metrics().messages_delayed;
+          injector_->ChargeFaultOverhead(injector_->plan().delay_seconds);
+          break;
+        case FaultInjector::Transit::kDeliver:
+          break;
+      }
+    }
+    bytes_recv_[dst] += size;
   }
   inboxes_[dst].push_back(Message{src, dst, tag, std::move(payload)});
   return Status::OK();
@@ -36,11 +74,33 @@ Result<Message> SimulatedNetwork::Receive(uint32_t dst, uint32_t tag) {
     if (it->tag == tag) {
       Message msg = std::move(*it);
       inbox.erase(it);
+      if (framing_enabled()) {
+        if (msg.payload.size() < sizeof(uint32_t)) {
+          return Status::IoError("truncated frame for dst=" +
+                                 std::to_string(dst) + " tag=" +
+                                 std::to_string(tag));
+        }
+        uint32_t stored = 0;
+        std::memcpy(&stored, msg.payload.data() + msg.payload.size() -
+                                 sizeof(stored),
+                    sizeof(stored));
+        msg.payload.resize(msg.payload.size() - sizeof(stored));
+        if (Crc32(msg.payload.data(), msg.payload.size()) != stored) {
+          // A real receiver discards the damaged datagram; the sender's
+          // reliability layer retransmits.
+          return Status::IoError(
+              "checksum mismatch on message src=" + std::to_string(msg.src) +
+              " dst=" + std::to_string(dst) + " tag=" + std::to_string(tag) +
+              " (discarded)");
+        }
+      }
       return msg;
     }
   }
-  return Status::NotFound("no pending message with tag " +
-                          std::to_string(tag));
+  return Status::NotFound(
+      "no pending message for dst=" + std::to_string(dst) + " tag=" +
+      std::to_string(tag) + " (" + std::to_string(inbox.size()) +
+      " pending at dst)");
 }
 
 size_t SimulatedNetwork::PendingCount(uint32_t dst) const {
@@ -51,6 +111,17 @@ size_t SimulatedNetwork::TotalPending() const {
   size_t total = 0;
   for (const auto& inbox : inboxes_) total += inbox.size();
   return total;
+}
+
+size_t SimulatedNetwork::CheckNoOrphans() {
+  const size_t pending = TotalPending();
+  if (pending > 0) {
+    ++stats_.orphan_events;
+    DISMASTD_LOG(Warning) << "superstep committed with " << pending
+                          << " undelivered message(s) still pending — a "
+                             "collective leaked traffic";
+  }
+  return pending;
 }
 
 void SimulatedNetwork::ResetStats() {

@@ -8,6 +8,7 @@
 #include "common/serialization.h"
 #include "common/status.h"
 #include "dist/comm_stats.h"
+#include "dist/fault.h"
 
 namespace dismastd {
 
@@ -33,14 +34,42 @@ class SimulatedNetwork {
 
   uint32_t num_workers() const { return num_workers_; }
 
+  /// Attaches (or detaches, with nullptr) a deterministic fault source.
+  /// While an injector with message faults is attached, every payload is
+  /// framed with a trailing CRC32 and remote sends may be dropped,
+  /// corrupted or delayed according to the injector's plan. The injector
+  /// must outlive the network or be detached first.
+  void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// True when payloads are CRC-framed (an injector with message faults is
+  /// attached).
+  bool framing_enabled() const {
+    return injector_ != nullptr && injector_->message_faults();
+  }
+  /// Bytes one message of `payload_bytes` occupies on the wire, including
+  /// the CRC frame when framing is enabled.
+  uint64_t WireBytes(uint64_t payload_bytes) const {
+    return payload_bytes + (framing_enabled() ? sizeof(uint32_t) : 0);
+  }
+
   /// Sends `payload` from `src` to `dst` with a user tag. Self-sends are
-  /// allowed but are not counted as network traffic (local move).
+  /// allowed but are not counted as network traffic (local move) and never
+  /// suffer transit faults. A dropped message is counted as sent traffic
+  /// (the bytes left the source) but never arrives.
   Status Send(uint32_t src, uint32_t dst, uint32_t tag,
               std::vector<uint8_t> payload);
 
   /// Pops the oldest pending message for `dst` with the given tag.
-  /// Returns NotFound if none is pending.
+  /// Returns NotFound if none is pending. With framing enabled, verifies
+  /// and strips the CRC; a checksum mismatch consumes the message and
+  /// returns IoError (the caller retransmits).
   Result<Message> Receive(uint32_t dst, uint32_t tag);
+
+  /// End-of-superstep hygiene check: every committed superstep must have
+  /// drained its collectives. Returns the number of undelivered messages;
+  /// if non-zero, logs a warning and records an orphan event in stats().
+  size_t CheckNoOrphans();
 
   /// Number of undelivered messages for `dst` (any tag).
   size_t PendingCount(uint32_t dst) const;
@@ -61,6 +90,7 @@ class SimulatedNetwork {
  private:
   uint32_t num_workers_;
   std::vector<std::deque<Message>> inboxes_;  // per destination
+  FaultInjector* injector_ = nullptr;         // not owned
   CommStats stats_;
   std::vector<uint64_t> bytes_sent_;
   std::vector<uint64_t> bytes_recv_;

@@ -1,5 +1,9 @@
 #include "tensor/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -82,6 +86,40 @@ Result<std::vector<uint8_t>> ReadAllBytes(std::istream& is) {
   return bytes;
 }
 
+/// Publishes `writer`'s bytes at `path` atomically: write `<path>.tmp`,
+/// fsync, rename. A crash mid-write can leave a stale tmp file but never a
+/// torn file under the final name, so a reader always sees either the old
+/// checkpoint or the complete new one.
+Status AtomicWriteFile(const ByteWriter& writer, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError("cannot open for write: " + tmp);
+  const auto& bytes = writer.bytes();
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError("failed writing checkpoint bytes: " + tmp);
+    }
+    off += static_cast<size_t>(n);
+  }
+  // The data blocks must be durable before the rename publishes the name;
+  // otherwise a crash could expose a torn file under the final path.
+  const bool synced = ::fsync(fd) == 0;
+  const bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("failed syncing checkpoint: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("failed publishing checkpoint: " + path);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status WriteKruskal(const KruskalTensor& factors, std::ostream& os) {
@@ -92,9 +130,9 @@ Status WriteKruskal(const KruskalTensor& factors, std::ostream& os) {
 
 Status WriteKruskalFile(const KruskalTensor& factors,
                         const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open for write: " + path);
-  return WriteKruskal(factors, os);
+  ByteWriter writer;
+  AppendKruskal(factors, &writer);
+  return AtomicWriteFile(writer, path);
 }
 
 Result<KruskalTensor> ReadKruskal(std::istream& is) {
@@ -124,9 +162,7 @@ Status WriteStreamCheckpointFile(const StreamCheckpoint& checkpoint,
   writer.WriteU64(checkpoint.dims.size());
   for (uint64_t d : checkpoint.dims) writer.WriteU64(d);
   AppendKruskal(checkpoint.factors, &writer);
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open for write: " + path);
-  return WriteBytesToStream(writer, os);
+  return AtomicWriteFile(writer, path);
 }
 
 namespace {

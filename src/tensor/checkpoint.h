@@ -17,6 +17,10 @@ namespace dismastd {
 /// The format is a compact little-endian binary: magic/version header, the
 /// order and rank, then each factor matrix's shape and raw doubles. Doubles
 /// round-trip bit-for-bit.
+///
+/// File writers publish atomically (write `<path>.tmp`, fsync, rename), so
+/// a crash mid-write never leaves a torn file under the final name — at
+/// worst a stale `.tmp` that the next successful write replaces.
 
 /// Serializes `factors` to a stream / file.
 Status WriteKruskal(const KruskalTensor& factors, std::ostream& os);

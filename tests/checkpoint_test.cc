@@ -232,6 +232,59 @@ TEST(CheckpointTest, SniffIdentifiesFileKinds) {
   std::remove(tiny_path.c_str());
 }
 
+TEST(CheckpointTest, AtomicWriteLeavesNoTmpResidue) {
+  const std::string path = TempPath("atomic.ckpt");
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(30);
+  checkpoint.dims = {7, 5, 4};
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  // The published file is readable; the tmp staging file is gone.
+  EXPECT_TRUE(ReadStreamCheckpointFile(path).ok());
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+
+  const std::string krs = TempPath("atomic.krs");
+  ASSERT_TRUE(WriteKruskalFile(MakeFactors(31), krs).ok());
+  FILE* krs_tmp = std::fopen((krs + ".tmp").c_str(), "rb");
+  EXPECT_EQ(krs_tmp, nullptr);
+  if (krs_tmp != nullptr) std::fclose(krs_tmp);
+
+  std::remove(path.c_str());
+  std::remove(krs.c_str());
+}
+
+TEST(CheckpointTest, AtomicWriteReplacesPreexistingGarbage) {
+  // A stale half-written tmp file and a corrupt published file from a
+  // crashed predecessor are both overwritten by the next clean write.
+  const std::string path = TempPath("atomic2.ckpt");
+  std::ofstream(path, std::ios::binary) << "torn garbage";
+  std::ofstream(path + ".tmp", std::ios::binary) << "half a checkpoint";
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(32);
+  checkpoint.dims = {7, 5, 4};
+  ASSERT_TRUE(WriteStreamCheckpointFile(checkpoint, path).ok());
+  Result<StreamCheckpoint> back = ReadStreamCheckpointFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().dims, checkpoint.dims);
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, AtomicWriteFailureNamesTmpPath) {
+  // An unwritable directory fails at the staging step, leaving nothing
+  // behind under the final name.
+  StreamCheckpoint checkpoint;
+  checkpoint.factors = MakeFactors(33);
+  checkpoint.dims = {7, 5, 4};
+  const Status status =
+      WriteStreamCheckpointFile(checkpoint, "/nonexistent/dir/x.ckpt");
+  ASSERT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find(".tmp"), std::string::npos);
+}
+
 TEST(CheckpointTest, ResumeProducesIdenticalFactors) {
   // The checkpoint carries everything needed to continue a streaming chain.
   const KruskalTensor factors = MakeFactors(7);

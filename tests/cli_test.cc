@@ -249,8 +249,89 @@ TEST(CliTest, ServeBenchValidatesFlags) {
                            "--keep-depth", "0"},
                           &output)
                    .ok());
-  EXPECT_FALSE(RunCommand({"serve-bench", "--input", tensor_path,
-                           "--warm-checkpoint", "/nonexistent.ckpt"},
+  std::remove(tensor_path.c_str());
+}
+
+TEST(CliTest, ServeBenchToleratesMissingOrCorruptWarmCheckpoint) {
+  // A broken warm checkpoint must not keep the server down: log and start
+  // cold, publishing models as the stream decomposes.
+  const std::string tensor_path = TempPath("cli_serve4.tns");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "20x15x10", "--nnz", "400", "--seed", "21"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"serve-bench", "--input", tensor_path, "--steps",
+                          "2", "--rank", "2", "--iterations", "2",
+                          "--queries", "50", "--clients", "1",
+                          "--warm-checkpoint", "/nonexistent.ckpt"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("warm start skipped"), std::string::npos) << output;
+  EXPECT_NE(output.find("starting cold"), std::string::npos);
+  EXPECT_NE(output.find("versions published : 2"), std::string::npos);
+
+  // Corrupt checkpoint (wrong magic): same tolerant path.
+  const std::string garbage_path = TempPath("cli_serve4_garbage.ckpt");
+  {
+    FILE* f = std::fopen(garbage_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(RunCommand({"serve-bench", "--input", tensor_path, "--steps",
+                          "2", "--rank", "2", "--iterations", "2",
+                          "--queries", "50", "--clients", "1",
+                          "--warm-checkpoint", garbage_path},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("warm start skipped"), std::string::npos) << output;
+  std::remove(tensor_path.c_str());
+  std::remove(garbage_path.c_str());
+}
+
+TEST(CliTest, StreamFaultFlagsInjectAndReport) {
+  const std::string tensor_path = TempPath("cli_fault.tns");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "30x20x10", "--nnz", "800", "--rank", "2",
+                          "--seed", "19"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--workers", "3",
+                          "--steps", "3", "--rank", "2", "--iterations", "3",
+                          "--drop-prob", "0.05", "--corrupt-prob", "0.01",
+                          "--crash-worker", "1", "--crash-at-step", "1",
+                          "--crash-superstep", "8", "--recovery",
+                          "degraded"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("faults:"), std::string::npos) << output;
+  EXPECT_NE(output.find("crashes=1"), std::string::npos) << output;
+
+  // The compact spec form drives the same knobs.
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--workers", "3",
+                          "--steps", "2", "--rank", "2", "--iterations", "2",
+                          "--fault-plan", "drop=0.1,seed=3"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("faults:"), std::string::npos) << output;
+
+  // Bad fault settings surface the Validate message.
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--drop-prob",
+                           "1.5"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--fault-plan",
+                           "bogus=1"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--recovery",
+                           "prayer"},
                           &output)
                    .ok());
   std::remove(tensor_path.c_str());

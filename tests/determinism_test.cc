@@ -40,6 +40,19 @@ void ExpectMetricsIdentical(const DistributedRunMetrics& a,
   EXPECT_EQ(a.comm_messages, b.comm_messages);
   EXPECT_EQ(a.comm_payload_bytes, b.comm_payload_bytes);
   EXPECT_EQ(a.total_flops, b.total_flops);
+  // The fault layer is driver-side: its counters and simulated penalties
+  // must be just as thread-count independent as the rest.
+  EXPECT_EQ(a.recovery.messages_dropped, b.recovery.messages_dropped);
+  EXPECT_EQ(a.recovery.messages_corrupted, b.recovery.messages_corrupted);
+  EXPECT_EQ(a.recovery.messages_delayed, b.recovery.messages_delayed);
+  EXPECT_EQ(a.recovery.retransmissions, b.recovery.retransmissions);
+  EXPECT_EQ(a.recovery.retransmitted_bytes, b.recovery.retransmitted_bytes);
+  EXPECT_EQ(a.recovery.escalations, b.recovery.escalations);
+  EXPECT_EQ(a.recovery.crashes, b.recovery.crashes);
+  EXPECT_EQ(a.recovery.fault_overhead_sim_seconds,
+            b.recovery.fault_overhead_sim_seconds);
+  EXPECT_EQ(a.recovery.recovery_sim_seconds, b.recovery.recovery_sim_seconds);
+  EXPECT_EQ(a.orphaned_messages, b.orphaned_messages);
 }
 
 void ExpectResultsIdentical(const DistributedResult& a,
@@ -115,6 +128,30 @@ TEST(DeterminismTest, DefaultThreadCountMatchesSequential) {
   const DistributedResult par =
       DmsMgDecompose(full, DetOpts(PartitionerKind::kMaxMin, 0));
   ExpectResultsIdentical(seq, par);
+}
+
+TEST(DeterminismTest, FaultInjectionBitIdenticalAcrossThreadCounts) {
+  // Fault decisions are drawn on the driver thread, never inside worker
+  // tasks, so a faulty run (drops + corruption + delays + a crash with
+  // degraded recovery) must stay bit-identical across thread counts.
+  const SparseTensor full =
+      test::MakeDenseLowRank({20, 15, 11}, 2, /*seed=*/44, 0.06).tensor;
+  DistributedOptions seq_opts = DetOpts(PartitionerKind::kMaxMin, 1);
+  seq_opts.fault_plan.drop_prob = 0.05;
+  seq_opts.fault_plan.corrupt_prob = 0.01;
+  seq_opts.fault_plan.delay_prob = 0.02;
+  seq_opts.fault_plan.crash_worker = 1;
+  seq_opts.fault_plan.crash_superstep = 8;
+  seq_opts.recovery = RecoveryMode::kDegraded;
+  DistributedOptions par_opts = seq_opts;
+  par_opts.execution.num_threads = 4;
+
+  const DistributedResult seq = DmsMgDecompose(full, seq_opts);
+  const DistributedResult par = DmsMgDecompose(full, par_opts);
+  ExpectResultsIdentical(seq, par);
+  // The plan actually injected: this is not a vacuous comparison.
+  EXPECT_GT(seq.metrics.recovery.messages_dropped, 0u);
+  EXPECT_EQ(seq.metrics.recovery.crashes, 1u);
 }
 
 TEST(DeterminismTest, MoreThreadsThanWorkersIsClamped) {

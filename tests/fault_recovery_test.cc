@@ -1,0 +1,254 @@
+// End-to-end fault tolerance: streaming runs complete under message loss,
+// corruption and a mid-stream worker crash; checkpoint recovery replays
+// bit-exactly; degraded (Eq. 2) recovery stays within 1% of the fault-free
+// fitness; and everything is deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/cp_als.h"
+#include "core/dismastd.h"
+#include "core/driver.h"
+#include "stream/generator.h"
+#include "stream/snapshot.h"
+#include "tensor/checkpoint.h"
+#include "test_util.h"
+
+namespace dismastd {
+namespace {
+
+StreamingTensorSequence MakeStream(uint64_t seed) {
+  SparseTensor full =
+      test::MakeDenseLowRank({18, 15, 12}, 2, seed, 0.05).tensor;
+  auto schedule = MakeGrowthSchedule(full.dims(), 0.75, 0.05, 6);
+  return StreamingTensorSequence(std::move(full), std::move(schedule));
+}
+
+DistributedOptions BaseOpts() {
+  DistributedOptions o;
+  o.als.rank = 3;
+  o.als.max_iterations = 8;
+  o.num_workers = 4;
+  o.partitioner = PartitionerKind::kMaxMin;
+  return o;
+}
+
+FaultPlan MessyPlan(uint64_t seed) {
+  // The acceptance-criteria plan: 5% drops, 1% corruption, one mid-stream
+  // crash.
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.05;
+  plan.corrupt_prob = 0.01;
+  plan.crash_worker = 1;
+  plan.crash_stream_step = 2;
+  plan.crash_superstep = 10;
+  return plan;
+}
+
+void ExpectFactorsIdentical(const KruskalTensor& a, const KruskalTensor& b) {
+  ASSERT_EQ(a.order(), b.order());
+  for (size_t n = 0; n < a.order(); ++n) {
+    EXPECT_TRUE(a.factor(n) == b.factor(n)) << "mode " << n;
+  }
+}
+
+TEST(FaultRecoveryTest, MessyStreamingRunCompletesAllSteps) {
+  const StreamingTensorSequence stream = MakeStream(1);
+  DistributedOptions options = BaseOpts();
+  options.fault_plan = MessyPlan(17);
+  options.recovery = RecoveryMode::kDegraded;
+  const auto metrics = RunStreamingExperiment(
+      stream, MethodKind::kDisMastd, options, /*compute_fit=*/true);
+  ASSERT_EQ(metrics.size(), 6u);
+  RecoveryMetrics totals;
+  for (const StreamStepMetrics& m : metrics) {
+    EXPECT_GT(m.iterations, 0u) << "step " << m.step;
+    EXPECT_TRUE(std::isfinite(m.final_loss)) << "step " << m.step;
+    EXPECT_TRUE(std::isfinite(m.fit)) << "step " << m.step;
+    EXPECT_EQ(m.orphaned_messages, 0u) << "step " << m.step;
+    totals.Merge(m.recovery);
+  }
+  EXPECT_GT(totals.messages_dropped, 0u);
+  EXPECT_GT(totals.retransmissions, 0u);
+  EXPECT_GT(totals.retransmitted_bytes, 0u);
+  EXPECT_EQ(totals.crashes, 1u);
+  EXPECT_EQ(totals.degraded_recoveries, 1u);
+  EXPECT_EQ(metrics[2].recovery.crashes, 1u);  // fired at its target step
+  EXPECT_GT(metrics[2].recovery.recovery_sim_seconds, 0.0);
+}
+
+TEST(FaultRecoveryTest, CheckpointRecoveryIsBitExact) {
+  // One DisMASTD step under drops + corruption + a crash, recovered in
+  // checkpoint mode, must reproduce the fault-free factors and loss
+  // history exactly: the CRC frame and retransmission mean faults never
+  // silently alter data, and the replay starts from the same state.
+  const SparseTensor full =
+      test::MakeDenseLowRank({20, 16, 12}, 2, /*seed=*/9, 0.05).tensor;
+  const std::vector<uint64_t> old_dims = {16, 13, 9};
+  const SparseTensor delta = RelativeComplement(full, old_dims);
+  DecompositionOptions cold;
+  cold.rank = 3;
+  cold.max_iterations = 10;
+  const KruskalTensor prev = CpAls(RestrictToBox(full, old_dims), cold).factors;
+
+  DistributedOptions clean = BaseOpts();
+  const DistributedResult fault_free =
+      DisMastdDecompose(delta, old_dims, prev, clean);
+
+  DistributedOptions faulty = clean;
+  faulty.fault_plan = MessyPlan(23);
+  faulty.fault_plan.crash_stream_step = 0;  // single-step run
+  faulty.recovery = RecoveryMode::kCheckpoint;
+  const DistributedResult recovered =
+      DisMastdDecompose(delta, old_dims, prev, faulty);
+
+  EXPECT_EQ(recovered.metrics.recovery.crashes, 1u);
+  EXPECT_EQ(recovered.metrics.recovery.checkpoint_recoveries, 1u);
+  EXPECT_GT(recovered.metrics.recovery.recovery_sim_seconds, 0.0);
+  ExpectFactorsIdentical(recovered.als.factors, fault_free.als.factors);
+  ASSERT_EQ(recovered.als.loss_history.size(),
+            fault_free.als.loss_history.size());
+  for (size_t i = 0; i < recovered.als.loss_history.size(); ++i) {
+    EXPECT_EQ(recovered.als.loss_history[i], fault_free.als.loss_history[i])
+        << "sweep " << i;
+  }
+  // The recovered run paid for the replay in simulated time.
+  EXPECT_GT(recovered.metrics.sim_seconds_total,
+            fault_free.metrics.sim_seconds_total);
+}
+
+TEST(FaultRecoveryTest, DegradedRecoveryStaysWithinOnePercentFitness) {
+  // Property: across seeds, a streaming run that loses a worker mid-stream
+  // and continues in degraded (Eq. 2) mode ends within 1% of the
+  // fault-free run's final fitness.
+  for (uint64_t seed : {3u, 7u, 13u}) {
+    const StreamingTensorSequence stream = MakeStream(seed);
+    DistributedOptions clean = BaseOpts();
+    const auto baseline = RunStreamingExperiment(
+        stream, MethodKind::kDisMastd, clean, /*compute_fit=*/true);
+
+    DistributedOptions faulty = clean;
+    faulty.fault_plan = MessyPlan(seed * 101 + 1);
+    faulty.recovery = RecoveryMode::kDegraded;
+    const auto degraded = RunStreamingExperiment(
+        stream, MethodKind::kDisMastd, faulty, /*compute_fit=*/true);
+
+    ASSERT_EQ(degraded.size(), baseline.size());
+    RecoveryMetrics totals;
+    for (const StreamStepMetrics& m : degraded) totals.Merge(m.recovery);
+    EXPECT_EQ(totals.crashes, 1u) << "seed " << seed;
+    const double fit_free = baseline.back().fit;
+    const double fit_degraded = degraded.back().fit;
+    EXPECT_LE(std::abs(fit_degraded - fit_free), 0.01 * std::abs(fit_free))
+        << "seed " << seed << ": fault-free fit " << fit_free
+        << ", degraded fit " << fit_degraded;
+  }
+}
+
+TEST(FaultRecoveryTest, FaultyRunsAreDeterministic) {
+  // Same seed, same plan => bit-identical factors AND identical fault
+  // counters, for both recovery modes.
+  const StreamingTensorSequence stream = MakeStream(4);
+  for (RecoveryMode mode :
+       {RecoveryMode::kCheckpoint, RecoveryMode::kDegraded}) {
+    DistributedOptions options = BaseOpts();
+    options.fault_plan = MessyPlan(31);
+    options.recovery = mode;
+
+    KruskalTensor factors_a, factors_b;
+    RecoveryMetrics totals_a, totals_b;
+    const StreamStepObserver observe_a =
+        [&](const StreamStepMetrics& m, const KruskalTensor& f) {
+          totals_a.Merge(m.recovery);
+          factors_a = f;
+        };
+    const StreamStepObserver observe_b =
+        [&](const StreamStepMetrics& m, const KruskalTensor& f) {
+          totals_b.Merge(m.recovery);
+          factors_b = f;
+        };
+    const auto run_a = RunStreamingExperiment(
+        stream, MethodKind::kDisMastd, options, false, observe_a);
+    const auto run_b = RunStreamingExperiment(
+        stream, MethodKind::kDisMastd, options, false, observe_b);
+
+    ExpectFactorsIdentical(factors_a, factors_b);
+    EXPECT_EQ(totals_a.messages_dropped, totals_b.messages_dropped);
+    EXPECT_EQ(totals_a.messages_corrupted, totals_b.messages_corrupted);
+    EXPECT_EQ(totals_a.retransmissions, totals_b.retransmissions);
+    EXPECT_EQ(totals_a.retransmitted_bytes, totals_b.retransmitted_bytes);
+    EXPECT_EQ(totals_a.crashes, totals_b.crashes);
+    EXPECT_EQ(totals_a.fault_overhead_sim_seconds,
+              totals_b.fault_overhead_sim_seconds);
+    EXPECT_EQ(totals_a.recovery_sim_seconds, totals_b.recovery_sim_seconds);
+    ASSERT_EQ(run_a.size(), run_b.size());
+    for (size_t t = 0; t < run_a.size(); ++t) {
+      EXPECT_EQ(run_a[t].sim_seconds_total, run_b[t].sim_seconds_total)
+          << "step " << t;
+      EXPECT_EQ(run_a[t].comm_bytes, run_b[t].comm_bytes) << "step " << t;
+    }
+  }
+}
+
+TEST(FaultRecoveryTest, DegradedRecoveryRebuildsRowsPerEq2) {
+  // A crash in a DisMASTD step with a real previous snapshot rebuilds
+  // old-range rows from Eq. 2 and new rows from the init draw.
+  const SparseTensor full =
+      test::MakeDenseLowRank({20, 16, 12}, 2, /*seed=*/5, 0.05).tensor;
+  const std::vector<uint64_t> old_dims = {16, 13, 9};
+  const SparseTensor delta = RelativeComplement(full, old_dims);
+  DecompositionOptions cold;
+  cold.rank = 3;
+  cold.max_iterations = 10;
+  const KruskalTensor prev = CpAls(RestrictToBox(full, old_dims), cold).factors;
+
+  DistributedOptions options = BaseOpts();
+  options.fault_plan.crash_worker = 2;
+  options.fault_plan.crash_stream_step = 0;
+  options.fault_plan.crash_superstep = 10;
+  options.recovery = RecoveryMode::kDegraded;
+  const DistributedResult result =
+      DisMastdDecompose(delta, old_dims, prev, options);
+  EXPECT_EQ(result.metrics.recovery.crashes, 1u);
+  EXPECT_EQ(result.metrics.recovery.degraded_recoveries, 1u);
+  EXPECT_GT(result.metrics.recovery.rows_rebuilt_from_prev, 0u);
+  EXPECT_GT(result.metrics.recovery.rows_reinitialized, 0u);
+  // The run still converged to a sane model.
+  EXPECT_GT(result.als.factors.Fit(full), 0.5);
+}
+
+TEST(FaultRecoveryTest, StreamingDriverWritesPerStepCheckpoints) {
+  const StreamingTensorSequence stream = MakeStream(6);
+  DistributedOptions options = BaseOpts();
+  options.als.max_iterations = 3;
+  options.checkpoint_dir = ::testing::TempDir() + "/fault_ckpts";
+  // The directory does not exist: every write fails, which must be logged
+  // and survivable, not fatal.
+  const auto no_dir = RunStreamingExperiment(
+      stream, MethodKind::kDisMastd, options);
+  ASSERT_EQ(no_dir.size(), 6u);
+
+  options.checkpoint_dir = ::testing::TempDir();
+  const auto metrics = RunStreamingExperiment(
+      stream, MethodKind::kDisMastd, options);
+  ASSERT_EQ(metrics.size(), 6u);
+  for (size_t t = 0; t < metrics.size(); ++t) {
+    const std::string path =
+        options.checkpoint_dir + "/step_" + std::to_string(t) + ".ckpt";
+    const auto ckpt = ReadStreamCheckpointFile(path);
+    ASSERT_TRUE(ckpt.ok()) << path << ": " << ckpt.status().message();
+    EXPECT_EQ(ckpt.value().step, t);
+    EXPECT_EQ(ckpt.value().dims, metrics[t].dims);
+    // Atomic write: no tmp residue next to the published file.
+    FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr) << "stale tmp file: " << path << ".tmp";
+    if (tmp != nullptr) std::fclose(tmp);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace dismastd

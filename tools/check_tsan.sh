@@ -2,8 +2,9 @@
 # Builds the concurrency-sensitive tests under ThreadSanitizer and runs
 # them. A clean pass is a release gate for the execution engine and the
 # serving subsystem: the thread pool, the simulated cluster, the
-# parallel-vs-sequential determinism contract, and the RCU-style model
-# store with its concurrent query engine must all be race-free.
+# parallel-vs-sequential determinism contract, the fault-injection and
+# recovery layer, and the RCU-style model store with its concurrent
+# query engine must all be race-free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,9 +18,10 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" -j \
   --target thread_pool_test cluster_test determinism_test \
+  fault_test fault_recovery_test \
   model_store_test query_engine_test serve_metrics_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test|model_store_test|query_engine_test|serve_metrics_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|model_store_test|query_engine_test|serve_metrics_test)$'
 
 echo "TSan: all clean"

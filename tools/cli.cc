@@ -249,6 +249,50 @@ Result<DistributedOptions> GetDistributedOptions(const Args& args) {
       ParsePartitionerKind(args.Get("partitioner", "mtp"));
   if (!partitioner.ok()) return partitioner.status();
   options.partitioner = partitioner.value();
+
+  // Fault-tolerance knobs: --fault-plan gives the compact spec; the
+  // individual flags override its fields.
+  if (args.Has("fault-plan")) {
+    Result<FaultPlan> plan = ParseFaultPlan(args.Get("fault-plan"));
+    if (!plan.ok()) return plan.status();
+    options.fault_plan = plan.value();
+  }
+  Result<double> drop =
+      GetDouble(args, "drop-prob", options.fault_plan.drop_prob);
+  if (!drop.ok()) return drop.status();
+  options.fault_plan.drop_prob = drop.value();
+  Result<double> corrupt =
+      GetDouble(args, "corrupt-prob", options.fault_plan.corrupt_prob);
+  if (!corrupt.ok()) return corrupt.status();
+  options.fault_plan.corrupt_prob = corrupt.value();
+  Result<double> delay =
+      GetDouble(args, "delay-prob", options.fault_plan.delay_prob);
+  if (!delay.ok()) return delay.status();
+  options.fault_plan.delay_prob = delay.value();
+  if (args.Has("crash-worker")) {
+    Result<uint64_t> crash_worker = GetU64(args, "crash-worker", 0);
+    if (!crash_worker.ok()) return crash_worker.status();
+    options.fault_plan.crash_worker =
+        static_cast<uint32_t>(crash_worker.value());
+  }
+  if (args.Has("crash-at-step")) {
+    Result<uint64_t> crash_step = GetU64(args, "crash-at-step", 0);
+    if (!crash_step.ok()) return crash_step.status();
+    options.fault_plan.crash_stream_step = crash_step.value();
+    // --crash-at-step alone crashes worker 0 there.
+    if (!options.fault_plan.HasCrash()) options.fault_plan.crash_worker = 0;
+  }
+  Result<uint64_t> crash_superstep =
+      GetU64(args, "crash-superstep", options.fault_plan.crash_superstep);
+  if (!crash_superstep.ok()) return crash_superstep.status();
+  options.fault_plan.crash_superstep = crash_superstep.value();
+  if (args.Has("recovery")) {
+    Result<RecoveryMode> recovery = ParseRecoveryMode(args.Get("recovery"));
+    if (!recovery.ok()) return recovery.status();
+    options.recovery = recovery.value();
+  }
+  options.checkpoint_dir = args.Get("checkpoint-dir");
+
   // Surface option errors here with the Validate message rather than
   // letting the decomposition entry point fail-fast abort.
   DISMASTD_RETURN_IF_ERROR(options.Validate());
@@ -301,6 +345,18 @@ Status CmdStream(const Args& args, std::ostream& out) {
     out << line << "\n";
   }
 
+  // Summarize what the fault layer did, if anything.
+  RecoveryMetrics fault_totals;
+  uint64_t orphans = 0;
+  for (const StreamStepMetrics& m : metrics) {
+    fault_totals.Merge(m.recovery);
+    orphans += m.orphaned_messages;
+  }
+  if (fault_totals.Any() || orphans > 0) {
+    out << "faults: " << fault_totals.ToString() << "\n";
+    if (orphans > 0) out << "orphaned-message supersteps: " << orphans << "\n";
+  }
+
   const std::string checkpoint_path = args.Get("checkpoint");
   if (!checkpoint_path.empty() && method == MethodKind::kDisMastd) {
     // Re-derive the final factors for the checkpoint.
@@ -309,6 +365,7 @@ Status CmdStream(const Args& args, std::ostream& out) {
     for (size_t t = 0; t < stream.num_steps(); ++t) {
       DistributedOptions step_options = options;
       step_options.als.seed = options.als.seed + t * 7919;
+      step_options.stream_step = t;
       prev = DisMastdDecompose(stream.DeltaAt(t), prev_dims, prev,
                                step_options)
                  .als.factors;
@@ -369,9 +426,16 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   if (!warm_path.empty()) {
     Result<uint64_t> version =
         session.WarmStartFromCheckpointFile(warm_path);
-    if (!version.ok()) return version.status();
-    out << "warm-started v" << version.value() << " from " << warm_path
-        << "\n";
+    if (version.ok()) {
+      out << "warm-started v" << version.value() << " from " << warm_path
+          << "\n";
+    } else {
+      // A missing or corrupt warm checkpoint must not keep the server
+      // down — serving starts cold and the first decomposed step
+      // publishes the first model.
+      out << "warm start skipped (" << version.status().message()
+          << "); starting cold\n";
+    }
   }
 
   // The log is generated against the first snapshot's dims, so every
@@ -456,7 +520,12 @@ std::string UsageText() {
       "                  [--threads T]  (0 = all cores, 1 = sequential)\n"
       "                  [--start 0.75 --step 0.05 --steps 6]\n"
       "                  [--rank R --mu MU --iterations N]\n"
-      "                  [--checkpoint OUT]\n"
+      "                  [--checkpoint OUT] [--checkpoint-dir DIR]\n"
+      "                  [--fault-plan SPEC] [--drop-prob P]\n"
+      "                  [--corrupt-prob P] [--delay-prob P]\n"
+      "                  [--crash-worker W --crash-at-step T\n"
+      "                   --crash-superstep S]\n"
+      "                  [--recovery checkpoint|degraded]\n"
       "  serve-bench     --input F [stream flags above]\n"
       "                  [--queries N --clients C --k K --batch B]\n"
       "                  [--keep-depth D] [--warm-checkpoint F]\n"
