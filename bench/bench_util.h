@@ -4,11 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/datasets.h"
 
 namespace dismastd {
@@ -65,6 +68,83 @@ inline std::vector<DatasetSpec> ScaledPaperDatasets() {
   for (auto& spec : specs) spec = ScaledSpec(spec);
   return specs;
 }
+
+/// Observability sinks shared by the bench harnesses, parsed from argv:
+///   --trace-out=FILE [--trace-detail=steps|phases|workers]
+///   --metrics-out=FILE
+/// Both are optional; with neither given, tracer()/metrics() stay null and
+/// the instrumented run pays only the Active() branch. Finish() writes the
+/// requested files once the harness is done.
+class BenchObs {
+ public:
+  static BenchObs FromArgs(int argc, const char* const* argv) {
+    BenchObs obs_args;
+    std::string detail_text;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        obs_args.trace_path_ = arg.substr(12);
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        obs_args.metrics_path_ = arg.substr(14);
+      } else if (arg.rfind("--trace-detail=", 0) == 0) {
+        detail_text = arg.substr(15);
+      } else {
+        std::fprintf(stderr, "ignoring unknown bench flag: %s\n",
+                     arg.c_str());
+      }
+    }
+    if (!obs_args.trace_path_.empty()) {
+      obs::TraceDetail detail = obs::TraceDetail::kPhases;
+      if (!detail_text.empty()) {
+        const Result<obs::TraceDetail> parsed =
+            obs::ParseTraceDetail(detail_text);
+        if (parsed.ok()) {
+          detail = parsed.value();
+        } else {
+          std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+        }
+      }
+      obs_args.tracer_ = std::make_unique<obs::Tracer>(detail);
+    }
+    if (!obs_args.metrics_path_.empty()) {
+      obs_args.metrics_ = std::make_unique<obs::MetricRegistry>();
+    }
+    return obs_args;
+  }
+
+  obs::Tracer* tracer() const { return tracer_.get(); }
+  obs::MetricRegistry* metrics() const { return metrics_.get(); }
+
+  void Finish() const {
+    if (tracer_ != nullptr) {
+      const Status written = tracer_->WriteChromeTraceFile(trace_path_);
+      if (written.ok()) {
+        std::printf("trace written to %s (%llu events)\n",
+                    trace_path_.c_str(),
+                    static_cast<unsigned long long>(tracer_->event_count()));
+      } else {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     written.message().c_str());
+      }
+    }
+    if (metrics_ != nullptr) {
+      const Status written = metrics_->WritePrometheusFile(metrics_path_);
+      if (written.ok()) {
+        std::printf("metrics written to %s (%zu series)\n",
+                    metrics_path_.c_str(), metrics_->NumSeries());
+      } else {
+        std::fprintf(stderr, "metrics write failed: %s\n",
+                     written.message().c_str());
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricRegistry> metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 /// Appends machine-readable rows next to the stdout tables so the figures
 /// can be re-plotted directly. Silently disabled if the file cannot be

@@ -15,7 +15,8 @@
 namespace dismastd {
 namespace {
 
-void RunDataset(const DatasetSpec& spec, bench::CsvWriter* csv) {
+void RunDataset(const DatasetSpec& spec, const bench::BenchObs& obs_sinks,
+                bench::CsvWriter* csv) {
   std::printf("\nFig. 5 (%s): time per iteration [simulated s] vs snapshot\n",
               spec.name.c_str());
   // The stream starts at 70% so the incremental method enters the measured
@@ -39,6 +40,8 @@ void RunDataset(const DatasetSpec& spec, bench::CsvWriter* csv) {
   for (Series& s : series) {
     DistributedOptions options = bench::PaperOptions();
     options.partitioner = s.partitioner;
+    options.tracer = obs_sinks.tracer();
+    options.metrics = obs_sinks.metrics();
     s.metrics = RunStreamingExperiment(stream, s.method, options);
   }
 
@@ -69,16 +72,19 @@ void RunDataset(const DatasetSpec& spec, bench::CsvWriter* csv) {
 }  // namespace
 }  // namespace dismastd
 
-int main() {
+int main(int argc, char** argv) {
   dismastd::bench::PrintHeader(
       "Fig. 5 — running time per iteration vs multi-aspect streaming tensor");
   std::printf("Setup: R=10, mu=0.8, 10 iterations, 15 workers, p=15/mode\n");
+  const dismastd::bench::BenchObs obs_sinks =
+      dismastd::bench::BenchObs::FromArgs(argc, argv);
   dismastd::bench::CsvWriter csv("fig5_streaming.csv");
   csv.Row("dataset", "method", "snapshot_pct", "snapshot_nnz",
           "sim_seconds_per_iteration");
   for (const auto& spec : dismastd::bench::ScaledPaperDatasets()) {
-    dismastd::RunDataset(spec, &csv);
+    dismastd::RunDataset(spec, obs_sinks, &csv);
   }
   std::printf("\n(series also written to fig5_streaming.csv)\n");
+  obs_sinks.Finish();
   return 0;
 }

@@ -23,8 +23,9 @@
 
 using namespace dismastd;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Serve throughput: versioned model store + query engine");
+  const bench::BenchObs obs_sinks = bench::BenchObs::FromArgs(argc, argv);
 
   GeneratorOptions gen;
   gen.dims = {20000, 4000, 200};
@@ -47,11 +48,14 @@ int main() {
   DistributedOptions options = bench::PaperOptions();
   options.als.rank = 10;
   options.als.max_iterations = 5;
+  options.tracer = obs_sinks.tracer();
+  options.metrics = obs_sinks.metrics();
   auto schedule = MakeGrowthSchedule(full.dims(), 0.7, 0.1, 4);
   const StreamingTensorSequence stream(full, std::move(schedule));
 
   serve::ServeSessionOptions session_options;
   session_options.store.keep_depth = 4;
+  session_options.tracer = obs_sinks.tracer();
   serve::ServeSession session(session_options);
 
   serve::QueryLogOptions log_options;
@@ -72,10 +76,11 @@ int main() {
   while (session.store().Current() == nullptr) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  WallTimer overlap_timer;
+  obs::SpanTimer overlap_timer(obs_sinks.tracer(), "overlap_replay", "bench",
+                               "bench");
   serve::ReplayStats overlap =
       serve::ReplayQueryLog(session.engine(), log, 4);
-  const double overlap_seconds = overlap_timer.ElapsedSeconds();
+  const double overlap_seconds = overlap_timer.Stop();
   producer.join();
 
   std::printf("overlapped with decomposition (4 clients): %llu queries in "
@@ -95,11 +100,13 @@ int main() {
   for (size_t clients : {1, 2, 4, 8}) {
     // A fresh metrics plane per sweep so percentiles don't mix runs.
     serve::ServeMetrics sweep_metrics;
-    serve::QueryEngine engine(&session.store(), nullptr, &sweep_metrics);
-    WallTimer timer;
+    serve::QueryEngine engine(&session.store(), nullptr, &sweep_metrics,
+                              obs_sinks.tracer());
+    obs::SpanTimer timer(obs_sinks.tracer(), "steady_replay", "bench",
+                         "bench");
     const serve::ReplayStats stats =
         serve::ReplayQueryLog(engine, log, clients);
-    const double seconds = timer.ElapsedSeconds();
+    const double seconds = timer.Stop();
     const serve::ServeMetricsReport report = sweep_metrics.Report();
     const auto& point =
         report.latency[static_cast<size_t>(serve::QueryType::kPoint)];
@@ -116,5 +123,9 @@ int main() {
   }
   std::printf("\nstaleness during overlap: %s",
               session.metrics().Report().ToString().c_str());
+  if (obs_sinks.metrics() != nullptr) {
+    session.metrics().PublishTo(obs_sinks.metrics());
+  }
+  obs_sinks.Finish();
   return 0;
 }

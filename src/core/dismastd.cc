@@ -9,6 +9,8 @@
 #include "dist/execution.h"
 #include "la/ops.h"
 #include "la/solve.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/factor_assign.h"
 #include "tensor/mttkrp.h"
 
@@ -61,7 +63,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
                                     const std::vector<uint64_t>& old_dims,
                                     const KruskalTensor& prev,
                                     const DistributedOptions& options) {
-  WallTimer wall;
+  obs::SpanTimer wall(options.tracer, "dismastd_decompose", "core", "driver");
   DISMASTD_CHECK_OK(options.Validate());
   const size_t order = delta.order();
   const size_t rank = options.als.rank;
@@ -85,6 +87,20 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   // independent of the execution engine's thread count.
   FaultInjector injector(options.fault_plan, options.stream_step);
   if (injector.enabled()) cluster.AttachFaultInjector(&injector);
+
+  // Observability sinks. Sim-clock spans land on the tracer's driver lane
+  // (this thread); the registry's histogram pointer is stable, so the
+  // network records message sizes into it lock-free.
+  obs::Tracer* tracer = options.tracer;
+  if (obs::Active(tracer)) cluster.AttachTracer(tracer);
+  const bool trace_phases =
+      obs::Active(tracer) && tracer->detail() >= obs::TraceDetail::kPhases;
+  const bool trace_steps = obs::Active(tracer);
+  if (options.metrics != nullptr) {
+    cluster.network().AttachMessageByteHistogram(options.metrics->GetHistogram(
+        "dismastd_comm_message_wire_bytes", {},
+        "Wire size of each remote message, in bytes"));
+  }
 
   // ---------------------------------------------------------------------
   // Phase 1: data partitioning (§IV-A).
@@ -139,7 +155,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
     exec.pool().ParallelFor(order, [&](size_t n) {
       mode_data[n] = BuildModePartitionData(delta, partitioning, n);
     });
-    cluster.CommitSuperstep(acct);
+    cluster.CommitSuperstep(acct, "partition");
     result.metrics.sim_seconds_partitioning = cluster.ElapsedSimSeconds();
   }
 
@@ -207,7 +223,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   {
     SuperstepAccounting acct = cluster.NewSuperstep();
     products_superstep(acct);
-    cluster.CommitSuperstep(acct);
+    cluster.CommitSuperstep(acct, "products");
   }
 
   const double prev_model_norm_sq =
@@ -219,9 +235,19 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   double prev_loss = -1.0;
 
   for (size_t iter = 0; iter < options.als.max_iterations; ++iter) {
+    if (trace_steps) {
+      tracer->BeginSim(obs::Tracer::kDriverLane,
+                       ("iter " + std::to_string(iter)).c_str(), "iteration",
+                       cluster.ElapsedSimSeconds());
+    }
     Matrix mttkrp_last;
     for (size_t n = 0; n < order; ++n) {
       const size_t old_rows = static_cast<size_t>(old_dims[n]);
+      if (trace_phases) {
+        tracer->BeginSim(obs::Tracer::kDriverLane,
+                         ("mode " + std::to_string(n)).c_str(), "mode",
+                         cluster.ElapsedSimSeconds());
+      }
 
       // Hadamard accumulations over k != n, replicated on every worker.
       Matrix had_h(rank, rank), had_g01(rank, rank), had_g0(rank, rank);
@@ -324,7 +350,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
       });
       {
         const double before = cluster.ElapsedSimSeconds();
-        cluster.CommitSuperstep(acct);
+        cluster.CommitSuperstep(acct, "mttkrp_update");
         result.metrics.sim_seconds_mttkrp_update +=
             cluster.ElapsedSimSeconds() - before;
       }
@@ -366,9 +392,12 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
       h[n] = cluster.AllToAllReduceMatrix(p_h, &reduce_acct);
       {
         const double before = cluster.ElapsedSimSeconds();
-        cluster.CommitSuperstep(reduce_acct);
+        cluster.CommitSuperstep(reduce_acct, "gram_reduce");
         result.metrics.sim_seconds_gram_reduce +=
             cluster.ElapsedSimSeconds() - before;
+      }
+      if (trace_phases) {
+        tracer->EndSim(obs::Tracer::kDriverLane, cluster.ElapsedSimSeconds());
       }
 
       if (n + 1 == order) mttkrp_last = std::move(mttkrp);
@@ -420,7 +449,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
     }
     {
       const double before = cluster.ElapsedSimSeconds();
-      cluster.CommitSuperstep(loss_acct);
+      cluster.CommitSuperstep(loss_acct, "loss");
       result.metrics.sim_seconds_loss +=
           cluster.ElapsedSimSeconds() - before;
     }
@@ -439,6 +468,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
     result.metrics.sim_seconds_per_iteration.push_back(sim_now -
                                                        sim_before_iters);
     sim_before_iters = sim_now;
+    if (trace_steps) tracer->EndSim(obs::Tracer::kDriverLane, sim_now);
 
     // --- Crash schedule. A worker failure is detected at the BSP barrier
     // (the boundary where a real driver notices the missing heartbeat);
@@ -513,7 +543,7 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
       // one accounted recovery superstep before the next sweep.
       products_superstep(racct);
       const double before_recovery_commit = cluster.ElapsedSimSeconds();
-      cluster.CommitSuperstep(racct);
+      cluster.CommitSuperstep(racct, "recovery");
       injector.metrics().recovery_sim_seconds +=
           cluster.ElapsedSimSeconds() - before_recovery_commit;
       sim_before_iters = cluster.ElapsedSimSeconds();
@@ -535,9 +565,35 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   result.metrics.comm_messages = cluster.total_comm_messages();
   result.metrics.comm_payload_bytes = cluster.total_comm_bytes();
   result.metrics.total_flops = cluster.total_flops();
-  result.metrics.wall_seconds = wall.ElapsedSeconds();
+  result.metrics.wall_seconds = wall.Stop();
   result.metrics.recovery = injector.metrics();
   result.metrics.orphaned_messages = cluster.network().stats().orphan_events;
+  result.metrics.leaked_messages = cluster.network().stats().orphan_messages;
+
+  if (options.metrics != nullptr) {
+    obs::MetricRegistry* reg = options.metrics;
+    cluster.network().stats().PublishTo(reg);
+    result.metrics.recovery.PublishTo(reg);
+    const auto phase_gauge = [&](const char* phase, double seconds) {
+      reg->GetGauge("dismastd_core_sim_seconds",
+                    {{"phase", phase}},
+                    "Simulated seconds spent per phase, accumulated over "
+                    "the registry's lifetime")
+          ->Add(seconds);
+    };
+    phase_gauge("total", result.metrics.sim_seconds_total);
+    phase_gauge("partition", result.metrics.sim_seconds_partitioning);
+    phase_gauge("mttkrp_update", result.metrics.sim_seconds_mttkrp_update);
+    phase_gauge("gram_reduce", result.metrics.sim_seconds_gram_reduce);
+    phase_gauge("loss", result.metrics.sim_seconds_loss);
+    reg->GetCounter("dismastd_core_flops_total", {},
+                    "Counted floating-point work across all workers")
+        ->Add(result.metrics.total_flops);
+    reg->GetCounter("dismastd_core_supersteps_total", {},
+                    "Committed BSP supersteps")
+        ->Add(cluster.committed_supersteps());
+    cluster.network().AttachMessageByteHistogram(nullptr);
+  }
   return result;
 }
 

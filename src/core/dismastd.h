@@ -16,6 +16,11 @@
 
 namespace dismastd {
 
+namespace obs {
+class MetricRegistry;
+class Tracer;
+}  // namespace obs
+
 /// Configuration of a distributed decomposition run.
 struct DistributedOptions {
   DecompositionOptions als;
@@ -44,6 +49,17 @@ struct DistributedOptions {
   /// here (atomic write); crash recovery in kCheckpoint mode conceptually
   /// reloads from it.
   std::string checkpoint_dir;
+  /// Optional span tracer (not owned, may be null). When attached and
+  /// enabled, the run emits its hierarchical sim-clock spans — ALS
+  /// iteration -> per-mode update -> per-superstep phase — onto the
+  /// tracer's driver lane (plus per-worker busy lanes at
+  /// TraceDetail::kWorkers). Null costs one branch per hook.
+  obs::Tracer* tracer = nullptr;
+  /// Optional metric registry (not owned, may be null). At the end of the
+  /// run the comm / recovery / phase-timing totals are added into it under
+  /// the `dismastd_<subsystem>_*` naming convention, and the network's
+  /// per-message wire-byte histogram records into it live.
+  obs::MetricRegistry* metrics = nullptr;
 
   /// Rejects invalid settings (invalid ALS options, zero workers, bad
   /// cost-model constants, inconsistent fault plan). parts_per_mode is
@@ -81,6 +97,9 @@ struct DistributedRunMetrics {
   /// Supersteps that committed with undelivered messages still pending
   /// (collective hygiene violations surfaced by the network).
   uint64_t orphaned_messages = 0;
+  /// Total undelivered messages across those violations — sizes the leak,
+  /// where orphaned_messages only counts the offending supersteps.
+  uint64_t leaked_messages = 0;
 
   /// Mean simulated seconds per ALS sweep (the paper's reported metric).
   double MeanIterationSeconds() const;

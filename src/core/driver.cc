@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "tensor/checkpoint.h"
 
 namespace dismastd {
@@ -61,10 +62,22 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
   std::vector<StreamStepMetrics> metrics;
   metrics.reserve(stream.num_steps());
 
+  obs::Tracer* tracer = options.tracer;
+  if (obs::Active(tracer)) tracer->RegisterWallLane("driver");
+
   KruskalTensor prev_factors;
   std::vector<uint64_t> prev_dims;
 
   for (size_t step = 0; step < stream.num_steps(); ++step) {
+    // Wall-clock span of the whole step (decompose + fit + checkpoint +
+    // observer); the sim-clock step span is closed below once the step's
+    // simulated total is known.
+    obs::ScopedWallSpan step_wall(tracer, "stream_step", "stream", "driver");
+    if (obs::Active(tracer)) {
+      tracer->BeginSim(obs::Tracer::kDriverLane,
+                       ("step " + std::to_string(step)).c_str(), "stream",
+                       0.0, {{"step", std::to_string(step)}});
+    }
     StreamStepMetrics sm;
     sm.step = step;
     sm.dims = stream.DimsAt(step);
@@ -97,6 +110,9 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
     sm.sim_seconds_per_iteration = result.metrics.MeanIterationSeconds();
     sm.sim_seconds_total = result.metrics.sim_seconds_total;
     sm.sim_seconds_partitioning = result.metrics.sim_seconds_partitioning;
+    sm.sim_seconds_mttkrp_update = result.metrics.sim_seconds_mttkrp_update;
+    sm.sim_seconds_gram_reduce = result.metrics.sim_seconds_gram_reduce;
+    sm.sim_seconds_loss = result.metrics.sim_seconds_loss;
     sm.comm_bytes = result.metrics.comm_payload_bytes;
     sm.comm_messages = result.metrics.comm_messages;
     sm.flops = result.metrics.total_flops;
@@ -106,6 +122,15 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
                         : result.als.loss_history.back();
     sm.recovery = result.metrics.recovery;
     sm.orphaned_messages = result.metrics.orphaned_messages;
+    sm.leaked_messages = result.metrics.leaked_messages;
+    if (obs::Active(tracer)) {
+      // Close the step's sim span at its simulated total, then advance the
+      // timeline base so the next step's run-local clock (which restarts
+      // at zero) lays out after this one.
+      tracer->EndSim(obs::Tracer::kDriverLane,
+                     result.metrics.sim_seconds_total);
+      tracer->AdvanceSimBase(result.metrics.sim_seconds_total);
+    }
     if (compute_fit) {
       const SparseTensor snapshot = stream.SnapshotAt(step);
       sm.fit = result.als.factors.Fit(snapshot);

@@ -47,6 +47,10 @@ struct StreamStepMetrics {
   double sim_seconds_per_iteration = 0.0;
   double sim_seconds_total = 0.0;
   double sim_seconds_partitioning = 0.0;
+  /// Phase breakdown of the iteration time (see DistributedRunMetrics).
+  double sim_seconds_mttkrp_update = 0.0;
+  double sim_seconds_gram_reduce = 0.0;
+  double sim_seconds_loss = 0.0;
   uint64_t comm_bytes = 0;
   uint64_t comm_messages = 0;
   uint64_t flops = 0;
@@ -59,6 +63,8 @@ struct StreamStepMetrics {
   RecoveryMetrics recovery;
   /// Supersteps that committed with undelivered messages still pending.
   uint64_t orphaned_messages = 0;
+  /// Total undelivered messages across those supersteps.
+  uint64_t leaked_messages = 0;
 };
 
 /// Called after every completed streaming step with that step's metrics

@@ -34,13 +34,28 @@ Result<Matrix> DeserializeMatrix(const std::vector<uint8_t>& bytes) {
 Cluster::Cluster(uint32_t num_workers, CostModelConfig config)
     : network_(num_workers), config_(config) {}
 
-void Cluster::CommitSuperstep(const SuperstepAccounting& acct) {
+void Cluster::CommitSuperstep(const SuperstepAccounting& acct,
+                              const char* phase) {
+  const double before = sim_seconds_;
   sim_seconds_ += SuperstepSeconds(config_, acct);
   // Fault overhead accrued during this superstep (straggler delays,
   // retransmission backoff, recovery penalties) lands on the clock here,
   // so the cost model prices unreliability alongside the regular work.
   if (injector_ != nullptr) {
     sim_seconds_ += injector_->DrainPendingSimSeconds();
+  }
+  if (obs::Active(tracer_) &&
+      tracer_->detail() >= obs::TraceDetail::kPhases) {
+    tracer_->BeginSim(obs::Tracer::kDriverLane, phase, "phase", before);
+    tracer_->EndSim(obs::Tracer::kDriverLane, sim_seconds_);
+    if (tracer_->detail() >= obs::TraceDetail::kWorkers) {
+      for (uint32_t w = 0; w < acct.num_workers(); ++w) {
+        const uint32_t lane = obs::Tracer::WorkerLane(w);
+        tracer_->SetSimLaneName(lane, "worker " + std::to_string(w));
+        tracer_->BeginSim(lane, phase, "worker", before);
+        tracer_->EndSim(lane, before + WorkerSeconds(config_, acct, w));
+      }
+    }
   }
   total_flops_ += acct.total_flops();
   total_comm_bytes_ += acct.total_bytes();

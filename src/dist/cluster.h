@@ -9,6 +9,7 @@
 #include "dist/fault.h"
 #include "dist/network.h"
 #include "la/matrix.h"
+#include "obs/trace.h"
 
 namespace dismastd {
 
@@ -44,13 +45,24 @@ class Cluster {
   }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Attaches (or detaches, with nullptr) a span tracer. Committed
+  /// supersteps then emit a phase span on the sim driver lane covering
+  /// exactly the clock advance, and — at TraceDetail::kWorkers — one busy
+  /// span per worker (the cost model's per-worker term before the BSP
+  /// max). The tracer must outlive the cluster or be detached first.
+  void AttachTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Fresh accounting object for one superstep.
   SuperstepAccounting NewSuperstep() const {
     return SuperstepAccounting(num_workers());
   }
 
   /// Folds a finished superstep into the simulated clock and totals.
-  void CommitSuperstep(const SuperstepAccounting& acct);
+  /// `phase` names the span the tracer records for this commit
+  /// ("mttkrp_update", "gram_reduce", "loss", ...).
+  void CommitSuperstep(const SuperstepAccounting& acct,
+                       const char* phase = "superstep");
 
   /// Simulated elapsed seconds since construction / last ResetClock().
   double ElapsedSimSeconds() const { return sim_seconds_; }
@@ -97,6 +109,7 @@ class Cluster {
   SimulatedNetwork network_;
   CostModelConfig config_;
   FaultInjector* injector_ = nullptr;  // not owned
+  obs::Tracer* tracer_ = nullptr;      // not owned
   double sim_seconds_ = 0.0;
   uint64_t total_flops_ = 0;
   uint64_t total_comm_bytes_ = 0;

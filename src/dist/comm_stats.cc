@@ -1,6 +1,7 @@
 #include "dist/comm_stats.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace dismastd {
 
@@ -9,8 +10,28 @@ std::string CommStats::ToString() const {
                      " payload=" + FormatBytes(payload_bytes);
   if (orphan_events > 0) {
     text += " orphan_events=" + FormatWithCommas(orphan_events);
+    text += " orphan_messages=" + FormatWithCommas(orphan_messages);
   }
   return text;
+}
+
+void CommStats::PublishTo(obs::MetricRegistry* registry) const {
+  registry
+      ->GetCounter("dismastd_comm_messages_total", {},
+                   "Remote messages routed through the simulated fabric")
+      ->Add(messages);
+  registry
+      ->GetCounter("dismastd_comm_payload_bytes_total", {},
+                   "Serialized payload bytes moved between workers")
+      ->Add(payload_bytes);
+  registry
+      ->GetCounter("dismastd_comm_orphan_events_total", {},
+                   "Supersteps committed with undelivered messages pending")
+      ->Add(orphan_events);
+  registry
+      ->GetCounter("dismastd_comm_orphan_messages_total", {},
+                   "Undelivered messages found at superstep commits")
+      ->Add(orphan_messages);
 }
 
 }  // namespace dismastd

@@ -6,6 +6,10 @@
 
 namespace dismastd {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 /// Cumulative communication counters for the simulated cluster. Bytes are
 /// real serialized payload bytes — the same bytes an MPI/Spark shuffle of the
 /// same data would move — so Theorem 4's communication bounds can be checked
@@ -18,6 +22,10 @@ struct CommStats {
   /// non-zero count means some collective leaked traffic (every committed
   /// superstep must drain its inboxes) and is surfaced as a warning.
   uint64_t orphan_events = 0;
+  /// Total undelivered messages across those violations (each orphan event
+  /// can leak several messages); the CLI prints both so leaks are sized,
+  /// not just counted.
+  uint64_t orphan_messages = 0;
 
   void Record(uint64_t bytes) {
     ++messages;
@@ -28,11 +36,15 @@ struct CommStats {
     messages += other.messages;
     payload_bytes += other.payload_bytes;
     orphan_events += other.orphan_events;
+    orphan_messages += other.orphan_messages;
   }
 
   void Reset() { *this = CommStats{}; }
 
   std::string ToString() const;
+
+  /// Adds these counters into the shared registry under `dismastd_comm_*`.
+  void PublishTo(obs::MetricRegistry* registry) const;
 };
 
 }  // namespace dismastd

@@ -94,4 +94,20 @@ double SuperstepSeconds(const CostModelConfig& config,
          static_cast<double>(max_msgs) * config.latency_seconds;
 }
 
+double WorkerSeconds(const CostModelConfig& config,
+                     const SuperstepAccounting& acct, uint32_t worker) {
+  DISMASTD_CHECK(worker < acct.num_workers());
+  const uint64_t bytes = acct.per_worker_bytes_sent()[worker] +
+                         acct.per_worker_bytes_recv()[worker];
+  return static_cast<double>(acct.per_worker_tasks()[worker]) *
+             config.task_startup_seconds +
+         static_cast<double>(acct.per_worker_flops()[worker]) /
+             config.flops_per_second +
+         static_cast<double>(acct.per_worker_sparse_elements()[worker]) /
+             config.sparse_elements_per_second +
+         static_cast<double>(bytes) / config.bandwidth_bytes_per_second +
+         static_cast<double>(acct.per_worker_messages()[worker]) *
+             config.latency_seconds;
+}
+
 }  // namespace dismastd

@@ -119,6 +119,12 @@ class SuperstepAccounting {
 double SuperstepSeconds(const CostModelConfig& config,
                         const SuperstepAccounting& acct);
 
+/// Busy time of one worker in the superstep — the per-worker term before
+/// the BSP max (so WorkerSeconds <= SuperstepSeconds for every worker).
+/// This is what the tracer's per-worker lanes show at TraceDetail::kWorkers.
+double WorkerSeconds(const CostModelConfig& config,
+                     const SuperstepAccounting& acct, uint32_t worker);
+
 }  // namespace dismastd
 
 #endif  // DISMASTD_DIST_COST_MODEL_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace dismastd {
 
@@ -139,6 +140,48 @@ void RecoveryMetrics::Merge(const RecoveryMetrics& other) {
   rows_reinitialized += other.rows_reinitialized;
   fault_overhead_sim_seconds += other.fault_overhead_sim_seconds;
   recovery_sim_seconds += other.recovery_sim_seconds;
+}
+
+void RecoveryMetrics::PublishTo(obs::MetricRegistry* registry) const {
+  const auto counter = [&](const char* name, const char* help, uint64_t v) {
+    registry->GetCounter(name, {}, help)->Add(v);
+  };
+  counter("dismastd_recovery_messages_dropped_total",
+          "Messages lost in transit by the fault injector", messages_dropped);
+  counter("dismastd_recovery_messages_corrupted_total",
+          "Messages corrupted in transit (caught by the CRC frame)",
+          messages_corrupted);
+  counter("dismastd_recovery_messages_delayed_total",
+          "Messages hit by a straggler delay", messages_delayed);
+  counter("dismastd_recovery_retransmissions_total",
+          "Bounded retransmissions of dropped/corrupt messages",
+          retransmissions);
+  counter("dismastd_recovery_retransmitted_bytes_total",
+          "Wire bytes of all retransmission attempts", retransmitted_bytes);
+  counter("dismastd_recovery_escalations_total",
+          "Transfers delivered out of band after exhausting retries",
+          escalations);
+  counter("dismastd_recovery_crashes_total", "Worker crashes injected",
+          crashes);
+  counter("dismastd_recovery_checkpoint_recoveries_total",
+          "Crash recoveries by checkpoint replay", checkpoint_recoveries);
+  counter("dismastd_recovery_degraded_recoveries_total",
+          "Crash recoveries by degraded continuation (Eq. 2)",
+          degraded_recoveries);
+  counter("dismastd_recovery_rows_rebuilt_total",
+          "Lost rows rebuilt from the previous snapshot",
+          rows_rebuilt_from_prev);
+  counter("dismastd_recovery_rows_reinitialized_total",
+          "Lost rows re-drawn from the deterministic init",
+          rows_reinitialized);
+  registry
+      ->GetGauge("dismastd_recovery_fault_overhead_sim_seconds", {},
+                 "Simulated seconds of retransmission backoff and delays")
+      ->Add(fault_overhead_sim_seconds);
+  registry
+      ->GetGauge("dismastd_recovery_sim_seconds", {},
+                 "Simulated seconds lost to crash recovery")
+      ->Add(recovery_sim_seconds);
 }
 
 std::string RecoveryMetrics::ToString() const {

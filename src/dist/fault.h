@@ -9,6 +9,10 @@
 
 namespace dismastd {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 /// CRC-32 (IEEE 802.3, poly 0xEDB88320) over `size` bytes. Used to frame
 /// every simulated-network payload when fault injection is active so that
 /// in-transit corruption is detected on Receive, exactly like a transport
@@ -110,6 +114,10 @@ struct RecoveryMetrics {
   bool Any() const;
   void Merge(const RecoveryMetrics& other);
   std::string ToString() const;
+
+  /// Adds these counters into the shared registry under
+  /// `dismastd_recovery_*`.
+  void PublishTo(obs::MetricRegistry* registry) const;
 };
 
 /// Deterministic, seed-driven fault source consulted by the

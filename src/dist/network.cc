@@ -37,6 +37,7 @@ Status SimulatedNetwork::Send(uint32_t src, uint32_t dst, uint32_t tag,
     stats_.Record(size);
     bytes_sent_[src] += size;
     ++msgs_sent_[src];
+    if (message_bytes_ != nullptr) message_bytes_->Record(size);
     if (injector_ != nullptr) {
       switch (injector_->OnSend()) {
         case FaultInjector::Transit::kDrop:
@@ -117,6 +118,7 @@ size_t SimulatedNetwork::CheckNoOrphans() {
   const size_t pending = TotalPending();
   if (pending > 0) {
     ++stats_.orphan_events;
+    stats_.orphan_messages += pending;
     DISMASTD_LOG(Warning) << "superstep committed with " << pending
                           << " undelivered message(s) still pending — a "
                              "collective leaked traffic";

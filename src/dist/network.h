@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "dist/comm_stats.h"
 #include "dist/fault.h"
+#include "obs/histogram.h"
 
 namespace dismastd {
 
@@ -41,6 +42,14 @@ class SimulatedNetwork {
   /// must outlive the network or be detached first.
   void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
+
+  /// Attaches (or detaches, with nullptr) a histogram that receives the
+  /// wire size of every remote message sent — the per-collective message
+  /// size distribution of the run. The histogram must outlive the network
+  /// or be detached first.
+  void AttachMessageByteHistogram(obs::Pow2Histogram* histogram) {
+    message_bytes_ = histogram;
+  }
 
   /// True when payloads are CRC-framed (an injector with message faults is
   /// attached).
@@ -91,6 +100,7 @@ class SimulatedNetwork {
   uint32_t num_workers_;
   std::vector<std::deque<Message>> inboxes_;  // per destination
   FaultInjector* injector_ = nullptr;         // not owned
+  obs::Pow2Histogram* message_bytes_ = nullptr;  // not owned
   CommStats stats_;
   std::vector<uint64_t> bytes_sent_;
   std::vector<uint64_t> bytes_recv_;

@@ -1,0 +1,116 @@
+#ifndef DISMASTD_OBS_HISTOGRAM_H_
+#define DISMASTD_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace dismastd {
+namespace obs {
+
+/// Lock-free histogram with power-of-two buckets: bucket b holds values in
+/// [2^b, 2^{b+1}). Concurrent Record() calls only touch atomics; quantile
+/// reads are approximate to within one bucket (the reported value is the
+/// bucket's geometric midpoint), which is the usual fidelity of serving
+/// dashboards. The value unit is the caller's choice — the serving plane
+/// records latency nanoseconds, the network records per-message wire bytes,
+/// the tracer records span-duration nanoseconds — all through this one
+/// implementation.
+class Pow2Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  /// Index of the bucket covering `value` (values 0 and 1 share bucket 0).
+  static size_t BucketFor(uint64_t value) {
+    if (value <= 1) return 0;
+    return static_cast<size_t>(63 - __builtin_clzll(value));
+  }
+
+  /// Geometric midpoint of bucket `b`, i.e. 2^{b+0.5}.
+  static double BucketMid(size_t b) {
+    return std::exp2(static_cast<double>(b) + 0.5);
+  }
+
+  /// Exclusive upper bound of bucket `b` (2^{b+1}); the Prometheus `le`
+  /// bound of the cumulative bucket.
+  static double BucketUpperBound(size_t b) {
+    return std::exp2(static_cast<double>(b) + 1.0);
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Sum of all recorded values (exact, unlike the quantiles).
+  uint64_t Total() const { return total_.load(std::memory_order_relaxed); }
+
+  uint64_t BucketCount(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Exact mean of the recorded values (0 when empty).
+  double Mean() const {
+    const uint64_t n = Count();
+    if (n == 0) return 0.0;
+    return static_cast<double>(Total()) / static_cast<double>(n);
+  }
+
+  /// Approximate p-quantile, p in [0, 1]; 0 when empty. Nearest-rank over
+  /// the buckets, reported as the owning bucket's geometric midpoint.
+  double Percentile(double p) const {
+    const uint64_t n = Count();
+    if (n == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(n))));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      seen += BucketCount(b);
+      if (seen >= rank) return BucketMid(b);
+    }
+    return BucketMid(kNumBuckets - 1);
+  }
+
+  /// Adds `other`'s counts into this histogram (both may be concurrently
+  /// recorded into; the merge is a relaxed snapshot, like Count()).
+  void MergeFrom(const Pow2Histogram& other) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      const uint64_t c = other.BucketCount(b);
+      if (c > 0) buckets_[b].fetch_add(c, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.Count(), std::memory_order_relaxed);
+    total_.fetch_add(other.Total(), std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Highest non-empty bucket index + 1 (0 when empty): exposition loops
+  /// stop here instead of emitting 64 lines of zeros.
+  size_t UsedBuckets() const {
+    size_t used = 0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      if (BucketCount(b) > 0) used = b + 1;
+    }
+    return used;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_{0};
+};
+
+}  // namespace obs
+}  // namespace dismastd
+
+#endif  // DISMASTD_OBS_HISTOGRAM_H_

@@ -1,0 +1,252 @@
+#ifndef DISMASTD_OBS_TRACE_H_
+#define DISMASTD_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "obs/histogram.h"
+
+namespace dismastd {
+namespace obs {
+
+/// How much of the span hierarchy the tracer records.
+enum class TraceDetail {
+  /// Stream steps and ALS iterations only (driver lane).
+  kSteps = 0,
+  /// + per-mode updates and per-superstep phase spans (MTTKRP/row-solve,
+  /// Gram all-reduce, loss, partition, products, recovery). The default.
+  kPhases = 1,
+  /// + one lane per simulated worker with that worker's busy time in every
+  /// superstep (the cost model's per-worker term before the BSP max).
+  kWorkers = 2,
+};
+
+const char* TraceDetailName(TraceDetail detail);
+Result<TraceDetail> ParseTraceDetail(const std::string& text);
+
+/// Hierarchical span tracer exporting Chrome trace-event JSON (loadable in
+/// Perfetto / chrome://tracing).
+///
+/// Two clock domains, kept on separate trace "processes":
+///   - pid 1 "sim": simulated-clock lanes. Lane 0 is the BSP driver
+///     (stream step -> ALS iteration -> per-mode update -> phase spans);
+///     lanes 1..M are the simulated workers. Timestamps come from the
+///     cluster's simulated clock, so sim lanes are deterministic and
+///     bit-identical across execution-engine thread counts. Sim spans are
+///     begin/end ("B"/"E") events and MUST be recorded from the driver
+///     thread only, in nesting order.
+///   - pid 2 "wall": real wall-clock lanes, one per recording thread
+///     (driver, serve clients). Complete ("X") events, any thread.
+///
+/// Cost contract: every hook in the hot paths guards on
+/// `obs::Active(tracer)` — a null check plus one relaxed atomic load — so
+/// a run without a tracer (the default) pays nothing beyond the branch,
+/// and allocates nothing.
+class Tracer {
+ public:
+  static constexpr uint32_t kSimPid = 1;
+  static constexpr uint32_t kWallPid = 2;
+  /// Sim lane 0: the BSP driver's phase hierarchy.
+  static constexpr uint32_t kDriverLane = 0;
+  /// Sim lane of simulated worker `w`.
+  static constexpr uint32_t WorkerLane(uint32_t w) { return 1 + w; }
+
+  /// Events beyond this cap are dropped (and counted) instead of growing
+  /// without bound; ~2M events is far beyond any paper-scale run.
+  static constexpr uint64_t kMaxEvents = 1ull << 21;
+
+  explicit Tracer(TraceDetail detail = TraceDetail::kPhases);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  TraceDetail detail() const { return detail_; }
+  void set_detail(TraceDetail detail) { detail_ = detail; }
+
+  // --- Simulated-clock lanes (driver thread only). -----------------------
+
+  /// Begins a span on a sim lane at `start_seconds` of the *current run's*
+  /// simulated clock (the tracer adds the stream-step base, see
+  /// AdvanceSimBase). Spans must nest per lane: every BeginSim is closed by
+  /// the matching EndSim at a timestamp >= its start.
+  void BeginSim(uint32_t lane, const char* name, const char* category,
+                double start_seconds);
+  void BeginSim(uint32_t lane, const char* name, const char* category,
+                double start_seconds,
+                std::vector<std::pair<std::string, std::string>> args);
+  void EndSim(uint32_t lane, double end_seconds);
+
+  /// Names a sim lane ("driver", "worker 3"); idempotent.
+  void SetSimLaneName(uint32_t lane, const std::string& name);
+
+  /// Consecutive stream steps each reset their cluster's simulated clock
+  /// to zero; the driver advances this base after every step so the steps
+  /// lay out sequentially on the trace timeline.
+  void AdvanceSimBase(double seconds);
+  double sim_base_seconds() const { return sim_base_seconds_; }
+
+  // --- Wall-clock lanes (any thread). ------------------------------------
+
+  /// Seconds since tracer construction on the monotonic wall clock.
+  double WallNowSeconds() const { return wall_epoch_.ElapsedSeconds(); }
+
+  /// Records a complete wall span for the calling thread's lane. The lane
+  /// is registered on first use under `lane_name` (later spans from the
+  /// same thread keep the first name).
+  void AddWallSpan(const char* name, const char* category,
+                   double start_seconds, double end_seconds,
+                   const char* lane_name);
+
+  /// Binds the calling thread's wall lane to `lane_name` ahead of time.
+  void RegisterWallLane(const char* lane_name);
+
+  // --- Introspection / export. -------------------------------------------
+
+  uint64_t event_count() const;
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Durations (nanoseconds) of every recorded span, sim and wall — the
+  /// same Pow2Histogram the metric registry and the serving plane use.
+  const Pow2Histogram& span_duration_nanos() const { return durations_; }
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with metadata events
+  /// naming processes and lanes. `include_wall` = false restricts the
+  /// export to the deterministic sim lanes (what the determinism test
+  /// compares bit-for-bit).
+  void WriteChromeTrace(std::ostream& out, bool include_wall = true) const;
+  std::string ToChromeTraceJson(bool include_wall = true) const;
+  Status WriteChromeTraceFile(const std::string& path,
+                              bool include_wall = true) const;
+
+  /// Drops every recorded event and lane registration (not the detail or
+  /// enabled flag); sim base returns to zero.
+  void Reset();
+
+ private:
+  struct Event {
+    char phase;  // 'B', 'E', 'X'
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;  // 'X' only
+    std::string name;     // empty for 'E'
+    std::string category;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  /// Appends under the mutex, enforcing the event cap.
+  void Append(Event event);
+  uint32_t WallLaneForThisThread(const char* lane_name);
+
+  const WallTimer wall_epoch_;
+  std::atomic<bool> enabled_{true};
+  TraceDetail detail_;
+  double sim_base_seconds_ = 0.0;
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::map<uint32_t, std::string> sim_lane_names_;
+  std::map<std::thread::id, uint32_t> wall_lanes_;
+  std::map<uint32_t, std::string> wall_lane_names_;
+  /// Per-sim-lane stack of span start times (for the duration histogram).
+  std::map<uint32_t, std::vector<double>> sim_open_spans_;
+  std::atomic<uint64_t> dropped_{0};
+  Pow2Histogram durations_;
+};
+
+/// The single branch every profiling hook takes: tracing is on iff a
+/// tracer is attached AND its atomic flag is set.
+inline bool Active(const Tracer* tracer) {
+  return tracer != nullptr && tracer->enabled();
+}
+
+/// Scoped wall-clock span: records name/category on the calling thread's
+/// wall lane when the tracer is active, does nothing (and allocates
+/// nothing) otherwise.
+class ScopedWallSpan {
+ public:
+  ScopedWallSpan(Tracer* tracer, const char* name, const char* category,
+                 const char* lane_name = "driver")
+      : tracer_(Active(tracer) ? tracer : nullptr),
+        name_(name),
+        category_(category),
+        lane_name_(lane_name),
+        start_(tracer_ != nullptr ? tracer_->WallNowSeconds() : 0.0) {}
+
+  ScopedWallSpan(const ScopedWallSpan&) = delete;
+  ScopedWallSpan& operator=(const ScopedWallSpan&) = delete;
+
+  ~ScopedWallSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->AddWallSpan(name_, category_, start_,
+                           tracer_->WallNowSeconds(), lane_name_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  const char* lane_name_;
+  double start_;
+};
+
+/// Wall-clock stopwatch that doubles as a span recorder: measures like
+/// WallTimer and, when a tracer is active, emits the span on Stop() (or
+/// destruction). This is the scoped-span replacement for the raw
+/// WallTimer timing that used to be duplicated across the query engine,
+/// the driver and the bench harnesses.
+class SpanTimer {
+ public:
+  SpanTimer(Tracer* tracer, const char* name, const char* category,
+            const char* lane_name = "serve")
+      : tracer_(Active(tracer) ? tracer : nullptr),
+        name_(name),
+        category_(category),
+        lane_name_(lane_name),
+        start_(tracer_ != nullptr ? tracer_->WallNowSeconds() : 0.0) {}
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  /// Seconds since construction; records the span (once).
+  double Stop() {
+    const double seconds = timer_.ElapsedSeconds();
+    if (tracer_ != nullptr) {
+      tracer_->AddWallSpan(name_, category_, start_, start_ + seconds,
+                           lane_name_);
+      tracer_ = nullptr;
+    }
+    stopped_ = true;
+    return seconds;
+  }
+
+  ~SpanTimer() {
+    if (!stopped_) Stop();
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  const char* lane_name_;
+  double start_;
+  WallTimer timer_;
+  bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace dismastd
+
+#endif  // DISMASTD_OBS_TRACE_H_

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 
-#include "common/timer.h"
-
 namespace dismastd {
 namespace serve {
 
 QueryEngine::QueryEngine(const ModelStore* store, ThreadPool* pool,
-                         ServeMetrics* metrics)
-    : store_(store), pool_(pool), metrics_(metrics) {
+                         ServeMetrics* metrics, obs::Tracer* tracer)
+    : store_(store), pool_(pool), metrics_(metrics), tracer_(tracer) {
   DISMASTD_CHECK(store_ != nullptr);
 }
 
@@ -30,19 +28,19 @@ void QueryEngine::Record(QueryType type, double seconds,
 
 Result<double> QueryEngine::Predict(
     const std::vector<uint64_t>& index) const {
-  WallTimer timer;
+  obs::SpanTimer timer(tracer_, "predict", "serve");
   Result<std::shared_ptr<const ServableModel>> snapshot = Snapshot();
   if (!snapshot.ok()) return snapshot.status();
   const ServableModel& model = *snapshot.value();
   DISMASTD_RETURN_IF_ERROR(model.ValidateIndex(index));
   const double value = model.Predict(index.data());
-  Record(QueryType::kPoint, timer.ElapsedSeconds(), model);
+  Record(QueryType::kPoint, timer.Stop(), model);
   return value;
 }
 
 Result<std::vector<double>> QueryEngine::PredictBatch(
     const std::vector<std::vector<uint64_t>>& indices) const {
-  WallTimer timer;
+  obs::SpanTimer timer(tracer_, "predict_batch", "serve");
   Result<std::shared_ptr<const ServableModel>> snapshot = Snapshot();
   if (!snapshot.ok()) return snapshot.status();
   const ServableModel& model = *snapshot.value();
@@ -71,13 +69,13 @@ Result<std::vector<double>> QueryEngine::PredictBatch(
       }
     });
   }
-  Record(QueryType::kBatch, timer.ElapsedSeconds(), model);
+  Record(QueryType::kBatch, timer.Stop(), model);
   return values;
 }
 
 Result<std::vector<ScoredIndex>> QueryEngine::TopK(
     const TopKQuery& query) const {
-  WallTimer timer;
+  obs::SpanTimer timer(tracer_, "topk", "serve");
   Result<std::shared_ptr<const ServableModel>> snapshot = Snapshot();
   if (!snapshot.ok()) return snapshot.status();
   const ServableModel& model = *snapshot.value();
@@ -104,7 +102,7 @@ Result<std::vector<ScoredIndex>> QueryEngine::TopK(
 
   std::vector<ScoredIndex> top =
       model.TopK(query.target_mode, query.anchor, query.k);
-  Record(QueryType::kTopK, timer.ElapsedSeconds(), model);
+  Record(QueryType::kTopK, timer.Stop(), model);
   return top;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "serve/model_store.h"
 #include "serve/serve_metrics.h"
 #include "serve/servable_model.h"
@@ -35,10 +36,13 @@ struct TopKQuery {
 /// single-core configuration.
 class QueryEngine {
  public:
-  /// `store` must outlive the engine; `pool` and `metrics` may be nullptr
-  /// (inline execution / no recording).
+  /// `store` must outlive the engine; `pool`, `metrics` and `tracer` may
+  /// be nullptr (inline execution / no recording / no tracing). With a
+  /// tracer attached, every query records a wall-clock span on the calling
+  /// thread's "serve" lane.
   QueryEngine(const ModelStore* store, ThreadPool* pool = nullptr,
-              ServeMetrics* metrics = nullptr);
+              ServeMetrics* metrics = nullptr,
+              obs::Tracer* tracer = nullptr);
 
   /// Model value at one index tuple.
   Result<double> Predict(const std::vector<uint64_t>& index) const;
@@ -67,6 +71,7 @@ class QueryEngine {
   const ModelStore* store_;
   ThreadPool* pool_;
   ServeMetrics* metrics_;
+  obs::Tracer* tracer_;
 };
 
 }  // namespace serve

@@ -4,19 +4,20 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace dismastd {
 namespace serve {
 namespace {
 
-size_t BucketFor(uint64_t nanos) {
-  if (nanos <= 1) return 0;
-  // Index of the highest set bit: bucket b covers [2^b, 2^{b+1}).
-  return static_cast<size_t>(63 - __builtin_clzll(nanos));
+uint64_t ToNanos(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
 }
 
-double BucketMidSeconds(size_t bucket) {
-  // Geometric midpoint of [2^b, 2^{b+1}) ns, in seconds.
-  return std::exp2(static_cast<double>(bucket) + 0.5) * 1e-9;
+double MeanSeconds(const obs::Pow2Histogram& h) { return h.Mean() * 1e-9; }
+
+double PercentileSeconds(const obs::Pow2Histogram& h, double p) {
+  return h.Percentile(p) * 1e-9;
 }
 
 }  // namespace
@@ -33,39 +34,9 @@ const char* QueryTypeName(QueryType type) {
   return "?";
 }
 
-void LatencyHistogram::Record(double seconds) {
-  const uint64_t nanos =
-      seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
-  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::MeanSeconds() const {
-  const uint64_t n = count();
-  if (n == 0) return 0.0;
-  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) *
-         1e-9 / static_cast<double>(n);
-}
-
-double LatencyHistogram::PercentileSeconds(double p) const {
-  const uint64_t n = count();
-  if (n == 0) return 0.0;
-  p = std::clamp(p, 0.0, 1.0);
-  // Rank of the requested quantile, 1-based, nearest-rank definition.
-  const uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(n))));
-  uint64_t seen = 0;
-  for (size_t b = 0; b < kNumBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketMidSeconds(b);
-  }
-  return BucketMidSeconds(kNumBuckets - 1);
-}
-
 void ServeMetrics::RecordQuery(QueryType type, double seconds,
                                uint64_t version, uint64_t model_step) {
-  histograms_[static_cast<size_t>(type)].Record(seconds);
+  histograms_[static_cast<size_t>(type)].Record(ToNanos(seconds));
   queries_total_.fetch_add(1, std::memory_order_relaxed);
 
   const uint64_t latest = latest_step_.load(std::memory_order_relaxed);
@@ -90,12 +61,12 @@ void ServeMetrics::NoteModelPublished(uint64_t step) {
 ServeMetricsReport ServeMetrics::Report() const {
   ServeMetricsReport report;
   for (size_t t = 0; t < kNumQueryTypes; ++t) {
-    const LatencyHistogram& h = histograms_[t];
-    report.latency[t].count = h.count();
-    report.latency[t].mean_seconds = h.MeanSeconds();
-    report.latency[t].p50_seconds = h.PercentileSeconds(0.50);
-    report.latency[t].p95_seconds = h.PercentileSeconds(0.95);
-    report.latency[t].p99_seconds = h.PercentileSeconds(0.99);
+    const obs::Pow2Histogram& h = histograms_[t];
+    report.latency[t].count = h.Count();
+    report.latency[t].mean_seconds = MeanSeconds(h);
+    report.latency[t].p50_seconds = PercentileSeconds(h, 0.50);
+    report.latency[t].p95_seconds = PercentileSeconds(h, 0.95);
+    report.latency[t].p99_seconds = PercentileSeconds(h, 0.99);
   }
   report.queries_total = queries_total();
   report.elapsed_seconds = since_construction_.ElapsedSeconds();
@@ -116,6 +87,37 @@ ServeMetricsReport ServeMetrics::Report() const {
     report.served_per_version = served_per_version_;
   }
   return report;
+}
+
+void ServeMetrics::PublishTo(obs::MetricRegistry* registry) const {
+  for (size_t t = 0; t < kNumQueryTypes; ++t) {
+    const char* type = QueryTypeName(static_cast<QueryType>(t));
+    registry
+        ->GetCounter("dismastd_serve_queries_total", {{"type", type}},
+                     "Queries answered by the serving plane")
+        ->Add(histograms_[t].Count());
+    registry
+        ->GetHistogram("dismastd_serve_query_latency_nanoseconds",
+                       {{"type", type}}, "Query latency in nanoseconds")
+        ->MergeFrom(histograms_[t]);
+  }
+  registry
+      ->GetCounter("dismastd_serve_staleness_steps_total", {},
+                   "Sum over queries of (latest published step - served step)")
+      ->Add(staleness_steps_total_.load(std::memory_order_relaxed));
+  registry
+      ->GetGauge("dismastd_serve_staleness_steps_max", {},
+                 "Worst model staleness observed, in stream steps")
+      ->Set(static_cast<double>(
+          staleness_steps_max_.load(std::memory_order_relaxed)));
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  for (const auto& [version, count] : served_per_version_) {
+    registry
+        ->GetCounter("dismastd_serve_queries_per_version_total",
+                     {{"version", std::to_string(version)}},
+                     "Queries answered per published model version")
+        ->Add(count);
+  }
 }
 
 std::string ServeMetricsReport::ToString() const {

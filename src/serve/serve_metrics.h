@@ -10,8 +10,14 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/histogram.h"
 
 namespace dismastd {
+
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 namespace serve {
 
 /// The three request shapes the query engine serves.
@@ -19,31 +25,6 @@ enum class QueryType : uint8_t { kPoint = 0, kBatch = 1, kTopK = 2 };
 inline constexpr size_t kNumQueryTypes = 3;
 
 const char* QueryTypeName(QueryType type);
-
-/// Lock-free latency histogram with power-of-two nanosecond buckets
-/// (bucket b holds latencies in [2^b, 2^{b+1}) ns). Concurrent Record()
-/// calls only touch atomics; percentile reads are approximate to within
-/// one bucket (the reported value is the bucket's geometric midpoint),
-/// which is the usual fidelity of serving dashboards.
-class LatencyHistogram {
- public:
-  static constexpr size_t kNumBuckets = 64;
-
-  void Record(double seconds);
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-
-  /// Mean latency in seconds (0 when empty).
-  double MeanSeconds() const;
-
-  /// Approximate p-quantile in seconds, p in [0, 1]; 0 when empty.
-  double PercentileSeconds(double p) const;
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> total_nanos_{0};
-};
 
 /// Point-in-time rollup of one query type's latency distribution.
 struct LatencySummary {
@@ -71,10 +52,11 @@ struct ServeMetricsReport {
   std::string ToString() const;
 };
 
-/// Thread-safe serving observability: per-query-type latency histograms,
-/// a QPS window, and model-staleness counters. One instance is shared by
-/// all query threads of a ServeSession; Record* methods are safe to call
-/// concurrently with each other and with Report().
+/// Thread-safe serving observability: per-query-type latency histograms
+/// (obs::Pow2Histogram over nanoseconds), a QPS window, and
+/// model-staleness counters. One instance is shared by all query threads
+/// of a ServeSession; Record* methods are safe to call concurrently with
+/// each other and with Report().
 class ServeMetrics {
  public:
   ServeMetrics() = default;
@@ -92,14 +74,21 @@ class ServeMetrics {
     return queries_total_.load(std::memory_order_relaxed);
   }
 
-  const LatencyHistogram& histogram(QueryType type) const {
+  /// Latency histogram of one query type, in nanoseconds.
+  const obs::Pow2Histogram& histogram(QueryType type) const {
     return histograms_[static_cast<size_t>(type)];
   }
 
   ServeMetricsReport Report() const;
 
+  /// Registers this plane's state into the shared registry under
+  /// `dismastd_serve_*`: per-type query counters + latency histograms,
+  /// staleness gauges, and per-version served counters. Additive, so a
+  /// second call from a fresh ServeMetrics accumulates.
+  void PublishTo(obs::MetricRegistry* registry) const;
+
  private:
-  std::array<LatencyHistogram, kNumQueryTypes> histograms_;
+  std::array<obs::Pow2Histogram, kNumQueryTypes> histograms_;
   std::atomic<uint64_t> queries_total_{0};
   std::atomic<uint64_t> latest_step_{0};
   std::atomic<uint64_t> staleness_steps_total_{0};

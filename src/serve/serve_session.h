@@ -19,6 +19,9 @@ struct ServeSessionOptions {
   /// Threads of the query-side ThreadPool (0 = all hardware cores,
   /// 1 = inline). Independent of the decomposition engine's pool.
   size_t num_query_threads = 0;
+  /// Optional span tracer shared with the rest of the process (not owned,
+  /// may be null); the query engine records per-query wall spans onto it.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The assembled serving plane: store + metrics + engine + query pool,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -15,6 +16,13 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
 }
 
 Status RunCommand(std::vector<std::string> argv_strings, std::string* output) {
@@ -335,6 +343,92 @@ TEST(CliTest, StreamFaultFlagsInjectAndReport) {
                           &output)
                    .ok());
   std::remove(tensor_path.c_str());
+}
+
+TEST(CliTest, StreamWritesTraceAndMetricsFiles) {
+  const std::string tensor_path = TempPath("cli_obs.tns");
+  const std::string trace_path = TempPath("cli_obs_trace.json");
+  const std::string metrics_path = TempPath("cli_obs_metrics.prom");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "30x20x10", "--nnz", "800", "--rank", "2",
+                          "--seed", "23"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--workers", "3",
+                          "--steps", "2", "--rank", "2", "--iterations", "3",
+                          "--trace-out", trace_path, "--trace-detail",
+                          "workers", "--metrics-out", metrics_path},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("sim phases: total"), std::string::npos);
+  EXPECT_NE(output.find("trace written to"), std::string::npos);
+  EXPECT_NE(output.find("metrics written to"), std::string::npos);
+
+  const std::string trace = ReadFileToString(trace_path);
+  EXPECT_EQ(trace.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(trace.find("\"name\":\"step 0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"mttkrp_update\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker 2\""), std::string::npos);
+
+  const std::string metrics = ReadFileToString(metrics_path);
+  // One shared registry: comm, recovery and core series side by side.
+  EXPECT_NE(metrics.find("dismastd_comm_messages_total"), std::string::npos);
+  EXPECT_NE(metrics.find("dismastd_comm_message_wire_bytes_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("dismastd_recovery_crashes_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("dismastd_core_sim_seconds{phase=\"total\"}"),
+            std::string::npos);
+
+  // --trace-detail is only meaningful with --trace-out, and must parse.
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path,
+                           "--trace-detail", "workers"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--trace-out",
+                           trace_path, "--trace-detail", "everything"},
+                          &output)
+                   .ok());
+  std::remove(tensor_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(CliTest, ServeBenchPublishesServeMetrics) {
+  const std::string tensor_path = TempPath("cli_obs_serve.tns");
+  const std::string trace_path = TempPath("cli_obs_serve_trace.json");
+  const std::string metrics_path = TempPath("cli_obs_serve_metrics.prom");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "24x16x10", "--nnz", "600", "--rank", "2",
+                          "--seed", "29"},
+                         &output)
+                  .ok());
+  ASSERT_TRUE(RunCommand({"serve-bench", "--input", tensor_path, "--steps",
+                          "2", "--rank", "2", "--iterations", "2",
+                          "--queries", "100", "--clients", "2",
+                          "--trace-out", trace_path, "--metrics-out",
+                          metrics_path},
+                         &output)
+                  .ok())
+      << output;
+  const std::string metrics = ReadFileToString(metrics_path);
+  // The decomposition's comm series and the serving plane's query series
+  // land in the same registry.
+  EXPECT_NE(metrics.find("dismastd_comm_messages_total"), std::string::npos);
+  EXPECT_NE(metrics.find("dismastd_serve_queries_total"), std::string::npos);
+  EXPECT_NE(metrics.find("dismastd_serve_query_latency_nanoseconds_count"),
+            std::string::npos);
+  const std::string trace = ReadFileToString(trace_path);
+  // Per-query wall spans ride on the wall-clock process.
+  EXPECT_NE(trace.find("\"wall clock\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(tensor_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
 }
 
 TEST(CliTest, StreamDmsMgAndGtpVariants) {

@@ -1,0 +1,124 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dismastd {
+namespace obs {
+namespace {
+
+TEST(Pow2HistogramTest, EmptyHistogramReportsZero) {
+  Pow2Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Total(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.UsedBuckets(), 0u);
+}
+
+TEST(Pow2HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Pow2Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Pow2Histogram::BucketFor(1), 0u);
+  EXPECT_EQ(Pow2Histogram::BucketFor(2), 1u);
+  EXPECT_EQ(Pow2Histogram::BucketFor(3), 1u);
+  EXPECT_EQ(Pow2Histogram::BucketFor(4), 2u);
+  EXPECT_EQ(Pow2Histogram::BucketFor(1024), 10u);
+  EXPECT_EQ(Pow2Histogram::BucketFor(1025), 10u);
+  EXPECT_EQ(Pow2Histogram::BucketFor(~0ull), 63u);
+  // Every bucket's midpoint lies strictly inside its bounds.
+  for (size_t b = 1; b < 10; ++b) {
+    EXPECT_GT(Pow2Histogram::BucketMid(b), std::exp2(double(b)));
+    EXPECT_LT(Pow2Histogram::BucketMid(b), Pow2Histogram::BucketUpperBound(b));
+  }
+}
+
+TEST(Pow2HistogramTest, MeanIsExactPercentileIsBucketed) {
+  Pow2Histogram h;
+  h.Record(1000);
+  h.Record(3000);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Total(), 4000u);
+  EXPECT_NEAR(h.Mean(), 2000.0, 1e-9);
+  // Power-of-two buckets: the percentile is right to within a factor of 2.
+  const double p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, 500.0);
+  EXPECT_LE(p50, 2000.0);
+}
+
+TEST(Pow2HistogramTest, PercentilesAreMonotoneAndOrdered) {
+  Pow2Histogram h;
+  // 90 fast values, 10 slow ones: p50 and p99 must land in clearly
+  // different buckets.
+  for (int i = 0; i < 90; ++i) h.Record(1000);
+  for (int i = 0; i < 10; ++i) h.Record(1000000);
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LT(p50, 100000.0);
+  EXPECT_GT(p99, 100000.0);
+}
+
+TEST(Pow2HistogramTest, ExtremeQuantilesCoverTheRange) {
+  Pow2Histogram h;
+  for (uint64_t i = 0; i < 100; ++i) h.Record(1000 * (i + 1));
+  EXPECT_GT(h.Percentile(0.0), 0.0);
+  EXPECT_GE(h.Percentile(1.0), h.Percentile(0.0));
+}
+
+TEST(Pow2HistogramTest, ZeroLandsInFirstBucket) {
+  Pow2Histogram h;
+  h.Record(0);
+  h.Record(1);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.UsedBuckets(), 1u);
+}
+
+TEST(Pow2HistogramTest, MergeFromAddsCounts) {
+  Pow2Histogram a, b;
+  a.Record(10);
+  a.Record(1000);
+  b.Record(1000);
+  b.Record(100000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Count(), 4u);
+  EXPECT_EQ(a.Total(), 10u + 1000u + 1000u + 100000u);
+  EXPECT_EQ(a.BucketCount(Pow2Histogram::BucketFor(1000)), 2u);
+  EXPECT_EQ(b.Count(), 2u);  // source unchanged
+}
+
+TEST(Pow2HistogramTest, ResetClearsEverything) {
+  Pow2Histogram h;
+  h.Record(12345);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Total(), 0u);
+  EXPECT_EQ(h.UsedBuckets(), 0u);
+}
+
+TEST(Pow2HistogramTest, ConcurrentRecordsAllCounted) {
+  Pow2Histogram h;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (size_t i = 0; i < kPerThread; ++i) h.Record(1000 << t);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  uint64_t bucket_sum = 0;
+  for (size_t b = 0; b < Pow2Histogram::kNumBuckets; ++b) {
+    bucket_sum += h.BucketCount(b);
+  }
+  EXPECT_EQ(bucket_sum, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dismastd

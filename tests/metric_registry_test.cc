@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dismastd {
+namespace obs {
+namespace {
+
+TEST(MetricRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("dismastd_test_ops_total");
+  Counter* b = registry.GetCounter("dismastd_test_ops_total");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  b->Inc(4);
+  EXPECT_EQ(a->Value(), 5u);
+  EXPECT_EQ(registry.NumSeries(), 1u);
+}
+
+TEST(MetricRegistryTest, LabelsDistinguishSeriesAndOrderDoesNot) {
+  MetricRegistry registry;
+  Counter* point =
+      registry.GetCounter("dismastd_test_queries_total", {{"type", "point"}});
+  Counter* topk =
+      registry.GetCounter("dismastd_test_queries_total", {{"type", "topk"}});
+  EXPECT_NE(point, topk);
+  // The registry sorts label keys, so insertion order is irrelevant.
+  Counter* ab = registry.GetCounter("dismastd_test_multi_total",
+                                    {{"a", "1"}, {"b", "2"}});
+  Counter* ba = registry.GetCounter("dismastd_test_multi_total",
+                                    {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(registry.NumSeries(), 3u);
+}
+
+TEST(MetricRegistryTest, AllThreeKindsCoexist) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("dismastd_test_count_total");
+  Gauge* g = registry.GetGauge("dismastd_test_level");
+  Pow2Histogram* h = registry.GetHistogram("dismastd_test_bytes");
+  c->Inc(3);
+  g->Set(1.5);
+  g->Add(0.5);
+  h->Record(4096);
+  EXPECT_EQ(c->Value(), 3u);
+  EXPECT_NEAR(g->Value(), 2.0, 1e-12);
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_EQ(registry.NumSeries(), 3u);
+}
+
+TEST(MetricRegistryDeathTest, KindMismatchIsACheckFailure) {
+  MetricRegistry registry;
+  registry.GetCounter("dismastd_test_mixed");
+  EXPECT_DEATH(registry.GetGauge("dismastd_test_mixed"), "");
+}
+
+TEST(MetricRegistryDeathTest, InvalidNameIsACheckFailure) {
+  MetricRegistry registry;
+  EXPECT_DEATH(registry.GetCounter("has a space"), "");
+  EXPECT_DEATH(registry.GetCounter("1starts_with_digit"), "");
+}
+
+TEST(MetricRegistryTest, PrometheusExpositionFormat) {
+  MetricRegistry registry;
+  registry.GetCounter("dismastd_test_ops_total", {}, "Operations.")->Inc(7);
+  registry.GetGauge("dismastd_test_level", {{"mode", "0"}})->Set(0.25);
+  Pow2Histogram* h = registry.GetHistogram("dismastd_test_bytes");
+  h->Record(1);  // bucket 0 (le=2)
+  h->Record(3);  // bucket 1 (le=4)
+
+  const std::string text = registry.ExposePrometheus();
+  EXPECT_NE(text.find("# HELP dismastd_test_ops_total Operations."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dismastd_test_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dismastd_test_ops_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dismastd_test_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("dismastd_test_level{mode=\"0\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dismastd_test_bytes histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("dismastd_test_bytes_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dismastd_test_bytes_bucket{le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dismastd_test_bytes_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dismastd_test_bytes_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("dismastd_test_bytes_count 2"), std::string::npos);
+  // Buckets are cumulative: the +Inf bucket equals _count.
+}
+
+TEST(MetricRegistryTest, PrometheusEscapesLabelValues) {
+  MetricRegistry registry;
+  registry
+      .GetCounter("dismastd_test_weird_total",
+                  {{"path", "a\\b\"c\nd"}})
+      ->Inc();
+  const std::string text = registry.ExposePrometheus();
+  EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ExpositionIsDeterministicallyOrdered) {
+  MetricRegistry a, b;
+  // Register in opposite orders; exposition must match byte-for-byte.
+  a.GetCounter("dismastd_test_z_total")->Inc(1);
+  a.GetCounter("dismastd_test_a_total")->Inc(2);
+  b.GetCounter("dismastd_test_a_total")->Inc(2);
+  b.GetCounter("dismastd_test_z_total")->Inc(1);
+  EXPECT_EQ(a.ExposePrometheus(), b.ExposePrometheus());
+  EXPECT_EQ(a.ExposeJson(), b.ExposeJson());
+  EXPECT_LT(a.ExposePrometheus().find("dismastd_test_a_total"),
+            a.ExposePrometheus().find("dismastd_test_z_total"));
+}
+
+TEST(MetricRegistryTest, JsonDumpContainsEverySeries) {
+  MetricRegistry registry;
+  registry.GetCounter("dismastd_test_ops_total", {{"kind", "x"}})->Inc(9);
+  registry.GetGauge("dismastd_test_level")->Set(3.0);
+  registry.GetHistogram("dismastd_test_bytes")->Record(100);
+  const std::string json = registry.ExposeJson();
+  EXPECT_EQ(json.find("{\"metrics\":"), 0u);
+  EXPECT_NE(json.find("\"dismastd_test_ops_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"dismastd_test_level\""), std::string::npos);
+  EXPECT_NE(json.find("\"dismastd_test_bytes\""), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationAndUpdates) {
+  // TSan target: concurrent get-or-create of the SAME series, lock-free
+  // updates, and exposition racing with both.
+  MetricRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIters = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &go, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (size_t i = 0; i < kIters; ++i) {
+        registry.GetCounter("dismastd_test_shared_total")->Inc();
+        registry
+            .GetCounter("dismastd_test_per_thread_total",
+                        {{"thread", std::to_string(t % 4)}})
+            ->Inc();
+        registry.GetHistogram("dismastd_test_latency_nanoseconds")
+            ->Record(i + 1);
+        if (i % 100 == 0) {
+          const std::string text = registry.ExposePrometheus();
+          EXPECT_FALSE(text.empty());
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(registry.GetCounter("dismastd_test_shared_total")->Value(),
+            kThreads * kIters);
+  EXPECT_EQ(
+      registry.GetHistogram("dismastd_test_latency_nanoseconds")->Count(),
+      kThreads * kIters);
+  EXPECT_EQ(registry.NumSeries(), 2u + 4u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dismastd

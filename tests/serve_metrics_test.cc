@@ -2,75 +2,17 @@
 
 #include <gtest/gtest.h>
 
-#include <thread>
-#include <vector>
+#include <string>
+
+#include "obs/metrics.h"
+
+// The latency-histogram mechanics (bucketing, percentiles, concurrency)
+// are covered by histogram_test.cc against obs::Pow2Histogram, the single
+// implementation ServeMetrics now records into.
 
 namespace dismastd {
 namespace serve {
 namespace {
-
-TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
-  LatencyHistogram h;
-  EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.MeanSeconds(), 0.0);
-  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
-}
-
-TEST(LatencyHistogramTest, MeanIsExactPercentileIsBucketed) {
-  LatencyHistogram h;
-  h.Record(1e-6);
-  h.Record(3e-6);
-  EXPECT_EQ(h.count(), 2u);
-  EXPECT_NEAR(h.MeanSeconds(), 2e-6, 1e-9);
-  // Power-of-two buckets: the percentile is right to within a factor of 2.
-  const double p50 = h.PercentileSeconds(0.5);
-  EXPECT_GE(p50, 0.5e-6);
-  EXPECT_LE(p50, 2e-6);
-}
-
-TEST(LatencyHistogramTest, PercentilesAreMonotoneAndOrdered) {
-  LatencyHistogram h;
-  // 90 fast queries, 10 slow ones: the p50 and p99 must land in clearly
-  // different buckets.
-  for (int i = 0; i < 90; ++i) h.Record(1e-6);
-  for (int i = 0; i < 10; ++i) h.Record(1e-3);
-  const double p50 = h.PercentileSeconds(0.50);
-  const double p95 = h.PercentileSeconds(0.95);
-  const double p99 = h.PercentileSeconds(0.99);
-  EXPECT_LE(p50, p95);
-  EXPECT_LE(p95, p99);
-  EXPECT_LT(p50, 1e-4);
-  EXPECT_GT(p99, 1e-4);
-}
-
-TEST(LatencyHistogramTest, ExtremeQuantilesCoverTheRange) {
-  LatencyHistogram h;
-  for (int i = 0; i < 100; ++i) h.Record(1e-6 * (i + 1));
-  EXPECT_GT(h.PercentileSeconds(0.0), 0.0);
-  EXPECT_GE(h.PercentileSeconds(1.0), h.PercentileSeconds(0.0));
-}
-
-TEST(LatencyHistogramTest, ZeroAndNegativeLatenciesLandInFirstBucket) {
-  LatencyHistogram h;
-  h.Record(0.0);
-  h.Record(-1.0);  // clock skew paranoia: still counted, not UB
-  EXPECT_EQ(h.count(), 2u);
-  EXPECT_GE(h.PercentileSeconds(1.0), 0.0);
-}
-
-TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
-  LatencyHistogram h;
-  constexpr size_t kThreads = 4;
-  constexpr size_t kPerThread = 5000;
-  std::vector<std::thread> threads;
-  for (size_t t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&h] {
-      for (size_t i = 0; i < kPerThread; ++i) h.Record(1e-6);
-    });
-  }
-  for (auto& t : threads) t.join();
-  EXPECT_EQ(h.count(), kThreads * kPerThread);
-}
 
 TEST(ServeMetricsTest, ReportAggregatesPerTypeAndVersion) {
   ServeMetrics metrics;
@@ -97,6 +39,27 @@ TEST(ServeMetricsTest, ReportAggregatesPerTypeAndVersion) {
   EXPECT_GT(report.qps, 0.0);
 }
 
+TEST(ServeMetricsTest, LatencySummaryComesFromSharedHistogram) {
+  ServeMetrics metrics;
+  metrics.RecordQuery(QueryType::kPoint, 1e-6, 1, 0);
+  metrics.RecordQuery(QueryType::kPoint, 3e-6, 1, 0);
+  EXPECT_EQ(metrics.histogram(QueryType::kPoint).Count(), 2u);
+  const ServeMetricsReport report = metrics.Report();
+  const LatencySummary& s =
+      report.latency[static_cast<size_t>(QueryType::kPoint)];
+  EXPECT_NEAR(s.mean_seconds, 2e-6, 1e-9);
+  // Power-of-two buckets: the percentile is right to within a factor of 2.
+  EXPECT_GE(s.p50_seconds, 0.5e-6);
+  EXPECT_LE(s.p50_seconds, 2e-6);
+}
+
+TEST(ServeMetricsTest, ZeroAndNegativeLatenciesStillCounted) {
+  ServeMetrics metrics;
+  metrics.RecordQuery(QueryType::kBatch, 0.0, 1, 0);
+  metrics.RecordQuery(QueryType::kBatch, -1.0, 1, 0);  // clock skew paranoia
+  EXPECT_EQ(metrics.histogram(QueryType::kBatch).Count(), 2u);
+}
+
 TEST(ServeMetricsTest, PublishedStepNeverRegresses) {
   ServeMetrics metrics;
   metrics.NoteModelPublished(5);
@@ -113,6 +76,38 @@ TEST(ServeMetricsTest, ToStringMentionsEveryQueryType) {
   EXPECT_NE(text.find("batch"), std::string::npos);
   EXPECT_NE(text.find("topk"), std::string::npos);
   EXPECT_NE(text.find("v4=1"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, PublishToRegistersSharedSeries) {
+  ServeMetrics metrics;
+  metrics.NoteModelPublished(2);
+  metrics.RecordQuery(QueryType::kPoint, 1e-6, 3, 0);  // two steps stale
+  metrics.RecordQuery(QueryType::kTopK, 5e-6, 3, 2);
+
+  obs::MetricRegistry registry;
+  metrics.PublishTo(&registry);
+  const std::string prom = registry.ExposePrometheus();
+  EXPECT_NE(prom.find("dismastd_serve_queries_total{type=\"point\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_queries_total{type=\"topk\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("dismastd_serve_query_latency_nanoseconds_count{type="
+                "\"point\"} 1"),
+      std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_staleness_steps_max 2"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("dismastd_serve_queries_per_version_total{version=\"3\"} 2"),
+      std::string::npos);
+
+  // Additive: a second publish from a fresh plane accumulates.
+  ServeMetrics more;
+  more.RecordQuery(QueryType::kPoint, 1e-6, 3, 0);
+  more.PublishTo(&registry);
+  EXPECT_NE(registry.ExposePrometheus().find(
+                "dismastd_serve_queries_total{type=\"point\"} 2"),
+            std::string::npos);
 }
 
 }  // namespace

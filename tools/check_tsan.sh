@@ -3,8 +3,9 @@
 # them. A clean pass is a release gate for the execution engine and the
 # serving subsystem: the thread pool, the simulated cluster, the
 # parallel-vs-sequential determinism contract, the fault-injection and
-# recovery layer, and the RCU-style model store with its concurrent
-# query engine must all be race-free.
+# recovery layer, the RCU-style model store with its concurrent query
+# engine, and the observability layer (lock-free metric registry and the
+# span tracer's multi-thread wall lanes) must all be race-free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,9 +20,10 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 cmake --build "${build_dir}" -j \
   --target thread_pool_test cluster_test determinism_test \
   fault_test fault_recovery_test \
-  model_store_test query_engine_test serve_metrics_test
+  model_store_test query_engine_test serve_metrics_test \
+  histogram_test metric_registry_test trace_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|model_store_test|query_engine_test|serve_metrics_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|model_store_test|query_engine_test|serve_metrics_test|histogram_test|metric_registry_test|trace_test)$'
 
 echo "TSan: all clean"

@@ -1,10 +1,13 @@
 #include "tools/cli.h"
 
+#include <memory>
 #include <ostream>
 #include <thread>
 
 #include "common/string_util.h"
 #include "core/driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/query_log.h"
 #include "serve/serve_session.h"
 #include "stream/generator.h"
@@ -299,6 +302,57 @@ Result<DistributedOptions> GetDistributedOptions(const Args& args) {
   return options;
 }
 
+/// Observability sinks requested on the command line. The tracer and the
+/// registry outlive the run they instrument; their files are written once
+/// the command's work is done.
+struct ObsSinks {
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricRegistry> metrics;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+Status SetUpObsSinks(const Args& args, ObsSinks* sinks) {
+  sinks->trace_path = args.Get("trace-out");
+  sinks->metrics_path = args.Get("metrics-out");
+  if (!sinks->trace_path.empty()) {
+    obs::TraceDetail detail = obs::TraceDetail::kPhases;
+    if (args.Has("trace-detail")) {
+      Result<obs::TraceDetail> parsed =
+          obs::ParseTraceDetail(args.Get("trace-detail"));
+      if (!parsed.ok()) return parsed.status();
+      detail = parsed.value();
+    }
+    sinks->tracer = std::make_unique<obs::Tracer>(detail);
+  } else if (args.Has("trace-detail")) {
+    return Status::InvalidArgument("--trace-detail needs --trace-out");
+  }
+  if (!sinks->metrics_path.empty()) {
+    sinks->metrics = std::make_unique<obs::MetricRegistry>();
+  }
+  return Status::OK();
+}
+
+Status WriteObsSinks(const ObsSinks& sinks, std::ostream& out) {
+  if (sinks.tracer != nullptr) {
+    DISMASTD_RETURN_IF_ERROR(
+        sinks.tracer->WriteChromeTraceFile(sinks.trace_path));
+    out << "trace written to " << sinks.trace_path << " ("
+        << sinks.tracer->event_count() << " events";
+    if (sinks.tracer->dropped_events() > 0) {
+      out << ", " << sinks.tracer->dropped_events() << " dropped";
+    }
+    out << ")\n";
+  }
+  if (sinks.metrics != nullptr) {
+    DISMASTD_RETURN_IF_ERROR(
+        sinks.metrics->WritePrometheusFile(sinks.metrics_path));
+    out << "metrics written to " << sinks.metrics_path << " ("
+        << sinks.metrics->NumSeries() << " series)\n";
+  }
+  return Status::OK();
+}
+
 /// Builds the growth-schedule stream from --input/--start/--step/--steps.
 Result<StreamingTensorSequence> GetStream(const Args& args) {
   Result<SparseTensor> tensor = ReadTensorTextFile(args.Get("input"));
@@ -322,7 +376,11 @@ Result<StreamingTensorSequence> GetStream(const Args& args) {
 Status CmdStream(const Args& args, std::ostream& out) {
   Result<DistributedOptions> options_result = GetDistributedOptions(args);
   if (!options_result.ok()) return options_result.status();
-  const DistributedOptions& options = options_result.value();
+  DistributedOptions options = options_result.value();
+  ObsSinks obs_sinks;
+  DISMASTD_RETURN_IF_ERROR(SetUpObsSinks(args, &obs_sinks));
+  options.tracer = obs_sinks.tracer.get();
+  options.metrics = obs_sinks.metrics.get();
   Result<MethodKind> method_kind = ParseMethodKind(args.Get("method", "dismastd"));
   if (!method_kind.ok()) return method_kind.status();
   const MethodKind method = method_kind.value();
@@ -345,16 +403,41 @@ Status CmdStream(const Args& args, std::ostream& out) {
     out << line << "\n";
   }
 
-  // Summarize what the fault layer did, if anything.
+  // Per-phase simulated-time breakdown across the whole stream.
+  double total_s = 0.0, part_s = 0.0, mttkrp_s = 0.0, gram_s = 0.0,
+         loss_s = 0.0;
+  for (const StreamStepMetrics& m : metrics) {
+    total_s += m.sim_seconds_total;
+    part_s += m.sim_seconds_partitioning;
+    mttkrp_s += m.sim_seconds_mttkrp_update;
+    gram_s += m.sim_seconds_gram_reduce;
+    loss_s += m.sim_seconds_loss;
+  }
+  char phase_line[160];
+  std::snprintf(phase_line, sizeof(phase_line),
+                "sim phases: total %.4fs = partition %.4fs + mttkrp+solve "
+                "%.4fs + gram-reduce %.4fs + loss %.4fs + other %.4fs",
+                total_s, part_s, mttkrp_s, gram_s, loss_s,
+                total_s - part_s - mttkrp_s - gram_s - loss_s);
+  out << phase_line << "\n";
+
+  // Summarize what the fault layer did, if anything — including the
+  // network's CheckNoOrphans diagnostics and retransmission totals.
   RecoveryMetrics fault_totals;
-  uint64_t orphans = 0;
+  uint64_t orphans = 0, leaked = 0;
   for (const StreamStepMetrics& m : metrics) {
     fault_totals.Merge(m.recovery);
     orphans += m.orphaned_messages;
+    leaked += m.leaked_messages;
   }
   if (fault_totals.Any() || orphans > 0) {
     out << "faults: " << fault_totals.ToString() << "\n";
-    if (orphans > 0) out << "orphaned-message supersteps: " << orphans << "\n";
+    out << "  retransmissions: " << fault_totals.retransmissions << " ("
+        << fault_totals.retransmitted_bytes << " bytes resent)\n";
+    if (orphans > 0) {
+      out << "  orphaned-message supersteps: " << orphans << " (" << leaked
+          << " messages leaked)\n";
+    }
   }
 
   const std::string checkpoint_path = args.Get("checkpoint");
@@ -366,6 +449,10 @@ Status CmdStream(const Args& args, std::ostream& out) {
       DistributedOptions step_options = options;
       step_options.als.seed = options.als.seed + t * 7919;
       step_options.stream_step = t;
+      // The re-derivation is bookkeeping, not the measured run: keep it
+      // out of the trace and the metric totals.
+      step_options.tracer = nullptr;
+      step_options.metrics = nullptr;
       prev = DisMastdDecompose(stream.DeltaAt(t), prev_dims, prev,
                                step_options)
                  .als.factors;
@@ -379,7 +466,7 @@ Status CmdStream(const Args& args, std::ostream& out) {
         WriteStreamCheckpointFile(checkpoint, checkpoint_path));
     out << "checkpoint written to " << checkpoint_path << "\n";
   }
-  return Status::OK();
+  return WriteObsSinks(obs_sinks, out);
 }
 
 /// Decompose-and-serve: streams the input tensor through the chosen
@@ -390,7 +477,11 @@ Status CmdStream(const Args& args, std::ostream& out) {
 Status CmdServeBench(const Args& args, std::ostream& out) {
   Result<DistributedOptions> options_result = GetDistributedOptions(args);
   if (!options_result.ok()) return options_result.status();
-  const DistributedOptions& options = options_result.value();
+  DistributedOptions options = options_result.value();
+  ObsSinks obs_sinks;
+  DISMASTD_RETURN_IF_ERROR(SetUpObsSinks(args, &obs_sinks));
+  options.tracer = obs_sinks.tracer.get();
+  options.metrics = obs_sinks.metrics.get();
   Result<MethodKind> method_kind =
       ParseMethodKind(args.Get("method", "dismastd"));
   if (!method_kind.ok()) return method_kind.status();
@@ -420,6 +511,7 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   session_options.store.keep_depth =
       static_cast<size_t>(keep_depth.value());
   session_options.num_query_threads = options.execution.num_threads;
+  session_options.tracer = obs_sinks.tracer.get();
   serve::ServeSession session(session_options);
 
   const std::string warm_path = args.Get("warm-checkpoint");
@@ -473,7 +565,10 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   out << "\nqueries answered   : " << stats.answered << " (" << stats.failed
       << " failed)\n\n";
   out << session.metrics().Report().ToString();
-  return Status::OK();
+  if (obs_sinks.metrics != nullptr) {
+    session.metrics().PublishTo(obs_sinks.metrics.get());
+  }
+  return WriteObsSinks(obs_sinks, out);
 }
 
 Status CmdPartitionStats(const Args& args, std::ostream& out) {
@@ -526,9 +621,13 @@ std::string UsageText() {
       "                  [--crash-worker W --crash-at-step T\n"
       "                   --crash-superstep S]\n"
       "                  [--recovery checkpoint|degraded]\n"
+      "                  [--trace-out F.json]\n"
+      "                  [--trace-detail steps|phases|workers]\n"
+      "                  [--metrics-out F.prom]\n"
       "  serve-bench     --input F [stream flags above]\n"
       "                  [--queries N --clients C --k K --batch B]\n"
       "                  [--keep-depth D] [--warm-checkpoint F]\n"
+      "                  [--trace-out F.json] [--metrics-out F.prom]\n"
       "  partition-stats --input F [--parts 8x15x23] [--partitioner "
       "mtp|gtp]\n"
       "  help\n";

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by the obs tracer.
+
+Checks, per lane (pid, tid):
+  - every "B" event is closed by a matching "E" at a timestamp >= its
+    start, with nothing left open at the end (stack discipline);
+  - timestamps are monotonically non-decreasing in emission order;
+  - only the documented phases appear (B/E on the sim process, X on the
+    wall process, M metadata) and every event carries the required keys;
+  - the sim process (pid 1) and its lane metadata are present;
+  - the per-phase sim spans tile the timeline: their summed duration
+    matches the summed duration of the top-level stream-step spans within
+    the given tolerance (default 1%).
+
+Usage: validate_trace.py TRACE.json [--tolerance 0.01] [--require-phases]
+
+Exit status 0 on a valid trace, 1 (with a message) otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = {"ph", "pid", "ts"}
+SIM_PID = 1
+WALL_PID = 2
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}")
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="relative tolerance for the phase-sum check (default 1%%)",
+    )
+    parser.add_argument(
+        "--require-phases",
+        action="store_true",
+        help="fail if the trace has no 'phase'-category spans (i.e. was "
+        "recorded below --trace-detail phases)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {args.trace}: {error}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top-level object must carry a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty")
+
+    sim_lanes_named = set()
+    sim_process_named = False
+    open_spans = {}  # (pid, tid) -> stack of B events
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    phase_us = 0.0
+    step_us = 0.0
+    category_us = {}
+    n_spans = 0
+
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in ("B", "E", "X", "M"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                if event.get("pid") == SIM_PID:
+                    sim_process_named = True
+            elif event.get("name") == "thread_name":
+                if event.get("pid") == SIM_PID:
+                    sim_lanes_named.add(event.get("tid"))
+            continue
+
+        missing = REQUIRED_KEYS - event.keys()
+        if missing:
+            fail(f"event {i}: missing keys {sorted(missing)}")
+        pid, tid, ts = event["pid"], event.get("tid", 0), event["ts"]
+        if pid not in (SIM_PID, WALL_PID):
+            fail(f"event {i}: unknown pid {pid}")
+        if ph in ("B", "E") and pid != SIM_PID:
+            fail(f"event {i}: B/E span off the sim process (pid {pid})")
+        if ph == "X" and pid != WALL_PID:
+            fail(f"event {i}: X span off the wall process (pid {pid})")
+        if ph == "X" and "dur" not in event:
+            fail(f"event {i}: X event without dur")
+
+        lane = (pid, tid)
+        # Emission order is clock order per lane; X wall events may
+        # interleave from many threads, so only sim lanes are checked.
+        if pid == SIM_PID:
+            if lane in last_ts and ts < last_ts[lane] - 1e-9:
+                fail(
+                    f"event {i}: lane {lane} timestamp {ts} goes backwards "
+                    f"(previous {last_ts[lane]})"
+                )
+            last_ts[lane] = ts
+
+        if ph == "B":
+            if "name" not in event:
+                fail(f"event {i}: B event without name")
+            open_spans.setdefault(lane, []).append(event)
+        elif ph == "E":
+            stack = open_spans.get(lane, [])
+            if not stack:
+                fail(f"event {i}: E without open B on lane {lane}")
+            begin = stack.pop()
+            duration = ts - begin["ts"]
+            if duration < -1e-9:
+                fail(
+                    f"event {i}: span {begin.get('name')!r} on lane {lane} "
+                    f"has negative duration {duration}"
+                )
+            n_spans += 1
+            category = begin.get("cat", "")
+            category_us[category] = category_us.get(category, 0.0) + duration
+            if category == "phase":
+                phase_us += duration
+            if category == "stream" and begin.get("name", "").startswith(
+                "step "
+            ):
+                step_us += duration
+
+    dangling = {
+        lane: [e.get("name") for e in stack]
+        for lane, stack in open_spans.items()
+        if stack
+    }
+    if dangling:
+        fail(f"unclosed spans at end of trace: {dangling}")
+    if not sim_process_named:
+        fail("sim process (pid 1) has no process_name metadata")
+    if 0 not in sim_lanes_named:
+        fail("driver lane (pid 1, tid 0) has no thread_name metadata")
+    for (pid, tid) in last_ts:
+        if pid == SIM_PID and tid not in sim_lanes_named:
+            fail(f"sim lane {tid} carries events but has no thread_name")
+
+    if args.require_phases and phase_us == 0.0:
+        fail("no 'phase'-category spans found")
+    if phase_us > 0.0 and step_us > 0.0:
+        relative = abs(phase_us - step_us) / max(step_us, 1e-12)
+        if relative > args.tolerance:
+            fail(
+                f"phase spans sum to {phase_us:.3f} us but stream steps to "
+                f"{step_us:.3f} us ({relative * 100:.2f}% apart, tolerance "
+                f"{args.tolerance * 100:.2f}%)"
+            )
+
+    summary = ", ".join(
+        f"{cat or '<none>'}={us / 1e6:.4f}s"
+        for cat, us in sorted(category_us.items())
+    )
+    print(
+        f"validate_trace: OK: {len(events)} events, {n_spans} sim spans, "
+        f"{len(sim_lanes_named)} sim lanes; per-category sim seconds: "
+        f"{summary}"
+    )
+
+
+if __name__ == "__main__":
+    main()
