@@ -19,6 +19,48 @@ std::string AsciiLower(const std::string& text) {
   return lower;
 }
 
+/// Copies a decomposition's resource metrics into the step rollup.
+void FillStepMetrics(const DistributedResult& result, StreamStepMetrics* sm) {
+  sm->iterations = result.als.iterations;
+  sm->sim_seconds_per_iteration = result.metrics.MeanIterationSeconds();
+  sm->sim_seconds_total = result.metrics.sim_seconds_total;
+  sm->sim_seconds_partitioning = result.metrics.sim_seconds_partitioning;
+  sm->sim_seconds_mttkrp_update = result.metrics.sim_seconds_mttkrp_update;
+  sm->sim_seconds_gram_reduce = result.metrics.sim_seconds_gram_reduce;
+  sm->sim_seconds_loss = result.metrics.sim_seconds_loss;
+  sm->comm_bytes = result.metrics.comm_payload_bytes;
+  sm->comm_messages = result.metrics.comm_messages;
+  sm->flops = result.metrics.total_flops;
+  sm->wall_seconds = result.metrics.wall_seconds;
+  sm->final_loss = result.als.loss_history.empty()
+                       ? 0.0
+                       : result.als.loss_history.back();
+  sm->recovery = result.metrics.recovery;
+  sm->orphaned_messages = result.metrics.orphaned_messages;
+  sm->leaked_messages = result.metrics.leaked_messages;
+}
+
+/// Per-step durable state: what a restarted process (or crash recovery)
+/// resumes from. Failures are logged, not fatal — a full disk must not
+/// kill a streaming run.
+void MaybeWriteStepCheckpoint(const DistributedOptions& options,
+                              const KruskalTensor& factors,
+                              const std::vector<uint64_t>& dims,
+                              size_t step) {
+  if (options.checkpoint_dir.empty()) return;
+  StreamCheckpoint ckpt;
+  ckpt.factors = factors;
+  ckpt.dims = dims;
+  ckpt.step = step;
+  const std::string path =
+      options.checkpoint_dir + "/step_" + std::to_string(step) + ".ckpt";
+  const Status written = WriteStreamCheckpointFile(ckpt, path);
+  if (!written.ok()) {
+    DISMASTD_LOG(Warning) << "step " << step
+                          << " checkpoint failed: " << written.message();
+  }
+}
+
 }  // namespace
 
 const char* MethodKindName(MethodKind kind) {
@@ -54,6 +96,47 @@ Result<PartitionerKind> ParsePartitionerKind(const std::string& text) {
                                  "' (expected mtp or gtp)");
 }
 
+StreamStepMetrics RunDisMastdDeltaStep(const SparseTensor& delta,
+                                       const std::vector<uint64_t>& old_dims,
+                                       const std::vector<uint64_t>& new_dims,
+                                       KruskalTensor* factors, size_t step,
+                                       const DistributedOptions& options) {
+  obs::Tracer* tracer = options.tracer;
+  // Wall-clock span of the step's decompose+checkpoint; the sim-clock step
+  // span is closed below once the step's simulated total is known.
+  obs::ScopedWallSpan step_wall(tracer, "stream_step", "stream", "driver");
+  if (obs::Active(tracer)) {
+    tracer->BeginSim(obs::Tracer::kDriverLane,
+                     ("step " + std::to_string(step)).c_str(), "stream", 0.0,
+                     {{"step", std::to_string(step)}});
+  }
+  StreamStepMetrics sm;
+  sm.step = step;
+  sm.dims = new_dims;
+  sm.processed_nnz = delta.nnz();
+
+  // Give every step's initialization its own seed (the paper's protocol);
+  // stream_step also selects the fault injector's RNG stream and arms the
+  // plan's crash when this is its target step.
+  DistributedOptions step_options = options;
+  step_options.als.seed = options.als.seed + step * 7919;
+  step_options.stream_step = step;
+
+  const DistributedResult result =
+      DisMastdDecompose(delta, old_dims, *factors, step_options);
+  *factors = result.als.factors;
+  FillStepMetrics(result, &sm);
+  if (obs::Active(tracer)) {
+    // Close the step's sim span at its simulated total, then advance the
+    // timeline base so the next step's run-local clock (which restarts
+    // at zero) lays out after this one.
+    tracer->EndSim(obs::Tracer::kDriverLane, result.metrics.sim_seconds_total);
+    tracer->AdvanceSimBase(result.metrics.sim_seconds_total);
+  }
+  MaybeWriteStepCheckpoint(options, *factors, new_dims, step);
+  return sm;
+}
+
 std::vector<StreamStepMetrics> RunStreamingExperiment(
     const StreamingTensorSequence& stream, MethodKind method,
     const DistributedOptions& options, bool compute_fit,
@@ -69,89 +152,46 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
   std::vector<uint64_t> prev_dims;
 
   for (size_t step = 0; step < stream.num_steps(); ++step) {
-    // Wall-clock span of the whole step (decompose + fit + checkpoint +
-    // observer); the sim-clock step span is closed below once the step's
-    // simulated total is known.
-    obs::ScopedWallSpan step_wall(tracer, "stream_step", "stream", "driver");
-    if (obs::Active(tracer)) {
-      tracer->BeginSim(obs::Tracer::kDriverLane,
-                       ("step " + std::to_string(step)).c_str(), "stream",
-                       0.0, {{"step", std::to_string(step)}});
-    }
     StreamStepMetrics sm;
-    sm.step = step;
-    sm.dims = stream.DimsAt(step);
-
-    DistributedResult result;
-    // Give every cold-start decomposition its own seed so DMS-MG's
-    // re-randomization matches the paper's protocol.
-    DistributedOptions step_options = options;
-    step_options.als.seed = options.als.seed + step * 7919;
-    // Selects the fault injector's RNG stream and arms the plan's crash
-    // when this is its target step.
-    step_options.stream_step = step;
-
     if (method == MethodKind::kDisMastd) {
       const SparseTensor delta = stream.DeltaAt(step);
-      sm.processed_nnz = delta.nnz();
       const std::vector<uint64_t> old_dims =
           step == 0 ? std::vector<uint64_t>(delta.order(), 0) : prev_dims;
-      result = DisMastdDecompose(delta, old_dims, prev_factors, step_options);
-      prev_factors = result.als.factors;
+      sm = RunDisMastdDeltaStep(delta, old_dims, stream.DimsAt(step),
+                                &prev_factors, step, options);
       prev_dims = stream.DimsAt(step);
     } else {
+      obs::ScopedWallSpan step_wall(tracer, "stream_step", "stream",
+                                    "driver");
+      if (obs::Active(tracer)) {
+        tracer->BeginSim(obs::Tracer::kDriverLane,
+                         ("step " + std::to_string(step)).c_str(), "stream",
+                         0.0, {{"step", std::to_string(step)}});
+      }
+      sm.step = step;
+      sm.dims = stream.DimsAt(step);
       const SparseTensor snapshot = stream.SnapshotAt(step);
       sm.processed_nnz = snapshot.nnz();
-      result = DmsMgDecompose(snapshot, step_options);
+      DistributedOptions step_options = options;
+      step_options.als.seed = options.als.seed + step * 7919;
+      step_options.stream_step = step;
+      const DistributedResult result = DmsMgDecompose(snapshot, step_options);
+      prev_factors = result.als.factors;
+      FillStepMetrics(result, &sm);
+      if (obs::Active(tracer)) {
+        tracer->EndSim(obs::Tracer::kDriverLane,
+                       result.metrics.sim_seconds_total);
+        tracer->AdvanceSimBase(result.metrics.sim_seconds_total);
+      }
+      MaybeWriteStepCheckpoint(options, prev_factors, sm.dims, step);
     }
 
     sm.snapshot_nnz = stream.SnapshotNnz(step);
-    sm.iterations = result.als.iterations;
-    sm.sim_seconds_per_iteration = result.metrics.MeanIterationSeconds();
-    sm.sim_seconds_total = result.metrics.sim_seconds_total;
-    sm.sim_seconds_partitioning = result.metrics.sim_seconds_partitioning;
-    sm.sim_seconds_mttkrp_update = result.metrics.sim_seconds_mttkrp_update;
-    sm.sim_seconds_gram_reduce = result.metrics.sim_seconds_gram_reduce;
-    sm.sim_seconds_loss = result.metrics.sim_seconds_loss;
-    sm.comm_bytes = result.metrics.comm_payload_bytes;
-    sm.comm_messages = result.metrics.comm_messages;
-    sm.flops = result.metrics.total_flops;
-    sm.wall_seconds = result.metrics.wall_seconds;
-    sm.final_loss = result.als.loss_history.empty()
-                        ? 0.0
-                        : result.als.loss_history.back();
-    sm.recovery = result.metrics.recovery;
-    sm.orphaned_messages = result.metrics.orphaned_messages;
-    sm.leaked_messages = result.metrics.leaked_messages;
-    if (obs::Active(tracer)) {
-      // Close the step's sim span at its simulated total, then advance the
-      // timeline base so the next step's run-local clock (which restarts
-      // at zero) lays out after this one.
-      tracer->EndSim(obs::Tracer::kDriverLane,
-                     result.metrics.sim_seconds_total);
-      tracer->AdvanceSimBase(result.metrics.sim_seconds_total);
-    }
     if (compute_fit) {
       const SparseTensor snapshot = stream.SnapshotAt(step);
-      sm.fit = result.als.factors.Fit(snapshot);
+      sm.fit = prev_factors.Fit(snapshot);
     }
-    if (!options.checkpoint_dir.empty()) {
-      // Per-step durable state: what a restarted process (or the crash
-      // recovery above) resumes from. Failures are logged, not fatal — a
-      // full disk must not kill a streaming run.
-      StreamCheckpoint ckpt;
-      ckpt.factors = result.als.factors;
-      ckpt.dims = sm.dims;
-      ckpt.step = step;
-      const std::string path = options.checkpoint_dir + "/step_" +
-                               std::to_string(step) + ".ckpt";
-      const Status written = WriteStreamCheckpointFile(ckpt, path);
-      if (!written.ok()) {
-        DISMASTD_LOG(Warning) << "step " << step
-                              << " checkpoint failed: " << written.message();
-      }
-    }
-    if (observer) observer(sm, result.als.factors);
+    if (observer) observer(sm, prev_factors);
     metrics.push_back(std::move(sm));
   }
   return metrics;

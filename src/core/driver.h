@@ -1,7 +1,9 @@
 #ifndef DISMASTD_CORE_DRIVER_H_
 #define DISMASTD_CORE_DRIVER_H_
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,10 @@ Result<MethodKind> ParseMethodKind(const std::string& text);
 /// spelled-out aliases ("greedy" / "maxmin" / "max-min").
 Result<PartitionerKind> ParsePartitionerKind(const std::string& text);
 
+/// Sentinel for "no event time attached": schedule-driven runs have no
+/// event-time axis; the ingest pipeline stamps real values.
+inline constexpr int64_t kNoEventTime = std::numeric_limits<int64_t>::min();
+
 /// Per-snapshot metrics of a streaming run.
 struct StreamStepMetrics {
   size_t step = 0;
@@ -65,6 +71,12 @@ struct StreamStepMetrics {
   uint64_t orphaned_messages = 0;
   /// Total undelivered messages across those supersteps.
   uint64_t leaked_messages = 0;
+  /// Event-time metadata stamped by the ingest pipeline (kNoEventTime on
+  /// schedule-driven runs): the newest event folded into this step's model
+  /// and the ingest watermark when the batch closed. The serving plane
+  /// measures model staleness against the watermark.
+  int64_t event_time_max = kNoEventTime;
+  int64_t event_time_watermark = kNoEventTime;
 };
 
 /// Called after every completed streaming step with that step's metrics
@@ -90,6 +102,23 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
     const StreamingTensorSequence& stream, MethodKind method,
     const DistributedOptions& options, bool compute_fit = false,
     const StreamStepObserver& observer = nullptr);
+
+/// One delta-driven DisMASTD step, shared by the schedule-driven
+/// experiment above and the real-time ingest pipeline: decomposes `delta`
+/// (entries beyond `old_dims`, dims == `new_dims`) chained on `*factors`
+/// (empty for a cold start), replaces `*factors` with the step's result,
+/// and returns the step's metrics. Emits the step's sim/wall trace spans,
+/// applies the per-step seed/fault-plan discipline, and writes the
+/// per-step checkpoint when options.checkpoint_dir is set — so a model
+/// produced by replaying an event log is bit-identical to the same
+/// step sequence run from a growth schedule. The caller fills
+/// snapshot-dependent fields (snapshot_nnz, fit) and invokes any
+/// observer.
+StreamStepMetrics RunDisMastdDeltaStep(const SparseTensor& delta,
+                                       const std::vector<uint64_t>& old_dims,
+                                       const std::vector<uint64_t>& new_dims,
+                                       KruskalTensor* factors, size_t step,
+                                       const DistributedOptions& options);
 
 }  // namespace dismastd
 

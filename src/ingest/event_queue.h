@@ -1,0 +1,116 @@
+#ifndef DISMASTD_INGEST_EVENT_QUEUE_H_
+#define DISMASTD_INGEST_EVENT_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/event_log.h"
+
+namespace dismastd {
+namespace ingest {
+
+/// What Push does when the queue is at capacity.
+enum class BackpressurePolicy {
+  /// Producer blocks until the consumer drains (lossless; the default, and
+  /// the only policy under which the batch sequence is deterministic).
+  kBlock = 0,
+  /// Evict the oldest queued token to admit the new one (bounded-latency
+  /// load shedding biased toward fresh data).
+  kDropOldest = 1,
+  /// Refuse the new token (bounded-latency shedding biased toward data
+  /// already admitted; the producer sees the failure and can retry).
+  kReject = 2,
+};
+
+const char* BackpressurePolicyName(BackpressurePolicy policy);
+Result<BackpressurePolicy> ParseBackpressurePolicy(const std::string& text);
+
+/// One unit of work flowing producer -> consumer: a decoded log slot. The
+/// slot index is the merge key — the consumer reassembles log order from it
+/// no matter how producer threads interleave. Quarantined slots still flow
+/// through (as kQuarantined) so the consumer's accounting is exact and
+/// deterministic.
+struct IngestToken {
+  uint64_t slot = 0;
+  SlotKind kind = SlotKind::kQuarantined;
+  EventRecord record;
+  /// Producer-side enqueue time (seconds on the session's wall epoch);
+  /// the event->published-model latency measurement starts here.
+  double enqueue_seconds = 0.0;
+};
+
+/// Bounded multi-producer / single-consumer queue with a configurable
+/// backpressure policy and lock-free depth accounting: depth() and the
+/// stat counters are relaxed atomics, so a metrics scraper never contends
+/// with the data path.
+class EventQueue {
+ public:
+  EventQueue(size_t capacity, BackpressurePolicy policy);
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues one token, applying the backpressure policy at capacity.
+  /// Returns false when the token was not admitted (kReject at capacity,
+  /// or the queue is closed).
+  bool Push(IngestToken token);
+
+  /// Appends every queued token to `*out`, blocking until at least one is
+  /// available or the queue is closed. Returns the number appended; 0
+  /// means closed-and-drained.
+  size_t PopAll(std::vector<IngestToken>* out);
+
+  /// Producers call this once all of them are done; wakes the consumer.
+  void Close();
+  bool closed() const;
+
+  size_t capacity() const { return capacity_; }
+  BackpressurePolicy policy() const { return policy_; }
+
+  /// Current queue depth (relaxed; exact between operations).
+  size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
+  uint64_t pushed_total() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped_oldest_total() const {
+    return dropped_oldest_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Times a kBlock producer had to wait for space.
+  uint64_t block_waits_total() const {
+    return block_waits_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of depth() over the queue's lifetime.
+  size_t max_depth() const { return max_depth_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<IngestToken> items_;
+  bool closed_ = false;
+
+  std::atomic<size_t> depth_{0};
+  std::atomic<size_t> max_depth_{0};
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> dropped_oldest_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> block_waits_{0};
+};
+
+}  // namespace ingest
+}  // namespace dismastd
+
+#endif  // DISMASTD_INGEST_EVENT_QUEUE_H_

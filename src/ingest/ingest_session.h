@@ -1,0 +1,99 @@
+#ifndef DISMASTD_INGEST_INGEST_SESSION_H_
+#define DISMASTD_INGEST_INGEST_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/driver.h"
+#include "ingest/delta_builder.h"
+#include "ingest/event_log.h"
+#include "ingest/event_queue.h"
+#include "obs/histogram.h"
+
+namespace dismastd {
+namespace ingest {
+
+/// Configuration of one live-ingest run.
+struct IngestSessionOptions {
+  /// Producer (replay) threads sharding the log round-robin by slot.
+  size_t num_producers = 1;
+  /// Bounded queue between producers and the consumer.
+  size_t queue_capacity = 1024;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Aggregate replay rate across all producers; 0 = unthrottled.
+  double max_events_per_second = 0.0;
+  /// Micro-batch triggers.
+  DeltaBuilderOptions builder;
+  /// Decomposition settings for every micro-batch step (tracer / metrics /
+  /// checkpoint_dir attach here exactly as in RunStreamingExperiment).
+  DistributedOptions decompose;
+  /// Score each batch's factors against the accumulated snapshot (rebuilds
+  /// the full tensor per batch — tool-scale only).
+  bool compute_fit = false;
+};
+
+/// What one RunIngestSession produced.
+struct IngestSessionResult {
+  /// One entry per closed micro-batch, in publish order; event_time_max /
+  /// event_time_watermark are stamped (kNoEventTime when the batch carried
+  /// no timestamp).
+  std::vector<StreamStepMetrics> steps;
+  /// Why each batch closed (parallel to `steps`).
+  std::vector<BatchCloseReason> close_reasons;
+  /// Final model and its dims after the last batch.
+  KruskalTensor factors;
+  std::vector<uint64_t> dims;
+
+  /// FNV-1a fingerprint over the serialized batch sequence (dims
+  /// transitions + coalesced entries + close reasons). Two runs produced
+  /// byte-identical batch sequences iff their fingerprints match — the
+  /// determinism contract across producer thread counts (kBlock only;
+  /// drop policies shed load nondeterministically).
+  uint64_t batch_fingerprint = 0;
+
+  /// Consumer-side census of the replayed log.
+  uint64_t events = 0;
+  uint64_t barriers = 0;
+  uint64_t quarantined = 0;
+  /// Events dropped for a seq already seen (at-least-once retransmission).
+  uint64_t duplicates = 0;
+  /// Events quarantined as older than watermark - allowed_lateness.
+  uint64_t late_events = 0;
+  /// Events inside the committed box (not expressible as a delta).
+  uint64_t interior_updates = 0;
+
+  /// Queue-side accounting (see EventQueue).
+  uint64_t dropped_oldest = 0;
+  uint64_t rejected = 0;
+  uint64_t block_waits = 0;
+  size_t max_queue_depth = 0;
+
+  /// End-to-end freshness: enqueue of an accepted event -> the model that
+  /// folded it in was published (observer returned). Nanoseconds. Always
+  /// non-null on a successful run (heap-held: the histogram's atomics make
+  /// it non-copyable, the result struct must not be).
+  std::shared_ptr<obs::Pow2Histogram> event_to_publish_nanos;
+
+  double wall_seconds = 0.0;
+};
+
+/// Replays an event log through the full ingest pipeline: N producer
+/// threads decode disjoint slot shards and push tokens into the bounded
+/// queue; the calling thread reassembles log order (merge-in-order on the
+/// slot index, the same discipline WorkerExecutor uses), deduplicates on
+/// seq, feeds the delta builder, and drives every closed micro-batch
+/// through RunDisMastdDeltaStep. The observer fires after each published
+/// batch — attach the serving plane's publish hook here exactly as with
+/// RunStreamingExperiment.
+///
+/// Determinism: with BackpressurePolicy::kBlock, the batch sequence (and
+/// therefore the factors) is byte-identical for every producer count.
+Result<IngestSessionResult> RunIngestSession(
+    const EventLogReader& log, const IngestSessionOptions& options,
+    const StreamStepObserver& observer = nullptr);
+
+}  // namespace ingest
+}  // namespace dismastd
+
+#endif  // DISMASTD_INGEST_INGEST_SESSION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "obs/metrics.h"
@@ -58,6 +59,26 @@ void ServeMetrics::NoteModelPublished(uint64_t step) {
   }
 }
 
+namespace {
+
+/// Monotonic max over an atomic int64 (relaxed CAS loop).
+void RaiseTo(std::atomic<int64_t>* target, int64_t value) {
+  int64_t prev = target->load(std::memory_order_relaxed);
+  while (value > prev && !target->compare_exchange_weak(
+                             prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void ServeMetrics::NoteModelEventTime(int64_t event_time_max) {
+  RaiseTo(&model_event_time_, event_time_max);
+}
+
+void ServeMetrics::NoteIngestWatermark(int64_t watermark) {
+  RaiseTo(&ingest_watermark_, watermark);
+}
+
 ServeMetricsReport ServeMetrics::Report() const {
   ServeMetricsReport report;
   for (size_t t = 0; t < kNumQueryTypes; ++t) {
@@ -82,6 +103,18 @@ ServeMetricsReport ServeMetrics::Report() const {
   }
   report.max_staleness_steps =
       staleness_steps_max_.load(std::memory_order_relaxed);
+  constexpr int64_t kUnset = std::numeric_limits<int64_t>::min();
+  const int64_t model_ts = model_event_time_.load(std::memory_order_relaxed);
+  const int64_t watermark = ingest_watermark_.load(std::memory_order_relaxed);
+  if (model_ts != kUnset || watermark != kUnset) {
+    report.has_event_time = true;
+    // Either mark may be absent (a watermark-only publish carried no
+    // events); fall back to the other so the lag degrades to zero.
+    report.model_event_time = model_ts != kUnset ? model_ts : watermark;
+    report.ingest_watermark = watermark != kUnset ? watermark : model_ts;
+    report.event_time_lag_ticks = std::max<int64_t>(
+        0, report.ingest_watermark - report.model_event_time);
+  }
   {
     std::lock_guard<std::mutex> lock(version_mutex_);
     report.served_per_version = served_per_version_;
@@ -110,6 +143,27 @@ void ServeMetrics::PublishTo(obs::MetricRegistry* registry) const {
                  "Worst model staleness observed, in stream steps")
       ->Set(static_cast<double>(
           staleness_steps_max_.load(std::memory_order_relaxed)));
+  constexpr int64_t kUnset = std::numeric_limits<int64_t>::min();
+  const int64_t model_ts = model_event_time_.load(std::memory_order_relaxed);
+  const int64_t watermark = ingest_watermark_.load(std::memory_order_relaxed);
+  if (model_ts != kUnset) {
+    registry
+        ->GetGauge("dismastd_serve_model_event_time", {},
+                   "Newest event time folded into any published model")
+        ->Set(static_cast<double>(model_ts));
+  }
+  if (watermark != kUnset) {
+    registry
+        ->GetGauge("dismastd_serve_ingest_watermark", {},
+                   "Ingest watermark at the newest publish")
+        ->Set(static_cast<double>(watermark));
+  }
+  if (model_ts != kUnset && watermark != kUnset) {
+    registry
+        ->GetGauge("dismastd_serve_event_time_lag_ticks", {},
+                   "Event-time staleness of the served models vs ingest")
+        ->Set(static_cast<double>(std::max<int64_t>(0, watermark - model_ts)));
+  }
   std::lock_guard<std::mutex> lock(version_mutex_);
   for (const auto& [version, count] : served_per_version_) {
     registry
@@ -140,6 +194,13 @@ std::string ServeMetricsReport::ToString() const {
                 mean_staleness_steps,
                 (unsigned long long)max_staleness_steps);
   os << line << "\n";
+  if (has_event_time) {
+    std::snprintf(line, sizeof(line),
+                  "event time: model %lld / watermark %lld (lag %lld ticks)",
+                  (long long)model_event_time, (long long)ingest_watermark,
+                  (long long)event_time_lag_ticks);
+    os << line << "\n";
+  }
   os << "served per version:";
   for (const auto& [version, count] : served_per_version) {
     os << " v" << version << "=" << count;

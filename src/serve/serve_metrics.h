@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -48,6 +49,15 @@ struct ServeMetricsReport {
   /// model that answered), aggregated over all queries.
   double mean_staleness_steps = 0.0;
   uint64_t max_staleness_steps = 0;
+  /// Event-time freshness against the ingest pipeline (valid iff
+  /// has_event_time): the newest event folded into any published model,
+  /// the ingest watermark at its publish, and their gap — how far the
+  /// served models trail the event stream, in event-time ticks. Absent on
+  /// schedule-driven runs, which have no event-time axis.
+  bool has_event_time = false;
+  int64_t model_event_time = 0;
+  int64_t ingest_watermark = 0;
+  int64_t event_time_lag_ticks = 0;
 
   std::string ToString() const;
 };
@@ -69,6 +79,13 @@ class ServeMetrics {
   /// The publisher advances this after every publish; staleness of a query
   /// is measured against the newest step published so far.
   void NoteModelPublished(uint64_t step);
+
+  /// Ingest-driven publishes additionally stamp event time: the newest
+  /// event folded into the published model and the ingest watermark when
+  /// its batch closed. Monotonic high-water marks; their gap is the
+  /// event-time staleness the report exposes.
+  void NoteModelEventTime(int64_t event_time_max);
+  void NoteIngestWatermark(int64_t watermark);
 
   uint64_t queries_total() const {
     return queries_total_.load(std::memory_order_relaxed);
@@ -93,6 +110,9 @@ class ServeMetrics {
   std::atomic<uint64_t> latest_step_{0};
   std::atomic<uint64_t> staleness_steps_total_{0};
   std::atomic<uint64_t> staleness_steps_max_{0};
+  /// Event-time high-water marks; INT64_MIN = never stamped.
+  std::atomic<int64_t> model_event_time_{std::numeric_limits<int64_t>::min()};
+  std::atomic<int64_t> ingest_watermark_{std::numeric_limits<int64_t>::min()};
   WallTimer since_construction_;
 
   mutable std::mutex version_mutex_;  // guards served_per_version_

@@ -44,6 +44,14 @@ StreamStepObserver ServeSession::PublishObserver() {
   return [this](const StreamStepMetrics& step_metrics,
                 const KruskalTensor& factors) {
     Publish(factors, step_metrics.step);
+    // Ingest-driven steps carry event time; forward it so the serving
+    // plane can report freshness against the ingest watermark.
+    if (step_metrics.event_time_max != kNoEventTime) {
+      metrics_.NoteModelEventTime(step_metrics.event_time_max);
+    }
+    if (step_metrics.event_time_watermark != kNoEventTime) {
+      metrics_.NoteIngestWatermark(step_metrics.event_time_watermark);
+    }
   };
 }
 

@@ -485,6 +485,92 @@ TEST(CliTest, InvalidOptionsSurfaceValidateMessage) {
   std::remove(tensor_path.c_str());
 }
 
+TEST(CliTest, ExportEventsInfoAndIngestReplayPipeline) {
+  const std::string tensor_path = TempPath("cli_ingest_tensor.tns");
+  const std::string log_path = TempPath("cli_ingest_log.tevt");
+  const std::string checkpoint_path = TempPath("cli_ingest.ckpt");
+  std::string output;
+
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "30x20x10", "--nnz", "1200", "--rank", "2",
+                          "--seed", "7"},
+                         &output)
+                  .ok())
+      << output;
+
+  // export-events: stream -> shuffled TEVT log.
+  ASSERT_TRUE(RunCommand({"export-events", "--input", tensor_path,
+                          "--output", log_path, "--steps", "3", "--start",
+                          "0.7", "--step", "0.15"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("wrote"), std::string::npos);
+  EXPECT_NE(output.find("3 steps"), std::string::npos);
+
+  // info sniffs the TEVT container.
+  ASSERT_TRUE(RunCommand({"info", "--input", log_path}, &output).ok())
+      << output;
+  EXPECT_NE(output.find("event log (TEVT)"), std::string::npos);
+  EXPECT_NE(output.find("order   : 3"), std::string::npos);
+  EXPECT_NE(output.find("barriers: 3"), std::string::npos);
+  EXPECT_NE(output.find("dims    : 30 20 10 (high-water)"),
+            std::string::npos);
+
+  // stream --ingest replays the log through the live pipeline.
+  ASSERT_TRUE(RunCommand({"stream", "--ingest", log_path, "--workers", "2",
+                          "--rank", "2", "--iterations", "2", "--producers",
+                          "2", "--checkpoint", checkpoint_path},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("ingest replay"), std::string::npos);
+  EXPECT_NE(output.find("barrier"), std::string::npos);
+  EXPECT_NE(output.find("fingerprint"), std::string::npos);
+  EXPECT_NE(output.find("event->publish"), std::string::npos);
+  Result<StreamCheckpoint> checkpoint =
+      ReadStreamCheckpointFile(checkpoint_path);
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint.value().dims, (std::vector<uint64_t>{30, 20, 10}));
+
+  std::remove(tensor_path.c_str());
+  std::remove(log_path.c_str());
+  std::remove(checkpoint_path.c_str());
+}
+
+TEST(CliTest, IngestFlagsAreValidated) {
+  std::string output;
+  EXPECT_FALSE(
+      RunCommand({"stream", "--ingest", "/nonexistent.tevt"}, &output).ok());
+  const std::string tensor_path = TempPath("cli_ingest_tensor2.tns");
+  const std::string log_path = TempPath("cli_ingest_log2.tevt");
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "10x10", "--nnz", "60"},
+                         &output)
+                  .ok());
+  EXPECT_FALSE(RunCommand({"export-events", "--input", tensor_path},
+                          &output)
+                   .ok());  // no --output
+  ASSERT_TRUE(RunCommand({"export-events", "--input", tensor_path,
+                          "--output", log_path},
+                         &output)
+                  .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--ingest", log_path, "--method",
+                           "dms-mg"},
+                          &output)
+                   .ok());  // only dismastd consumes deltas
+  EXPECT_FALSE(RunCommand({"stream", "--ingest", log_path, "--producers",
+                           "0"},
+                          &output)
+                   .ok());
+  EXPECT_FALSE(RunCommand({"stream", "--ingest", log_path, "--backpressure",
+                           "lossy"},
+                          &output)
+                   .ok());
+  std::remove(tensor_path.c_str());
+  std::remove(log_path.c_str());
+}
+
 TEST(CliTest, BadInputsReportErrors) {
   std::string output;
   EXPECT_FALSE(RunCommand({"generate", "--dims", "4x4"}, &output).ok());  // no output

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace dismastd {
 namespace {
 
@@ -116,6 +119,64 @@ TEST(SparseTensorTest, FilterKeepsSubset) {
       t.Filter([&](size_t e) { return t.Value(e) > 2.0; });
   EXPECT_EQ(big.nnz(), 2u);
   EXPECT_EQ(big.dims(), t.dims());
+}
+
+TEST(SparseTensorTest, CoalesceDuplicateHeavyInput) {
+  // The ingest delta builder's workload: many arrivals landing on few
+  // coordinates (retransmitted updates, hot cells). 1000 entries collapse
+  // onto a 3x3 grid of coordinates with exactly-summed values.
+  SparseTensor t({3, 3});
+  double expected[3][3] = {};
+  uint64_t state = 88172645463325252ull;  // xorshift64
+  for (int e = 0; e < 1000; ++e) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const uint64_t i = state % 3;
+    const uint64_t j = (state / 3) % 3;
+    const double value = static_cast<double>(1 + state % 7);
+    t.Add({i, j}, value);
+    expected[i][j] += value;
+  }
+  t.Coalesce();
+  ASSERT_LE(t.nnz(), 9u);
+  EXPECT_TRUE(t.Validate().ok());
+  double total[3][3] = {};
+  for (size_t e = 0; e < t.nnz(); ++e) {
+    total[t.Index(e, 0)][t.Index(e, 1)] = t.Value(e);
+    if (e > 0) {
+      // Strictly increasing lexicographic order: no duplicates survive.
+      const bool greater =
+          t.Index(e, 0) > t.Index(e - 1, 0) ||
+          (t.Index(e, 0) == t.Index(e - 1, 0) &&
+           t.Index(e, 1) > t.Index(e - 1, 1));
+      EXPECT_TRUE(greater);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(total[i][j], expected[i][j]);
+    }
+  }
+}
+
+TEST(SparseTensorTest, CoalesceDeterministicUnderPermutedArrival) {
+  // Same multiset of entries in two arrival orders -> identical storage,
+  // the property the ingest pipeline's bit-exact replay rests on.
+  SparseTensor a({8, 8});
+  SparseTensor b({8, 8});
+  std::vector<std::pair<std::vector<uint64_t>, double>> entries;
+  for (uint64_t i = 0; i < 8; ++i) {
+    entries.push_back({{i, (i * 3) % 8}, static_cast<double>(i) + 0.5});
+    entries.push_back({{i, (i * 3) % 8}, 1.0});  // duplicate coordinate
+  }
+  for (const auto& [index, value] : entries) a.Add(index, value);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    b.Add(it->first, it->second);
+  }
+  a.Coalesce();
+  b.Coalesce();
+  EXPECT_TRUE(a == b);
 }
 
 TEST(SparseTensorTest, EqualityIsStructural) {

@@ -1,0 +1,189 @@
+#include "ingest/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "stream/generator.h"
+#include "stream/snapshot.h"
+
+namespace dismastd {
+namespace ingest {
+namespace {
+
+/// Self-deleting temp path for file round-trips.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(EventLogTest, RoundTripsEventsAndBarriers) {
+  EventLogWriter writer(3);
+  writer.AppendEvent(10, {1, 2, 3}, 1.5);
+  writer.AppendEvent(11, {4, 5, 6}, -2.0);
+  writer.AppendBarrier(12, {5, 6, 7});
+
+  Result<EventLogReader> reader = EventLogReader::FromBytes(writer.ToBytes());
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  const EventLogReader& log = reader.value();
+  EXPECT_EQ(log.order(), 3u);
+  ASSERT_EQ(log.num_slots(), 3u);
+  EXPECT_FALSE(log.truncated());
+
+  EventRecord record;
+  ASSERT_EQ(log.Decode(0, &record), SlotKind::kEvent);
+  EXPECT_EQ(record.seq, 0u);
+  EXPECT_EQ(record.ts, 10);
+  EXPECT_EQ(record.fields, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(record.value, 1.5);
+  ASSERT_EQ(log.Decode(1, &record), SlotKind::kEvent);
+  EXPECT_EQ(record.seq, 1u);
+  ASSERT_EQ(log.Decode(2, &record), SlotKind::kBarrier);
+  EXPECT_EQ(record.fields, (std::vector<uint64_t>{5, 6, 7}));
+}
+
+TEST(EventLogTest, FileRoundTrip) {
+  TempFile file("event_log_roundtrip.tevt");
+  EventLogWriter writer(2);
+  writer.AppendEvent(0, {0, 1}, 3.0);
+  ASSERT_TRUE(writer.WriteFile(file.path()).ok());
+
+  Result<bool> is_log = IsEventLogFile(file.path());
+  ASSERT_TRUE(is_log.ok());
+  EXPECT_TRUE(is_log.value());
+
+  Result<EventLogReader> reader = EventLogReader::OpenFile(file.path());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().num_slots(), 1u);
+}
+
+TEST(EventLogTest, CorruptedRecordIsQuarantinedNotFatal) {
+  EventLogWriter writer(2);
+  writer.AppendEvent(0, {0, 0}, 1.0);
+  writer.AppendEvent(1, {1, 1}, 2.0);
+  writer.AppendEvent(2, {2, 2}, 3.0);
+  std::vector<uint8_t> bytes = writer.ToBytes();
+  // Flip a value byte in the middle record; its CRC no longer matches.
+  const size_t record_bytes = EventRecordBytes(2);
+  bytes[kEventLogHeaderBytes + record_bytes + 20] ^= 0xFF;
+
+  Result<EventLogReader> reader = EventLogReader::FromBytes(std::move(bytes));
+  ASSERT_TRUE(reader.ok());
+  EventRecord record;
+  EXPECT_EQ(reader.value().Decode(0, &record), SlotKind::kEvent);
+  EXPECT_EQ(reader.value().Decode(1, &record), SlotKind::kQuarantined);
+  // The reader never desyncs: the slot after the corrupt one still decodes.
+  EXPECT_EQ(reader.value().Decode(2, &record), SlotKind::kEvent);
+  EXPECT_EQ(record.fields, (std::vector<uint64_t>{2, 2}));
+}
+
+TEST(EventLogTest, TruncatedFileExposesSurvivingSlots) {
+  EventLogWriter writer(2);
+  writer.AppendEvent(0, {0, 0}, 1.0);
+  writer.AppendEvent(1, {1, 1}, 2.0);
+  std::vector<uint8_t> bytes = writer.ToBytes();
+  bytes.resize(bytes.size() - 7);  // chop mid-record
+
+  Result<EventLogReader> reader = EventLogReader::FromBytes(std::move(bytes));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().num_slots(), 1u);
+  EXPECT_EQ(reader.value().declared_records(), 2u);
+  EXPECT_TRUE(reader.value().truncated());
+}
+
+TEST(EventLogTest, CorruptedHeaderIsAnError) {
+  EventLogWriter writer(2);
+  writer.AppendEvent(0, {0, 0}, 1.0);
+  std::vector<uint8_t> bytes = writer.ToBytes();
+  bytes[4] ^= 0xFF;  // version field
+  EXPECT_FALSE(EventLogReader::FromBytes(std::move(bytes)).ok());
+}
+
+TEST(EventLogTest, SummarizeCountsKindsAndHighWater) {
+  EventLogWriter writer(2);
+  writer.AppendEvent(5, {3, 1}, 1.0);
+  writer.AppendEvent(2, {0, 7}, 2.0);
+  writer.AppendBarrier(9, {4, 8});
+  const Result<EventLogReader> reader =
+      EventLogReader::FromBytes(writer.ToBytes());
+  ASSERT_TRUE(reader.ok());
+  const EventLogInfo info = SummarizeEventLog(reader.value());
+  EXPECT_EQ(info.events, 2u);
+  EXPECT_EQ(info.barriers, 1u);
+  EXPECT_EQ(info.quarantined, 0u);
+  EXPECT_EQ(info.min_ts, 2);
+  EXPECT_EQ(info.max_ts, 9);
+  // Events contribute index+1, barriers contribute declared dims.
+  EXPECT_EQ(info.dims_high_water, (std::vector<uint64_t>{4, 8}));
+}
+
+TEST(EventExportTest, ExportCoversEveryDeltaAndIsDeterministic) {
+  GeneratorOptions gen;
+  gen.dims = {20, 16, 12};
+  gen.nnz = 600;
+  gen.seed = 3;
+  SparseTensor tensor = GenerateSparseTensor(gen).tensor;
+  StreamingTensorSequence stream(
+      std::move(tensor), MakeGrowthSchedule({20, 16, 12}, 0.6, 0.2, 3));
+
+  EventExportOptions options;
+  const EventLogWriter log_a = ExportSequenceAsEvents(stream, options);
+  const EventLogWriter log_b = ExportSequenceAsEvents(stream, options);
+  EXPECT_EQ(log_a.ToBytes(), log_b.ToBytes());
+
+  uint64_t total_delta_nnz = 0;
+  for (size_t t = 0; t < stream.num_steps(); ++t) {
+    total_delta_nnz += stream.DeltaAt(t).nnz();
+  }
+  // One event per delta entry plus one barrier per step.
+  EXPECT_EQ(log_a.num_records(), total_delta_nnz + stream.num_steps());
+
+  // Timestamps stay within each step's tick window and barriers declare
+  // the schedule dims.
+  const Result<EventLogReader> reader =
+      EventLogReader::FromBytes(log_a.ToBytes());
+  ASSERT_TRUE(reader.ok());
+  size_t step = 0;
+  EventRecord record;
+  for (size_t slot = 0; slot < reader.value().num_slots(); ++slot) {
+    const SlotKind kind = reader.value().Decode(slot, &record);
+    ASSERT_NE(kind, SlotKind::kQuarantined);
+    EXPECT_GE(record.ts, static_cast<int64_t>(step) * options.ticks_per_step);
+    EXPECT_LT(record.ts,
+              static_cast<int64_t>(step + 1) * options.ticks_per_step);
+    if (kind == SlotKind::kBarrier) {
+      EXPECT_EQ(record.fields, stream.DimsAt(step));
+      ++step;
+    }
+  }
+  EXPECT_EQ(step, stream.num_steps());
+}
+
+TEST(EventExportTest, ShuffleChangesOrderNotContent) {
+  GeneratorOptions gen;
+  gen.dims = {15, 15};
+  gen.nnz = 200;
+  gen.seed = 11;
+  SparseTensor tensor = GenerateSparseTensor(gen).tensor;
+  StreamingTensorSequence stream(std::move(tensor),
+                                 MakeGrowthSchedule({15, 15}, 0.5, 0.5, 2));
+
+  EventExportOptions shuffled;
+  EventExportOptions ordered;
+  ordered.shuffle = false;
+  const EventLogWriter log_s = ExportSequenceAsEvents(stream, shuffled);
+  const EventLogWriter log_o = ExportSequenceAsEvents(stream, ordered);
+  EXPECT_EQ(log_s.num_records(), log_o.num_records());
+  EXPECT_NE(log_s.ToBytes(), log_o.ToBytes());
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace dismastd

@@ -110,6 +110,57 @@ TEST(ServeMetricsTest, PublishToRegistersSharedSeries) {
             std::string::npos);
 }
 
+TEST(ServeMetricsTest, EventTimeAbsentUntilNoted) {
+  ServeMetrics metrics;
+  EXPECT_FALSE(metrics.Report().has_event_time);
+}
+
+TEST(ServeMetricsTest, EventTimeLagTracksWatermarkAgainstModel) {
+  ServeMetrics metrics;
+  metrics.NoteModelEventTime(50);
+  metrics.NoteIngestWatermark(80);
+  ServeMetricsReport report = metrics.Report();
+  EXPECT_TRUE(report.has_event_time);
+  EXPECT_EQ(report.model_event_time, 50);
+  EXPECT_EQ(report.ingest_watermark, 80);
+  EXPECT_EQ(report.event_time_lag_ticks, 30);
+
+  // Marks are monotonic: a regression is ignored, an advance sticks.
+  metrics.NoteModelEventTime(40);
+  metrics.NoteIngestWatermark(90);
+  report = metrics.Report();
+  EXPECT_EQ(report.model_event_time, 50);
+  EXPECT_EQ(report.ingest_watermark, 90);
+  EXPECT_EQ(report.event_time_lag_ticks, 40);
+  EXPECT_NE(metrics.Report().ToString().find("event time:"), std::string::npos);
+  EXPECT_NE(metrics.Report().ToString().find("lag"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, WatermarkOnlyFallsBackWithZeroLag) {
+  ServeMetrics metrics;
+  metrics.NoteIngestWatermark(120);
+  const ServeMetricsReport report = metrics.Report();
+  EXPECT_TRUE(report.has_event_time);
+  EXPECT_EQ(report.model_event_time, 120);
+  EXPECT_EQ(report.ingest_watermark, 120);
+  EXPECT_EQ(report.event_time_lag_ticks, 0);
+}
+
+TEST(ServeMetricsTest, PublishToExportsEventTimeGauges) {
+  ServeMetrics metrics;
+  metrics.NoteModelEventTime(7);
+  metrics.NoteIngestWatermark(11);
+  obs::MetricRegistry registry;
+  metrics.PublishTo(&registry);
+  const std::string prom = registry.ExposePrometheus();
+  EXPECT_NE(prom.find("dismastd_serve_model_event_time 7"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_ingest_watermark 11"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_event_time_lag_ticks 4"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace dismastd

@@ -35,6 +35,46 @@ TEST(RelativeComplementTest, KeepsOnlyNewEntries) {
   }
 }
 
+TEST(ThetaTupleTest, SimultaneousMultiModeGrowth) {
+  // All modes grow at once (the multi-aspect case the ingest builder
+  // produces when a batch extends several modes in one close): theta must
+  // set exactly the bits of the modes whose index escaped the old box.
+  const std::vector<uint64_t> old_dims = {3, 3, 3, 3};
+  const uint64_t all_new[] = {3, 4, 5, 6};
+  EXPECT_EQ(ThetaTuple(all_new, old_dims), 0b1111u);
+  const uint64_t modes_0_2[] = {7, 0, 9, 2};
+  EXPECT_EQ(ThetaTuple(modes_0_2, old_dims), 0b0101u);
+  const uint64_t modes_1_3[] = {2, 3, 1, 3};
+  EXPECT_EQ(ThetaTuple(modes_1_3, old_dims), 0b1010u);
+  // Exactly on the boundary counts as new; one below does not.
+  const uint64_t boundary[] = {2, 2, 2, 3};
+  EXPECT_EQ(ThetaTuple(boundary, old_dims), 0b1000u);
+}
+
+TEST(RelativeComplementTest, SimultaneousMultiModeGrowthPartitions) {
+  // Growing every mode at once: the complement must contain each entry
+  // outside the old box exactly once, whatever combination of modes put
+  // it outside — together with the old box, a partition of the snapshot.
+  SparseTensor t({4, 4, 4});
+  size_t outside = 0;
+  for (uint64_t i = 0; i < 4; ++i) {
+    for (uint64_t j = 0; j < 4; ++j) {
+      for (uint64_t k = 0; k < 4; ++k) {
+        t.Add({i, j, k}, static_cast<double>(1 + i * 16 + j * 4 + k));
+        if (i >= 2 || j >= 2 || k >= 2) ++outside;
+      }
+    }
+  }
+  const SparseTensor delta = RelativeComplement(t, {2, 2, 2});
+  EXPECT_EQ(delta.nnz(), outside);
+  EXPECT_EQ(delta.nnz() + RestrictToBox(t, {2, 2, 2}).nnz(), t.nnz());
+  for (size_t e = 0; e < delta.nnz(); ++e) {
+    const uint64_t theta = ThetaTuple(delta.IndexTuple(e), {2, 2, 2});
+    EXPECT_NE(theta, 0u);
+    EXPECT_LT(theta, 8u);
+  }
+}
+
 TEST(RelativeComplementTest, ZeroOldDimsKeepsEverything) {
   SparseTensor t({2, 2});
   t.Add({0, 0}, 1.0);

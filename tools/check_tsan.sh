@@ -4,8 +4,10 @@
 # serving subsystem: the thread pool, the simulated cluster, the
 # parallel-vs-sequential determinism contract, the fault-injection and
 # recovery layer, the RCU-style model store with its concurrent query
-# engine, and the observability layer (lock-free metric registry and the
-# span tracer's multi-thread wall lanes) must all be race-free.
+# engine, the observability layer (lock-free metric registry and the
+# span tracer's multi-thread wall lanes), and the ingest pipeline
+# (bounded MPSC queue plus multi-producer ingest sessions) must all be
+# race-free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,9 +23,10 @@ cmake --build "${build_dir}" -j \
   --target thread_pool_test cluster_test determinism_test \
   fault_test fault_recovery_test \
   model_store_test query_engine_test serve_metrics_test \
-  histogram_test metric_registry_test trace_test
+  histogram_test metric_registry_test trace_test \
+  event_log_test event_queue_test delta_builder_test ingest_session_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|model_store_test|query_engine_test|serve_metrics_test|histogram_test|metric_registry_test|trace_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|model_store_test|query_engine_test|serve_metrics_test|histogram_test|metric_registry_test|trace_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
 
 echo "TSan: all clean"

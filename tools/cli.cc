@@ -6,6 +6,8 @@
 
 #include "common/string_util.h"
 #include "core/driver.h"
+#include "ingest/event_log.h"
+#include "ingest/ingest_session.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/query_log.h"
@@ -182,8 +184,38 @@ Status CmdInfoCheckpoint(const std::string& path, CheckpointFileKind kind,
   return Status::OK();
 }
 
+/// `info` on a TEVT event log: record census, event-time span, dims
+/// high-water — the stream-shaped counterpart of the tensor summary.
+Status CmdInfoEventLog(const std::string& path, std::ostream& out) {
+  Result<ingest::EventLogInfo> info = ingest::SummarizeEventLogFile(path);
+  if (!info.ok()) return info.status();
+  const ingest::EventLogInfo& i = info.value();
+  out << "file    : event log (TEVT)\n";
+  out << "order   : " << i.order << "\n";
+  out << "records : " << FormatWithCommas(i.slots);
+  if (i.truncated) {
+    out << " (declared " << FormatWithCommas(i.declared_records)
+        << " — truncated)";
+  }
+  out << "\nevents  : " << FormatWithCommas(i.events) << "\n";
+  out << "barriers: " << FormatWithCommas(i.barriers) << "\n";
+  if (i.quarantined > 0) {
+    out << "quarantined: " << FormatWithCommas(i.quarantined) << "\n";
+  }
+  if (i.events + i.barriers > 0) {
+    out << "time    : [" << i.min_ts << ", " << i.max_ts << "] ticks\n";
+  }
+  out << "dims    :";
+  for (uint64_t d : i.dims_high_water) out << " " << d;
+  out << " (high-water)\n";
+  return Status::OK();
+}
+
 Status CmdInfo(const Args& args, std::ostream& out) {
   const std::string input = args.Get("input");
+  Result<bool> is_event_log = ingest::IsEventLogFile(input);
+  if (!is_event_log.ok()) return is_event_log.status();
+  if (is_event_log.value()) return CmdInfoEventLog(input, out);
   Result<CheckpointFileKind> kind = SniffCheckpointFile(input);
   if (!kind.ok()) return kind.status();
   if (kind.value() != CheckpointFileKind::kNotACheckpoint) {
@@ -373,7 +405,162 @@ Result<StreamingTensorSequence> GetStream(const Args& args) {
                                  std::move(schedule));
 }
 
+/// Exports the growth-schedule stream of --input as a TEVT event log:
+/// each step's relative complement becomes a shuffled burst of timestamped
+/// events closed by a barrier declaring the step's dims.
+Status CmdExportEvents(const Args& args, std::ostream& out) {
+  const std::string output = args.Get("output");
+  if (output.empty()) {
+    return Status::InvalidArgument("export-events needs --output");
+  }
+  Result<StreamingTensorSequence> stream = GetStream(args);
+  if (!stream.ok()) return stream.status();
+
+  ingest::EventExportOptions export_options;
+  Result<uint64_t> seed = GetU64(args, "seed", export_options.seed);
+  if (!seed.ok()) return seed.status();
+  export_options.seed = seed.value();
+  Result<uint64_t> ticks =
+      GetU64(args, "ticks", static_cast<uint64_t>(
+                                export_options.ticks_per_step));
+  if (!ticks.ok()) return ticks.status();
+  if (ticks.value() == 0) return Status::InvalidArgument("--ticks must be >= 1");
+  export_options.ticks_per_step = static_cast<int64_t>(ticks.value());
+  Result<uint64_t> shuffle = GetU64(args, "shuffle", 1);
+  if (!shuffle.ok()) return shuffle.status();
+  export_options.shuffle = shuffle.value() != 0;
+  Result<uint64_t> barriers = GetU64(args, "barriers", 1);
+  if (!barriers.ok()) return barriers.status();
+  export_options.emit_barriers = barriers.value() != 0;
+
+  const ingest::EventLogWriter log =
+      ingest::ExportSequenceAsEvents(stream.value(), export_options);
+  DISMASTD_RETURN_IF_ERROR(log.WriteFile(output));
+  out << "wrote " << FormatWithCommas(log.num_records()) << " records ("
+      << stream.value().num_steps() << " steps, "
+      << export_options.ticks_per_step << " ticks/step) to " << output
+      << "\n";
+  return Status::OK();
+}
+
+/// `stream --ingest LOG`: replays a TEVT log through the live pipeline —
+/// producer threads -> bounded queue -> micro-batch delta builder ->
+/// DisMASTD — instead of materializing schedule-driven deltas.
+Status CmdStreamIngest(const Args& args, std::ostream& out) {
+  Result<MethodKind> method = ParseMethodKind(args.Get("method", "dismastd"));
+  if (!method.ok()) return method.status();
+  if (method.value() != MethodKind::kDisMastd) {
+    return Status::InvalidArgument(
+        "--ingest replays deltas incrementally; only --method dismastd can "
+        "consume them");
+  }
+  Result<DistributedOptions> options_result = GetDistributedOptions(args);
+  if (!options_result.ok()) return options_result.status();
+  ObsSinks obs_sinks;
+  DISMASTD_RETURN_IF_ERROR(SetUpObsSinks(args, &obs_sinks));
+
+  Result<ingest::EventLogReader> log =
+      ingest::EventLogReader::OpenFile(args.Get("ingest"));
+  if (!log.ok()) return log.status();
+
+  ingest::IngestSessionOptions session;
+  session.decompose = options_result.value();
+  session.decompose.tracer = obs_sinks.tracer.get();
+  session.decompose.metrics = obs_sinks.metrics.get();
+  session.compute_fit = true;
+  Result<uint64_t> producers = GetU64(args, "producers", 1);
+  if (!producers.ok()) return producers.status();
+  if (producers.value() == 0) {
+    return Status::InvalidArgument("--producers must be >= 1");
+  }
+  session.num_producers = static_cast<size_t>(producers.value());
+  Result<uint64_t> capacity = GetU64(args, "queue-capacity", 1024);
+  if (!capacity.ok()) return capacity.status();
+  session.queue_capacity = static_cast<size_t>(capacity.value());
+  Result<ingest::BackpressurePolicy> policy =
+      ingest::ParseBackpressurePolicy(args.Get("backpressure", "block"));
+  if (!policy.ok()) return policy.status();
+  session.backpressure = policy.value();
+  Result<double> rate = GetDouble(args, "rate", 0.0);
+  if (!rate.ok()) return rate.status();
+  session.max_events_per_second = rate.value();
+  Result<uint64_t> batch_events = GetU64(args, "batch-events",
+                                         session.builder.max_batch_events);
+  if (!batch_events.ok()) return batch_events.status();
+  session.builder.max_batch_events =
+      static_cast<size_t>(batch_events.value());
+  Result<uint64_t> growth = GetU64(args, "growth-limit",
+                                   session.builder.max_mode_growth);
+  if (!growth.ok()) return growth.status();
+  session.builder.max_mode_growth = growth.value();
+  Result<uint64_t> horizon = GetU64(args, "horizon", 0);
+  if (!horizon.ok()) return horizon.status();
+  session.builder.horizon_ticks = static_cast<int64_t>(horizon.value());
+  // Negative = unbounded lateness, so this one parses as a double.
+  Result<double> lateness = GetDouble(args, "lateness", -1.0);
+  if (!lateness.ok()) return lateness.status();
+  session.builder.allowed_lateness_ticks =
+      static_cast<int64_t>(lateness.value());
+
+  Result<ingest::IngestSessionResult> run =
+      ingest::RunIngestSession(log.value(), session);
+  if (!run.ok()) return run.status();
+  const ingest::IngestSessionResult& r = run.value();
+
+  out << "DisMASTD ingest replay on " << session.decompose.num_workers
+      << " workers, " << session.num_producers << " producer(s), "
+      << ingest::BackpressurePolicyName(session.backpressure)
+      << " backpressure\n";
+  out << "batch  reason        batch_nnz  snapshot_nnz  fit\n";
+  char line[160];
+  for (size_t b = 0; b < r.steps.size(); ++b) {
+    const StreamStepMetrics& m = r.steps[b];
+    std::snprintf(line, sizeof(line), "%-6zu %-13s %-10llu %-13llu %.4f",
+                  m.step, ingest::BatchCloseReasonName(r.close_reasons[b]),
+                  (unsigned long long)m.processed_nnz,
+                  (unsigned long long)m.snapshot_nnz, m.fit);
+    out << line << "\n";
+  }
+  out << "events  : " << FormatWithCommas(r.events) << " ("
+      << r.duplicates << " duplicate, " << r.late_events << " late, "
+      << r.interior_updates << " interior, " << r.quarantined
+      << " quarantined)\n";
+  out << "queue   : max depth " << r.max_queue_depth << "/"
+      << session.queue_capacity << ", " << r.block_waits
+      << " block waits, " << r.dropped_oldest << " dropped, " << r.rejected
+      << " rejected\n";
+  const obs::Pow2Histogram& lat = *r.event_to_publish_nanos;
+  std::snprintf(line, sizeof(line),
+                "latency : event->publish p50 %.1f us, p95 %.1f us over "
+                "%llu events",
+                lat.Percentile(0.50) * 1e-3, lat.Percentile(0.95) * 1e-3,
+                (unsigned long long)lat.Count());
+  out << line << "\n";
+  std::snprintf(line, sizeof(line),
+                "wall    : %.3f s (%.0f events/s)", r.wall_seconds,
+                r.wall_seconds > 0.0
+                    ? static_cast<double>(r.events) / r.wall_seconds
+                    : 0.0);
+  out << line << "\n";
+  std::snprintf(line, sizeof(line), "batches : %zu, fingerprint %016llx",
+                r.steps.size(), (unsigned long long)r.batch_fingerprint);
+  out << line << "\n";
+
+  const std::string checkpoint_path = args.Get("checkpoint");
+  if (!checkpoint_path.empty()) {
+    StreamCheckpoint checkpoint;
+    checkpoint.factors = r.factors;
+    checkpoint.dims = r.dims;
+    checkpoint.step = r.steps.empty() ? 0 : r.steps.back().step;
+    DISMASTD_RETURN_IF_ERROR(
+        WriteStreamCheckpointFile(checkpoint, checkpoint_path));
+    out << "checkpoint written to " << checkpoint_path << "\n";
+  }
+  return WriteObsSinks(obs_sinks, out);
+}
+
 Status CmdStream(const Args& args, std::ostream& out) {
+  if (args.Has("ingest")) return CmdStreamIngest(args, out);
   Result<DistributedOptions> options_result = GetDistributedOptions(args);
   if (!options_result.ok()) return options_result.status();
   DistributedOptions options = options_result.value();
@@ -610,6 +797,10 @@ std::string UsageText() {
       "  info            --input F\n"
       "  decompose       --input F [--rank R --iterations N --seed N]\n"
       "                  [--factors OUT.krs]\n"
+      "  export-events   --input F --output LOG.tevt\n"
+      "                  [--start 0.75 --step 0.05 --steps 6]\n"
+      "                  [--ticks 1000] [--shuffle 0|1] [--barriers 0|1]\n"
+      "                  [--seed N]\n"
       "  stream          --input F [--method dismastd|dmsmg]\n"
       "                  [--partitioner mtp|gtp] [--workers M] [--parts P]\n"
       "                  [--threads T]  (0 = all cores, 1 = sequential)\n"
@@ -624,6 +815,14 @@ std::string UsageText() {
       "                  [--trace-out F.json]\n"
       "                  [--trace-detail steps|phases|workers]\n"
       "                  [--metrics-out F.prom]\n"
+      "                  live-ingest mode (replaces --input/--start/--step/\n"
+      "                  --steps with a TEVT log):\n"
+      "                  --ingest LOG.tevt [--producers N]\n"
+      "                  [--queue-capacity C]\n"
+      "                  [--backpressure block|drop-oldest|reject]\n"
+      "                  [--rate EV_PER_S] [--batch-events N]\n"
+      "                  [--growth-limit G] [--horizon TICKS]\n"
+      "                  [--lateness TICKS]\n"
       "  serve-bench     --input F [stream flags above]\n"
       "                  [--queries N --clients C --k K --batch B]\n"
       "                  [--keep-depth D] [--warm-checkpoint F]\n"
@@ -643,6 +842,7 @@ Status RunCli(int argc, const char* const* argv, std::ostream& out) {
   if (args.command == "generate") return CmdGenerate(args, out);
   if (args.command == "info") return CmdInfo(args, out);
   if (args.command == "decompose") return CmdDecompose(args, out);
+  if (args.command == "export-events") return CmdExportEvents(args, out);
   if (args.command == "stream") return CmdStream(args, out);
   if (args.command == "serve-bench") return CmdServeBench(args, out);
   if (args.command == "partition-stats") return CmdPartitionStats(args, out);

@@ -36,10 +36,13 @@ Result<std::vector<double>> ParseDoubleList(const std::string& text);
 ///   info            --input F
 ///   decompose       --input F [--rank R --iterations N --seed N]
 ///                   [--factors OUT.krs]
+///   export-events   --input F --output LOG.tevt [--ticks N] [--shuffle 0|1]
 ///   stream          --input F [--method dismastd|dmsmg]
 ///                   [--partitioner mtp|gtp] [--workers M] [--parts P]
 ///                   [--start 0.75 --step 0.05 --steps 6]
 ///                   [--rank R --mu MU --iterations N] [--checkpoint OUT]
+///                   or live ingest: --ingest LOG.tevt [--producers N]
+///                   [--backpressure block|drop-oldest|reject] ...
 ///   serve-bench     --input F [stream flags] [--queries N --clients C]
 ///                   [--k K --batch B --keep-depth D] [--warm-checkpoint F]
 ///   partition-stats --input F [--parts 8,15,23] [--partitioner mtp|gtp]
