@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/driver.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/datasets.h"
@@ -72,7 +73,9 @@ inline std::vector<DatasetSpec> ScaledPaperDatasets() {
 /// Observability sinks shared by the bench harnesses, parsed from argv:
 ///   --trace-out=FILE [--trace-detail=steps|phases|workers]
 ///   --metrics-out=FILE
-/// Both are optional; with neither given, tracer()/metrics() stay null and
+///   --kernel=scalar|avx2|avx512   (forces the compute-kernel backend;
+///                                  the banner prints what was dispatched)
+/// All are optional; with none given, tracer()/metrics() stay null and
 /// the instrumented run pays only the Active() branch. Finish() writes the
 /// requested files once the harness is done.
 class BenchObs {
@@ -88,11 +91,26 @@ class BenchObs {
         obs_args.metrics_path_ = arg.substr(14);
       } else if (arg.rfind("--trace-detail=", 0) == 0) {
         detail_text = arg.substr(15);
+      } else if (arg.rfind("--kernel=", 0) == 0) {
+        const Result<kernels::Backend> backend =
+            kernels::ParseBackend(arg.substr(9));
+        if (!backend.ok()) {
+          std::fprintf(stderr, "%s\n",
+                       backend.status().message().c_str());
+          std::exit(1);
+        }
+        const Status forced = kernels::ForceBackend(backend.value());
+        if (!forced.ok()) {
+          std::fprintf(stderr, "%s\n", forced.message().c_str());
+          std::exit(1);
+        }
       } else {
         std::fprintf(stderr, "ignoring unknown bench flag: %s\n",
                      arg.c_str());
       }
     }
+    std::printf("kernels: %s\n",
+                kernels::DispatchExplanation().c_str());
     if (!obs_args.trace_path_.empty()) {
       obs::TraceDetail detail = obs::TraceDetail::kPhases;
       if (!detail_text.empty()) {

@@ -6,17 +6,32 @@
 // Run with --threads N to set the execution engine's thread count for
 // BM_DisMastdStep (0 = all cores); compare --threads 1 vs --threads 8 to
 // measure the shared-memory speedup of the cluster simulation.
+//
+// Kernel flags:
+//   --kernel scalar|avx2|avx512   force the dispatched backend for the
+//                                 google-benchmark suite
+//   --kernel-sweep=FILE           run the backend x precision sweep
+//                                 (MTTKRP fp64, top-K fp64/bf16/int8 on
+//                                 every supported backend) and append CSV
+//                                 rows op,backend,precision,rank,items,
+//                                 seconds,rows_per_s,gb_per_s to FILE
+//   --sweep-only                  skip the google-benchmark suite
 
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "core/dismastd.h"
+#include "kernels/kernels.h"
+#include "kernels/quantized.h"
 #include "la/ops.h"
 #include "la/solve.h"
 #include "partition/gtp.h"
@@ -224,12 +239,153 @@ void BM_DisMastdStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DisMastdStep)->Arg(8)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Backend x precision sweep (--kernel-sweep=FILE)
+//
+// Times the kernel-table entry points directly — no engine or partial-sort
+// overhead — on every backend this host supports, and appends CSV rows
+//   op,backend,precision,rank,items,seconds,rows_per_s,gb_per_s
+// to FILE. "mttkrp" rows cover fp64 (the decomposition path is fp64-only by
+// the determinism contract); "topk" rows cover fp64, bf16 and int8 candidate
+// scans. CI greps this CSV to assert the vectorized backends actually ran.
+
+template <typename Fn>
+double TimeSeconds(size_t reps, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reps; ++r) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void EmitSweepRow(std::ofstream& csv, const char* op,
+                  kernels::Backend backend, const char* precision,
+                  size_t rank, double items, double seconds, double bytes) {
+  const double rows_per_s = items / seconds;
+  const double gb_per_s = bytes / seconds * 1e-9;
+  csv << op << ',' << kernels::BackendName(backend) << ',' << precision << ','
+      << rank << ',' << static_cast<uint64_t>(items) << ',' << seconds << ','
+      << rows_per_s << ',' << gb_per_s << '\n';
+  std::printf("sweep %-6s %-6s %-4s rank=%zu  %10.3e rows/s  %7.2f GB/s\n",
+              op, kernels::BackendName(backend), precision, rank, rows_per_s,
+              gb_per_s);
+}
+
+int RunKernelSweep(const std::string& path) {
+  std::ofstream csv(path);
+  if (!csv) {
+    std::fprintf(stderr, "cannot open kernel-sweep output %s\n", path.c_str());
+    return 1;
+  }
+  csv << "op,backend,precision,rank,items,seconds,rows_per_s,gb_per_s\n";
+
+  constexpr size_t kRank = 16;
+  Rng rng(99);
+
+  // MTTKRP inputs: one synthetic 3-mode non-zero stream — two non-target
+  // factor rows and one accumulator row per element.
+  constexpr size_t kMttkrpItems = 1 << 20;
+  constexpr size_t kSideRows = 4096;
+  const Matrix fa = Matrix::Random(kSideRows, kRank, rng);
+  const Matrix fb = Matrix::Random(kSideRows, kRank, rng);
+  Matrix out(kSideRows, kRank);
+  std::vector<std::array<const double*, 2>> nnz_rows(kMttkrpItems);
+  std::vector<const double*> out_rows(kMttkrpItems);
+  std::vector<double> nnz_values(kMttkrpItems);
+  for (size_t i = 0; i < kMttkrpItems; ++i) {
+    nnz_rows[i] = {fa.RowPtr(rng.NextBounded(kSideRows)),
+                   fb.RowPtr(rng.NextBounded(kSideRows))};
+    out_rows[i] = out.RowPtr(rng.NextBounded(kSideRows));
+    nnz_values[i] = rng.NextDouble(-1.0, 1.0);
+  }
+
+  // Top-K inputs: one contiguous candidate block per precision.
+  constexpr size_t kCandidates = 1 << 16;
+  const Matrix cand = Matrix::Random(kCandidates, kRank, rng);
+  const kernels::Bf16Matrix cand_bf16 = kernels::QuantizeBf16(cand);
+  const kernels::Int8Matrix cand_i8 = kernels::QuantizeInt8(cand);
+  std::vector<double> weights(kRank);
+  std::vector<double> wscaled(kRank);
+  for (size_t f = 0; f < kRank; ++f) {
+    weights[f] = rng.NextDouble(-1.0, 1.0);
+    wscaled[f] = weights[f] * cand_i8.col_scale[f];
+  }
+  std::vector<double> scores(kCandidates);
+
+  for (size_t b = 0; b < kernels::kNumBackends; ++b) {
+    const auto backend = static_cast<kernels::Backend>(b);
+    if (!kernels::Supported(backend)) {
+      std::printf("sweep: skipping %s (unsupported on this host/build)\n",
+                  kernels::BackendName(backend));
+      continue;
+    }
+    const kernels::KernelTable& kern = kernels::Get(backend);
+
+    {
+      out.Fill(0.0);
+      constexpr size_t kReps = 4;
+      const double secs = TimeSeconds(kReps, [&] {
+        for (size_t i = 0; i < kMttkrpItems; ++i) {
+          kern.mttkrp_row(nnz_values[i], nnz_rows[i].data(), 2, kRank,
+                          const_cast<double*>(out_rows[i]));
+        }
+        benchmark::DoNotOptimize(out.data());
+      });
+      const double items = static_cast<double>(kMttkrpItems) * kReps;
+      // Two factor-row reads plus an accumulator read-modify-write.
+      const double bytes = items * 4.0 * kRank * sizeof(double);
+      EmitSweepRow(csv, "mttkrp", backend, "f64", kRank, items, secs, bytes);
+    }
+
+    constexpr size_t kScanReps = 64;
+    const double scan_items = static_cast<double>(kCandidates) * kScanReps;
+    {
+      const double secs = TimeSeconds(kScanReps, [&] {
+        kern.topk_score_block(cand.RowPtr(0), kCandidates, kRank,
+                              weights.data(), scores.data());
+        benchmark::DoNotOptimize(scores.data());
+      });
+      const double bytes =
+          scan_items * (kRank * sizeof(double) + sizeof(double));
+      EmitSweepRow(csv, "topk", backend, "f64", kRank, scan_items, secs,
+                   bytes);
+    }
+    {
+      const double secs = TimeSeconds(kScanReps, [&] {
+        kern.topk_score_block_bf16(cand_bf16.RowPtr(0), kCandidates, kRank,
+                                   weights.data(), scores.data());
+        benchmark::DoNotOptimize(scores.data());
+      });
+      const double bytes =
+          scan_items * (kRank * sizeof(kernels::Bf16) + sizeof(double));
+      EmitSweepRow(csv, "topk", backend, "bf16", kRank, scan_items, secs,
+                   bytes);
+    }
+    {
+      const double secs = TimeSeconds(kScanReps, [&] {
+        kern.topk_score_block_i8(cand_i8.RowPtr(0), kCandidates, kRank,
+                                 wscaled.data(), scores.data());
+        benchmark::DoNotOptimize(scores.data());
+      });
+      const double bytes =
+          scan_items * (kRank * sizeof(int8_t) + sizeof(double));
+      EmitSweepRow(csv, "topk", backend, "i8", kRank, scan_items, secs,
+                   bytes);
+    }
+  }
+  std::printf("sweep: wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace dismastd
 
 // Custom main: benchmark_main rejects flags it does not know, so strip our
-// --threads flag before handing argv to the benchmark library.
+// --threads / --kernel / --kernel-sweep / --sweep-only flags before handing
+// argv to the benchmark library.
 int main(int argc, char** argv) {
+  std::string sweep_path;
+  std::string kernel_name;
+  bool sweep_only = false;
   int out = 1;  // keep argv[0]
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -238,11 +394,48 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       dismastd::g_engine_threads =
           static_cast<size_t>(std::atol(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      kernel_name = argv[++i];
+    } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      kernel_name = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--kernel-sweep") == 0 && i + 1 < argc) {
+      sweep_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--kernel-sweep=", 15) == 0) {
+      sweep_path = argv[i] + 15;
+    } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      sweep_only = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+
+  if (!kernel_name.empty()) {
+    dismastd::Result<dismastd::kernels::Backend> backend =
+        dismastd::kernels::ParseBackend(kernel_name);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 1;
+    }
+    dismastd::Status forced =
+        dismastd::kernels::ForceBackend(backend.value());
+    if (!forced.ok()) {
+      std::fprintf(stderr, "%s\n", forced.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("kernels: %s\n",
+              dismastd::kernels::DispatchExplanation().c_str());
+
+  if (!sweep_path.empty()) {
+    const int rc = dismastd::RunKernelSweep(sweep_path);
+    if (rc != 0) return rc;
+    if (sweep_only) return 0;
+  } else if (sweep_only) {
+    std::fprintf(stderr, "--sweep-only needs --kernel-sweep=FILE\n");
+    return 1;
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

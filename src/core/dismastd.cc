@@ -7,6 +7,7 @@
 #include "core/dtd.h"
 #include "dist/cluster.h"
 #include "dist/execution.h"
+#include "kernels/kernels.h"
 #include "la/ops.h"
 #include "la/solve.h"
 #include "obs/metrics.h"
@@ -65,6 +66,11 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
                                     const DistributedOptions& options) {
   obs::SpanTimer wall(options.tracer, "dismastd_decompose", "core", "driver");
   DISMASTD_CHECK_OK(options.Validate());
+  // Dispatched once here; every flop on a factor row below goes through
+  // this table. The blocked-8 contract (kernels/kernels.h) keeps fp64
+  // results bit-exact across backends, and the per-worker shards keep them
+  // bit-exact across thread counts.
+  const kernels::KernelTable& kern = kernels::Get();
   const size_t order = delta.order();
   const size_t rank = options.als.rank;
   const double mu = options.als.mu;
@@ -316,10 +322,8 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
               double* out = numerator.RowPtr(i);
               // numerator = μ Ã[r,:]·had_h + Â[r,:]
               for (size_t c = 0; c < rank; ++c) {
-                double acc = 0.0;
-                for (size_t f = 0; f < rank; ++f) {
-                  acc += prow[f] * had_h(f, c);
-                }
+                const double acc =
+                    kern.dot_strided(prow, 1, had_h.data() + c, rank, rank);
                 out[c] = mu * acc + mttkrp(r, c);
               }
             }
@@ -368,19 +372,11 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
             const double* arow = factors[n].RowPtr(r);
             if (r < old_rows) {
               const double* prow = prev.factor(n).RowPtr(r);
-              for (size_t i = 0; i < rank; ++i) {
-                for (size_t j = 0; j < rank; ++j) {
-                  p_g0[w](i, j) += arow[i] * arow[j];
-                  p_h[w](i, j) += prow[i] * arow[j];
-                }
-              }
+              kern.gram_rank_update(arow, arow, rank, p_g0[w].data());
+              kern.gram_rank_update(prow, arow, rank, p_h[w].data());
               gram_flops += 2 * rank * rank;
             } else {
-              for (size_t i = 0; i < rank; ++i) {
-                for (size_t j = 0; j < rank; ++j) {
-                  p_g1[w](i, j) += arow[i] * arow[j];
-                }
-              }
+              kern.gram_rank_update(arow, arow, rank, p_g1[w].data());
               gram_flops += rank * rank;
             }
           }
@@ -425,9 +421,8 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
         double local = 0.0;
         for (uint64_t row : rows_of_part[last][q]) {
           const size_t r = static_cast<size_t>(row);
-          const double* mrow = mttkrp_last.RowPtr(r);
-          const double* arow = factors[last].RowPtr(r);
-          for (size_t f = 0; f < rank; ++f) local += mrow[f] * arow[f];
+          local += kern.dot_strided(mttkrp_last.RowPtr(r), 1,
+                                    factors[last].RowPtr(r), 1, rank);
         }
         partial_inner[w] += local;
         shard.AddTask(w, rows_of_part[last][q].size() * rank);

@@ -1,0 +1,209 @@
+// AVX2 kernel backend. Compiled with -mavx2 -ffp-contract=off (see
+// src/CMakeLists.txt) and uses separate mul/add intrinsics — never FMA —
+// so every fp64 entry point is bit-exact against the scalar backend:
+// element-wise kernels run the same per-element operation chains
+// lane-parallel, and reductions keep the blocked-8 lane classes (accA =
+// classes 0..3, accB = classes 4..7) with scalar tails folding into the
+// same partial sums.
+
+#include "kernels/kernels_detail.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace dismastd {
+namespace kernels {
+namespace {
+
+void MttkrpRowAvx2(double value, const double* const* rows, size_t num_rows,
+                   size_t rank, double* out) {
+  const size_t r4 = rank & ~static_cast<size_t>(3);
+  size_t f = 0;
+  for (; f < r4; f += 4) {
+    __m256d v = _mm256_set1_pd(value);
+    for (size_t m = 0; m < num_rows; ++m) {
+      v = _mm256_mul_pd(v, _mm256_loadu_pd(rows[m] + f));
+    }
+    _mm256_storeu_pd(out + f, _mm256_add_pd(_mm256_loadu_pd(out + f), v));
+  }
+  for (; f < rank; ++f) {
+    double v = value;
+    for (size_t m = 0; m < num_rows; ++m) v *= rows[m][f];
+    out[f] += v;
+  }
+}
+
+void HadamardCombineAvx2(const double* const* rows, size_t num_rows,
+                         size_t rank, double* out) {
+  const size_t r4 = rank & ~static_cast<size_t>(3);
+  size_t f = 0;
+  for (; f < r4; f += 4) {
+    __m256d v = _mm256_set1_pd(1.0);
+    for (size_t m = 0; m < num_rows; ++m) {
+      v = _mm256_mul_pd(v, _mm256_loadu_pd(rows[m] + f));
+    }
+    _mm256_storeu_pd(out + f, v);
+  }
+  for (; f < rank; ++f) {
+    double v = 1.0;
+    for (size_t m = 0; m < num_rows; ++m) v *= rows[m][f];
+    out[f] = v;
+  }
+}
+
+void GramRankUpdateAvx2(const double* x, const double* y, size_t rank,
+                        double* out) {
+  const size_t r4 = rank & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < rank; ++i) {
+    const double xi = x[i];
+    const __m256d vx = _mm256_set1_pd(xi);
+    double* row = out + i * rank;
+    size_t j = 0;
+    for (; j < r4; j += 4) {
+      const __m256d prod = _mm256_mul_pd(vx, _mm256_loadu_pd(y + j));
+      _mm256_storeu_pd(row + j,
+                       _mm256_add_pd(_mm256_loadu_pd(row + j), prod));
+    }
+    for (; j < rank; ++j) row[j] += xi * y[j];
+  }
+}
+
+double DotContiguousAvx2(const double* x, const double* y, size_t n) {
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    acc_a = _mm256_add_pd(
+        acc_a, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    acc_b = _mm256_add_pd(
+        acc_b, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4),
+                             _mm256_loadu_pd(y + i + 4)));
+  }
+  alignas(32) double p[8];
+  _mm256_store_pd(p, acc_a);
+  _mm256_store_pd(p + 4, acc_b);
+  for (; i < n; ++i) p[i - n8] += x[i] * y[i];
+  return detail::CombinePartials8(p);
+}
+
+double DotStridedAvx2(const double* x, size_t incx, const double* y,
+                      size_t incy, size_t n) {
+  if (incx == 1 && incy == 1) return DotContiguousAvx2(x, y, n);
+  // Strided access gains nothing from gathers at these ranks; the scalar
+  // blocked loop follows the same contract, so the result is identical.
+  return detail::DotBlocked(x, incx, y, incy, n);
+}
+
+void TopKScoreBlockAvx2(const double* rows, size_t num_rows, size_t rank,
+                        const double* weights, double* scores) {
+  for (size_t j = 0; j < num_rows; ++j) {
+    scores[j] = DotContiguousAvx2(rows + j * rank, weights, rank);
+  }
+}
+
+/// Widens 8 bf16 lanes (u16) to 8 doubles: u16 -> u32 << 16 reinterpreted
+/// as float32 (exact), then converted to float64 (exact).
+inline void WidenBf16x8(const Bf16* x, __m256d* lo, __m256d* hi) {
+  const __m128i raw =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(x));
+  const __m256i fbits =
+      _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16);
+  const __m256 f32 = _mm256_castsi256_ps(fbits);
+  *lo = _mm256_cvtps_pd(_mm256_castps256_ps128(f32));
+  *hi = _mm256_cvtps_pd(_mm256_extractf128_ps(f32, 1));
+}
+
+double Bf16DotAvx2(const Bf16* x, const double* weights, size_t n) {
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    __m256d lo, hi;
+    WidenBf16x8(x + i, &lo, &hi);
+    acc_a = _mm256_add_pd(acc_a,
+                          _mm256_mul_pd(lo, _mm256_loadu_pd(weights + i)));
+    acc_b = _mm256_add_pd(
+        acc_b, _mm256_mul_pd(hi, _mm256_loadu_pd(weights + i + 4)));
+  }
+  alignas(32) double p[8];
+  _mm256_store_pd(p, acc_a);
+  _mm256_store_pd(p + 4, acc_b);
+  for (; i < n; ++i) p[i - n8] += detail::Bf16ToF64(x[i]) * weights[i];
+  return detail::CombinePartials8(p);
+}
+
+void TopKScoreBlockBf16Avx2(const Bf16* rows, size_t num_rows, size_t rank,
+                            const double* weights, double* scores) {
+  for (size_t j = 0; j < num_rows; ++j) {
+    scores[j] = Bf16DotAvx2(rows + j * rank, weights, rank);
+  }
+}
+
+double I8DotAvx2(const int8_t* x, const double* wscaled, size_t n) {
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + i));
+    const __m256i i32 = _mm256_cvtepi8_epi32(raw);
+    const __m256d lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(i32));
+    const __m256d hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(i32, 1));
+    acc_a = _mm256_add_pd(acc_a,
+                          _mm256_mul_pd(lo, _mm256_loadu_pd(wscaled + i)));
+    acc_b = _mm256_add_pd(
+        acc_b, _mm256_mul_pd(hi, _mm256_loadu_pd(wscaled + i + 4)));
+  }
+  alignas(32) double p[8];
+  _mm256_store_pd(p, acc_a);
+  _mm256_store_pd(p + 4, acc_b);
+  for (; i < n; ++i) {
+    p[i - n8] += static_cast<double>(x[i]) * wscaled[i];
+  }
+  return detail::CombinePartials8(p);
+}
+
+void TopKScoreBlockI8Avx2(const int8_t* rows, size_t num_rows, size_t rank,
+                          const double* wscaled, double* scores) {
+  for (size_t j = 0; j < num_rows; ++j) {
+    scores[j] = I8DotAvx2(rows + j * rank, wscaled, rank);
+  }
+}
+
+void F64ToBf16Plain(const double* src, size_t n, Bf16* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = detail::F64ToBf16(src[i]);
+}
+
+void Bf16ToF64Plain(const Bf16* src, size_t n, double* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = detail::Bf16ToF64(src[i]);
+}
+
+}  // namespace
+
+const KernelTable& Avx2Kernels() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.backend = Backend::kAvx2;
+    t.mttkrp_row = MttkrpRowAvx2;
+    t.hadamard_combine = HadamardCombineAvx2;
+    t.gram_rank_update = GramRankUpdateAvx2;
+    t.dot_strided = DotStridedAvx2;
+    t.topk_score_block = TopKScoreBlockAvx2;
+    t.f64_to_bf16 = F64ToBf16Plain;
+    t.bf16_to_f64 = Bf16ToF64Plain;
+    t.bf16_dot = Bf16DotAvx2;
+    t.topk_score_block_bf16 = TopKScoreBlockBf16Avx2;
+    t.i8_dot = I8DotAvx2;
+    t.topk_score_block_i8 = TopKScoreBlockI8Avx2;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace dismastd
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,193 @@
+// AVX-512 kernel backend. Compiled with -mavx512f -mavx512bw -mavx512dq
+// -mavx512vl -ffp-contract=off (see src/CMakeLists.txt). Like the AVX2
+// backend it never uses FMA: element-wise kernels are lane-parallel over
+// independent outputs and reductions keep one 8-lane accumulator whose
+// lanes are exactly the blocked-8 partial sums, reduced 512 -> 256 -> 128
+// -> 64 in the contract's combine-tree order.
+
+#include "kernels/kernels_detail.h"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+namespace dismastd {
+namespace kernels {
+namespace {
+
+/// Reduces an 8-lane accumulator plus a scalar tail. The lanes of `acc`
+/// are the blocked-8 partials p0..p7; spilling and reusing
+/// CombinePartials8 keeps the combine tree identical to every backend.
+inline double ReduceWithTail(__m512d acc, const double* x, size_t incx,
+                             const double* y, size_t incy, size_t n,
+                             size_t n8) {
+  alignas(64) double p[8];
+  _mm512_store_pd(p, acc);
+  for (size_t i = n8; i < n; ++i) {
+    p[i - n8] += x[i * incx] * y[i * incy];
+  }
+  return detail::CombinePartials8(p);
+}
+
+void MttkrpRowAvx512(double value, const double* const* rows, size_t num_rows,
+                     size_t rank, double* out) {
+  const size_t r8 = rank & ~static_cast<size_t>(7);
+  size_t f = 0;
+  for (; f < r8; f += 8) {
+    __m512d v = _mm512_set1_pd(value);
+    for (size_t m = 0; m < num_rows; ++m) {
+      v = _mm512_mul_pd(v, _mm512_loadu_pd(rows[m] + f));
+    }
+    _mm512_storeu_pd(out + f, _mm512_add_pd(_mm512_loadu_pd(out + f), v));
+  }
+  for (; f < rank; ++f) {
+    double v = value;
+    for (size_t m = 0; m < num_rows; ++m) v *= rows[m][f];
+    out[f] += v;
+  }
+}
+
+void HadamardCombineAvx512(const double* const* rows, size_t num_rows,
+                           size_t rank, double* out) {
+  const size_t r8 = rank & ~static_cast<size_t>(7);
+  size_t f = 0;
+  for (; f < r8; f += 8) {
+    __m512d v = _mm512_set1_pd(1.0);
+    for (size_t m = 0; m < num_rows; ++m) {
+      v = _mm512_mul_pd(v, _mm512_loadu_pd(rows[m] + f));
+    }
+    _mm512_storeu_pd(out + f, v);
+  }
+  for (; f < rank; ++f) {
+    double v = 1.0;
+    for (size_t m = 0; m < num_rows; ++m) v *= rows[m][f];
+    out[f] = v;
+  }
+}
+
+void GramRankUpdateAvx512(const double* x, const double* y, size_t rank,
+                          double* out) {
+  const size_t r8 = rank & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < rank; ++i) {
+    const double xi = x[i];
+    const __m512d vx = _mm512_set1_pd(xi);
+    double* row = out + i * rank;
+    size_t j = 0;
+    for (; j < r8; j += 8) {
+      const __m512d prod = _mm512_mul_pd(vx, _mm512_loadu_pd(y + j));
+      _mm512_storeu_pd(row + j,
+                       _mm512_add_pd(_mm512_loadu_pd(row + j), prod));
+    }
+    for (; j < rank; ++j) row[j] += xi * y[j];
+  }
+}
+
+double DotContiguousAvx512(const double* x, const double* y, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  for (size_t i = 0; i < n8; i += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i)));
+  }
+  return ReduceWithTail(acc, x, 1, y, 1, n, n8);
+}
+
+double DotStridedAvx512(const double* x, size_t incx, const double* y,
+                        size_t incy, size_t n) {
+  if (incx == 1 && incy == 1) return DotContiguousAvx512(x, y, n);
+  return detail::DotBlocked(x, incx, y, incy, n);
+}
+
+void TopKScoreBlockAvx512(const double* rows, size_t num_rows, size_t rank,
+                          const double* weights, double* scores) {
+  for (size_t j = 0; j < num_rows; ++j) {
+    scores[j] = DotContiguousAvx512(rows + j * rank, weights, rank);
+  }
+}
+
+/// Widens 8 bf16 lanes to 8 doubles: u16 -> u32 << 16 reinterpreted as
+/// float32 (exact), then converted to float64 (exact).
+inline __m512d WidenBf16x8(const Bf16* x) {
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x));
+  const __m256i fbits = _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16);
+  return _mm512_cvtps_pd(_mm256_castsi256_ps(fbits));
+}
+
+double Bf16DotAvx512(const Bf16* x, const double* weights, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(WidenBf16x8(x + i), _mm512_loadu_pd(weights + i)));
+  }
+  alignas(64) double p[8];
+  _mm512_store_pd(p, acc);
+  for (; i < n; ++i) p[i - n8] += detail::Bf16ToF64(x[i]) * weights[i];
+  return detail::CombinePartials8(p);
+}
+
+void TopKScoreBlockBf16Avx512(const Bf16* rows, size_t num_rows, size_t rank,
+                              const double* weights, double* scores) {
+  for (size_t j = 0; j < num_rows; ++j) {
+    scores[j] = Bf16DotAvx512(rows + j * rank, weights, rank);
+  }
+}
+
+double I8DotAvx512(const int8_t* x, const double* wscaled, size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  const size_t n8 = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < n8; i += 8) {
+    const __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + i));
+    const __m512d v = _mm512_cvtepi32_pd(_mm256_cvtepi8_epi32(raw));
+    acc = _mm512_add_pd(acc,
+                        _mm512_mul_pd(v, _mm512_loadu_pd(wscaled + i)));
+  }
+  alignas(64) double p[8];
+  _mm512_store_pd(p, acc);
+  for (; i < n; ++i) p[i - n8] += static_cast<double>(x[i]) * wscaled[i];
+  return detail::CombinePartials8(p);
+}
+
+void TopKScoreBlockI8Avx512(const int8_t* rows, size_t num_rows, size_t rank,
+                            const double* wscaled, double* scores) {
+  for (size_t j = 0; j < num_rows; ++j) {
+    scores[j] = I8DotAvx512(rows + j * rank, wscaled, rank);
+  }
+}
+
+void F64ToBf16Plain(const double* src, size_t n, Bf16* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = detail::F64ToBf16(src[i]);
+}
+
+void Bf16ToF64Plain(const Bf16* src, size_t n, double* dst) {
+  for (size_t i = 0; i < n; ++i) dst[i] = detail::Bf16ToF64(src[i]);
+}
+
+}  // namespace
+
+const KernelTable& Avx512Kernels() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.backend = Backend::kAvx512;
+    t.mttkrp_row = MttkrpRowAvx512;
+    t.hadamard_combine = HadamardCombineAvx512;
+    t.gram_rank_update = GramRankUpdateAvx512;
+    t.dot_strided = DotStridedAvx512;
+    t.topk_score_block = TopKScoreBlockAvx512;
+    t.f64_to_bf16 = F64ToBf16Plain;
+    t.bf16_to_f64 = Bf16ToF64Plain;
+    t.bf16_dot = Bf16DotAvx512;
+    t.topk_score_block_bf16 = TopKScoreBlockBf16Avx512;
+    t.i8_dot = I8DotAvx512;
+    t.topk_score_block_i8 = TopKScoreBlockI8Avx512;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace dismastd
+
+#endif  // defined(__AVX512F__)

@@ -14,7 +14,8 @@ uint64_t ModelStore::PublishModel(KruskalTensor factors, uint64_t step) {
   // mutex but before the exclusive swap lock: readers keep querying the
   // previous version the whole time.
   std::shared_ptr<const ServableModel> model =
-      ServableModel::Build(std::move(factors), version, step);
+      ServableModel::Build(std::move(factors), version, step,
+                           options_.servable);
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     retained_.push_back(model);

@@ -22,6 +22,10 @@ struct ModelStoreOptions {
   /// memory is released once the last in-flight query drops its reference.
   /// Must be >= 1.
   size_t keep_depth = 4;
+
+  /// Which quantized factor copies every publish materializes alongside
+  /// the fp64 factors (forwarded to ServableModel::Build).
+  ServableBuildOptions servable;
 };
 
 /// Versioned store of published CP models (RCU-style swap).

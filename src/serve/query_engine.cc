@@ -73,8 +73,7 @@ Result<std::vector<double>> QueryEngine::PredictBatch(
   return values;
 }
 
-Result<std::vector<ScoredIndex>> QueryEngine::TopK(
-    const TopKQuery& query) const {
+Result<TopKResult> QueryEngine::TopKWithBound(const TopKQuery& query) const {
   obs::SpanTimer timer(tracer_, "topk", "serve");
   Result<std::shared_ptr<const ServableModel>> snapshot = Snapshot();
   if (!snapshot.ok()) return snapshot.status();
@@ -100,10 +99,18 @@ Result<std::vector<ScoredIndex>> QueryEngine::TopK(
     }
   }
 
-  std::vector<ScoredIndex> top =
-      model.TopK(query.target_mode, query.anchor, query.k);
+  Result<TopKResult> top = model.TopKWithPrecision(
+      query.target_mode, query.anchor, query.k, query.precision);
+  if (!top.ok()) return top.status();
   Record(QueryType::kTopK, timer.Stop(), model);
   return top;
+}
+
+Result<std::vector<ScoredIndex>> QueryEngine::TopK(
+    const TopKQuery& query) const {
+  Result<TopKResult> result = TopKWithBound(query);
+  if (!result.ok()) return result.status();
+  return std::move(result.value().items);
 }
 
 }  // namespace serve

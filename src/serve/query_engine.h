@@ -16,11 +16,14 @@ namespace serve {
 
 /// A top-K recommendation request: pin every mode to `anchor[n]` except
 /// `target_mode`, rank that mode's slices. anchor[target_mode] is ignored
-/// (conventionally 0).
+/// (conventionally 0). `precision` picks which factor representation the
+/// candidate scan reads (f64 is exact; bf16/int8 are bandwidth-dense with
+/// a reported score error bound).
 struct TopKQuery {
   size_t target_mode = 1;
   std::vector<uint64_t> anchor;
   size_t k = 10;
+  Precision precision = Precision::kF64;
 };
 
 /// Concurrent read path over a ModelStore.
@@ -54,8 +57,14 @@ class QueryEngine {
 
   /// Top-K recommendation (see TopKQuery). `query.anchor` must have
   /// order() entries with every non-target entry in bounds, k >= 1, and
-  /// target_mode < order().
+  /// target_mode < order(). Honors query.precision; returns just the
+  /// ranked items — use TopKWithBound to also get the error bound.
   Result<std::vector<ScoredIndex>> TopK(const TopKQuery& query) const;
+
+  /// Like TopK but returns the full TopKResult: items, the precision the
+  /// scan ran at, and the guaranteed |score_quant - score_f64| bound
+  /// (0 for f64).
+  Result<TopKResult> TopKWithBound(const TopKQuery& query) const;
 
   /// Batch shards smaller than this run inline even with a pool — below
   /// it, the handoff costs more than the R-flops per tuple it hides.

@@ -37,6 +37,7 @@ std::vector<QueryRecord> GenerateQueryLog(const std::vector<uint64_t>& dims,
       record.topk.anchor = sample_tuple();
       record.topk.anchor[options.topk_target_mode] = 0;
       record.topk.k = options.k;
+      record.topk.precision = options.topk_precision;
     } else if (draw < options.topk_fraction + options.batch_fraction) {
       record.type = QueryType::kBatch;
       record.indices.reserve(options.batch_size);

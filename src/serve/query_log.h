@@ -28,6 +28,8 @@ struct QueryLogOptions {
   size_t k = 10;
   /// Mode ranked by top-K queries (the "recommend products" axis).
   size_t topk_target_mode = 1;
+  /// Precision the generated top-K queries request (f64/bf16/int8).
+  Precision topk_precision = Precision::kF64;
   /// Zipf exponent skewing which rows are queried — real serving traffic
   /// concentrates on head users/items. 0 = uniform.
   double skew = 0.8;

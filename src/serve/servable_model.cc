@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "kernels/kernels.h"
 #include "la/ops.h"
 
 namespace dismastd {
@@ -32,10 +33,51 @@ uint64_t FingerprintFactors(const KruskalTensor& factors) {
   return hash;
 }
 
+/// Partial-sorts the best k of `scores` with deterministic index
+/// tie-breaking (shared by all precisions).
+std::vector<ScoredIndex> SelectTopK(const std::vector<double>& scores,
+                                    size_t k) {
+  std::vector<ScoredIndex> scored(scores.size());
+  for (size_t j = 0; j < scores.size(); ++j) {
+    scored[j] = {static_cast<uint64_t>(j), scores[j]};
+  }
+  k = std::min(k, scored.size());
+  const auto better = [](const ScoredIndex& a, const ScoredIndex& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  };
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(k),
+                    scored.end(), better);
+  scored.resize(k);
+  return scored;
+}
+
 }  // namespace
 
+const char* PrecisionName(Precision precision) {
+  switch (precision) {
+    case Precision::kF64:
+      return "f64";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+Result<Precision> ParsePrecision(const std::string& text) {
+  if (text == "f64" || text == "fp64") return Precision::kF64;
+  if (text == "bf16") return Precision::kBf16;
+  if (text == "int8" || text == "i8") return Precision::kInt8;
+  return Status::InvalidArgument("unknown precision '" + text +
+                                 "' (expected f64|bf16|int8)");
+}
+
 ServableModel::ServableModel(KruskalTensor factors, uint64_t version,
-                             uint64_t step)
+                             uint64_t step,
+                             const ServableBuildOptions& options)
     : factors_(std::move(factors)),
       dims_(factors_.dims()),
       version_(version),
@@ -59,17 +101,49 @@ ServableModel::ServableModel(KruskalTensor factors, uint64_t version,
   }
   norm_squared_ = SumAll(acc);
   fingerprint_ = FingerprintFactors(factors_);
+
+  if (options.publish_bf16) {
+    bf16_factors_.reserve(n);
+    for (size_t mode = 0; mode < n; ++mode) {
+      bf16_factors_.push_back(kernels::QuantizeBf16(factors_.factor(mode)));
+    }
+    has_bf16_ = true;
+  } else {
+    bf16_factors_.resize(n);
+  }
+  if (options.publish_int8) {
+    int8_factors_.reserve(n);
+    for (size_t mode = 0; mode < n; ++mode) {
+      int8_factors_.push_back(kernels::QuantizeInt8(factors_.factor(mode)));
+    }
+    has_int8_ = true;
+  } else {
+    int8_factors_.resize(n);
+  }
 }
 
 std::shared_ptr<const ServableModel> ServableModel::Build(
-    KruskalTensor factors, uint64_t version, uint64_t step) {
+    KruskalTensor factors, uint64_t version, uint64_t step,
+    const ServableBuildOptions& options) {
   DISMASTD_CHECK(factors.order() > 0);
   return std::shared_ptr<const ServableModel>(
-      new ServableModel(std::move(factors), version, step));
+      new ServableModel(std::move(factors), version, step, options));
 }
 
 uint64_t ServableModel::ComputeFingerprint() const {
   return FingerprintFactors(factors_);
+}
+
+bool ServableModel::HasPrecision(Precision precision) const {
+  switch (precision) {
+    case Precision::kF64:
+      return true;
+    case Precision::kBf16:
+      return has_bf16_;
+    case Precision::kInt8:
+      return has_int8_;
+  }
+  return false;
 }
 
 Status ServableModel::ValidateIndex(
@@ -93,14 +167,63 @@ Status ServableModel::ValidateIndex(
 std::vector<double> ServableModel::CombinationWeights(
     size_t target_mode, const std::vector<uint64_t>& anchor) const {
   const size_t r = rank();
-  std::vector<double> weights(r, 1.0);
-  for (size_t n = 0; n < order(); ++n) {
-    if (n == target_mode) continue;
-    const double* row =
-        factors_.factor(n).RowPtr(static_cast<size_t>(anchor[n]));
-    for (size_t f = 0; f < r; ++f) weights[f] *= row[f];
+  const size_t n = order();
+  std::vector<const double*> rows;
+  rows.reserve(n);
+  for (size_t m = 0; m < n; ++m) {
+    if (m == target_mode) continue;
+    rows.push_back(
+        factors_.factor(m).RowPtr(static_cast<size_t>(anchor[m])));
   }
+  std::vector<double> weights(r);
+  kernels::Get().hadamard_combine(rows.data(), rows.size(), r,
+                                  weights.data());
   return weights;
+}
+
+double ServableModel::ScoreCandidates(size_t target_mode,
+                                      const std::vector<double>& weights,
+                                      Precision precision,
+                                      std::vector<double>* scores) const {
+  const kernels::KernelTable& kern = kernels::Get();
+  const size_t r = rank();
+  const size_t candidates = static_cast<size_t>(dims_[target_mode]);
+  scores->resize(candidates);
+  switch (precision) {
+    case Precision::kF64: {
+      const Matrix& target = factors_.factor(target_mode);
+      kern.topk_score_block(target.data(), candidates, r, weights.data(),
+                            scores->data());
+      return 0.0;
+    }
+    case Precision::kBf16: {
+      const kernels::Bf16Matrix& target = bf16_factors_[target_mode];
+      kern.topk_score_block_bf16(target.data.data(), candidates, r,
+                                 weights.data(), scores->data());
+      double bound = 0.0;
+      for (size_t f = 0; f < r; ++f) {
+        bound += std::abs(weights[f]) * target.col_max_abs_err[f];
+      }
+      return bound;
+    }
+    case Precision::kInt8: {
+      const kernels::Int8Matrix& target = int8_factors_[target_mode];
+      // Fold the per-column dequantization scale into the weights once;
+      // the scan then reads raw int8 codes.
+      std::vector<double> wscaled(r);
+      for (size_t f = 0; f < r; ++f) {
+        wscaled[f] = weights[f] * target.col_scale[f];
+      }
+      kern.topk_score_block_i8(target.data.data(), candidates, r,
+                               wscaled.data(), scores->data());
+      double bound = 0.0;
+      for (size_t f = 0; f < r; ++f) {
+        bound += std::abs(weights[f]) * target.col_max_abs_err[f];
+      }
+      return bound;
+    }
+  }
+  return 0.0;
 }
 
 std::vector<ScoredIndex> ServableModel::TopK(
@@ -108,28 +231,29 @@ std::vector<ScoredIndex> ServableModel::TopK(
     size_t k) const {
   const std::vector<double> weights =
       CombinationWeights(target_mode, anchor);
-  const Matrix& target = factors_.factor(target_mode);
-  const size_t candidates = target.rows();
-  const size_t r = rank();
+  std::vector<double> scores;
+  ScoreCandidates(target_mode, weights, Precision::kF64, &scores);
+  return SelectTopK(scores, k);
+}
 
-  std::vector<ScoredIndex> scored(candidates);
-  for (size_t j = 0; j < candidates; ++j) {
-    const double* row = target.RowPtr(j);
-    double score = 0.0;
-    for (size_t f = 0; f < r; ++f) score += row[f] * weights[f];
-    scored[j] = {static_cast<uint64_t>(j), score};
+Result<TopKResult> ServableModel::TopKWithPrecision(
+    size_t target_mode, const std::vector<uint64_t>& anchor, size_t k,
+    Precision precision) const {
+  if (!HasPrecision(precision)) {
+    return Status::FailedPrecondition(
+        std::string("model version ") + std::to_string(version_) +
+        " was published without a " + PrecisionName(precision) +
+        " factor copy");
   }
-
-  k = std::min(k, candidates);
-  const auto better = [](const ScoredIndex& a, const ScoredIndex& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.index < b.index;
-  };
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<ptrdiff_t>(k),
-                    scored.end(), better);
-  scored.resize(k);
-  return scored;
+  const std::vector<double> weights =
+      CombinationWeights(target_mode, anchor);
+  std::vector<double> scores;
+  TopKResult result;
+  result.precision = precision;
+  result.score_error_bound =
+      ScoreCandidates(target_mode, weights, precision, &scores);
+  result.items = SelectTopK(scores, k);
+  return result;
 }
 
 }  // namespace serve

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "kernels/quantized.h"
 #include "la/matrix.h"
 #include "tensor/kruskal.h"
 
@@ -23,6 +25,37 @@ struct ScoredIndex {
   }
 };
 
+/// Numeric representation a query scores candidates from. fp64 is the
+/// source of truth; bf16/int8 are bandwidth-dense side-car copies carried
+/// by the published model (4x / 8x less factor-row traffic) with a
+/// per-query error bound.
+enum class Precision : int {
+  kF64 = 0,
+  kBf16 = 1,
+  kInt8 = 2,
+};
+
+const char* PrecisionName(Precision precision);
+Result<Precision> ParsePrecision(const std::string& text);
+
+/// A top-K answer plus the precision it was computed at and a guaranteed
+/// bound on how far any reported score can be from the fp64 score of the
+/// same candidate: |score_quant - score_f64| <= score_error_bound
+/// (0 for fp64). The bound is Σ_f |w_f| · max-col-abs-err_f, computed from
+/// the exact per-column quantization errors recorded at publish time.
+struct TopKResult {
+  std::vector<ScoredIndex> items;
+  Precision precision = Precision::kF64;
+  double score_error_bound = 0.0;
+};
+
+/// Controls which quantized factor copies Build() materializes alongside
+/// the fp64 factors.
+struct ServableBuildOptions {
+  bool publish_bf16 = true;
+  bool publish_int8 = true;
+};
+
 /// An immutable, query-ready published CP model.
 ///
 /// A ServableModel freezes one decomposition result (the paper's §I online
@@ -33,8 +66,13 @@ struct ScoredIndex {
 ///     queries never touch the tall factors,
 ///   - per-mode column norms ‖A_n[:,f]‖,
 ///   - the model Frobenius norm derived from the Grams,
+///   - optional bf16/int8 factor copies with exact per-column max-abs
+///     quantization error (the quantized top-K scan and its error bound),
 ///   - a fingerprint over the factor bytes, letting concurrency tests prove
 ///     a reader never observes a half-published model.
+///
+/// All scoring goes through the dispatched compute kernels
+/// (kernels::Get()); there is no hand-rolled flop loop in this class.
 ///
 /// Instances are created only through Build() and shared as
 /// `shared_ptr<const ServableModel>`; after Build returns, nothing mutates
@@ -45,9 +83,9 @@ class ServableModel {
   /// Precomputes the serving metadata and freezes the model. `factors`
   /// must be non-empty (order >= 1); `version` is assigned by the
   /// ModelStore, `step` is the streaming step the factors correspond to.
-  static std::shared_ptr<const ServableModel> Build(KruskalTensor factors,
-                                                    uint64_t version,
-                                                    uint64_t step);
+  static std::shared_ptr<const ServableModel> Build(
+      KruskalTensor factors, uint64_t version, uint64_t step,
+      const ServableBuildOptions& options = {});
 
   uint64_t version() const { return version_; }
   uint64_t step() const { return step_; }
@@ -76,8 +114,21 @@ class ServableModel {
   /// a fully-published, untouched model (no torn reads).
   uint64_t ComputeFingerprint() const;
 
+  /// Whether a quantized copy at `precision` was published with this
+  /// model. Always true for kF64.
+  bool HasPrecision(Precision precision) const;
+
+  /// The quantized copy of mode `mode` (empty if not published).
+  const kernels::Bf16Matrix& bf16_factor(size_t mode) const {
+    return bf16_factors_[mode];
+  }
+  const kernels::Int8Matrix& int8_factor(size_t mode) const {
+    return int8_factors_[mode];
+  }
+
   /// Model value at `index` (order() entries). The caller is responsible
-  /// for bounds; the query engine validates against dims() first.
+  /// for bounds; the query engine validates against dims() first. Routes
+  /// through the canonical KruskalValueAtRows implementation.
   double Predict(const uint64_t* index) const {
     return factors_.ValueAt(index);
   }
@@ -94,6 +145,14 @@ class ServableModel {
                                 const std::vector<uint64_t>& anchor,
                                 size_t k) const;
 
+  /// TopK at a chosen precision. Combination weights stay fp64 (the anchor
+  /// rows are read from the fp64 factors); only the candidate scan reads
+  /// the quantized target-mode copy. Fails with FailedPrecondition if the
+  /// requested copy was not published.
+  Result<TopKResult> TopKWithPrecision(size_t target_mode,
+                                       const std::vector<uint64_t>& anchor,
+                                       size_t k, Precision precision) const;
+
   /// The combination weights w[f] = Π_{n != target_mode} A_n[anchor[n], f]
   /// of a TopK query — exposed for the microbenchmark and brute-force
   /// test oracles.
@@ -102,7 +161,15 @@ class ServableModel {
       const;
 
  private:
-  ServableModel(KruskalTensor factors, uint64_t version, uint64_t step);
+  ServableModel(KruskalTensor factors, uint64_t version, uint64_t step,
+                const ServableBuildOptions& options);
+
+  /// Scores all candidates of `target_mode` at `precision` into `scores`
+  /// and returns the query's score error bound.
+  double ScoreCandidates(size_t target_mode,
+                         const std::vector<double>& weights,
+                         Precision precision,
+                         std::vector<double>* scores) const;
 
   KruskalTensor factors_;
   std::vector<uint64_t> dims_;
@@ -110,6 +177,10 @@ class ServableModel {
   uint64_t step_ = 0;
   std::vector<Matrix> grams_;
   std::vector<std::vector<double>> column_norms_;
+  std::vector<kernels::Bf16Matrix> bf16_factors_;
+  std::vector<kernels::Int8Matrix> int8_factors_;
+  bool has_bf16_ = false;
+  bool has_int8_ = false;
   double norm_squared_ = 0.0;
   uint64_t fingerprint_ = 0;
 };

@@ -2,9 +2,43 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
 #include "la/ops.h"
 
 namespace dismastd {
+
+namespace {
+
+/// Scratch for combination weights: stack for the common small ranks, heap
+/// beyond. Keeps ValueAt allocation-free on the hot path.
+struct WeightScratch {
+  static constexpr size_t kStackRank = 64;
+  double stack[kStackRank];
+  std::vector<double> heap;
+
+  double* Acquire(size_t rank) {
+    if (rank <= kStackRank) return stack;
+    heap.resize(rank);
+    return heap.data();
+  }
+};
+
+}  // namespace
+
+double KruskalValueAtRows(const double* const* rows, size_t num_rows,
+                          size_t rank) {
+  if (rank == 0) return 0.0;
+  const kernels::KernelTable& kern = kernels::Get();
+  if (num_rows == 0) return static_cast<double>(rank);  // empty products
+  if (num_rows == 1) {
+    const double one = 1.0;
+    return kern.dot_strided(rows[0], 1, &one, 0, rank);
+  }
+  WeightScratch scratch;
+  double* weights = scratch.Acquire(rank);
+  kern.hadamard_combine(rows, num_rows - 1, rank, weights);
+  return kern.dot_strided(weights, 1, rows[num_rows - 1], 1, rank);
+}
 
 KruskalTensor::KruskalTensor(std::vector<Matrix> factors)
     : factors_(std::move(factors)) {
@@ -39,16 +73,19 @@ DenseTensor KruskalTensor::Reconstruct() const {
 }
 
 double KruskalTensor::ValueAt(const uint64_t* index) const {
-  const size_t r = rank();
-  double sum = 0.0;
-  for (size_t f = 0; f < r; ++f) {
-    double prod = 1.0;
-    for (size_t m = 0; m < order(); ++m) {
-      prod *= factors_[m](static_cast<size_t>(index[m]), f);
-    }
-    sum += prod;
+  constexpr size_t kStackOrder = 8;
+  const size_t n = order();
+  const double* stack_rows[kStackOrder];
+  std::vector<const double*> heap_rows;
+  const double** rows = stack_rows;
+  if (n > kStackOrder) {
+    heap_rows.resize(n);
+    rows = heap_rows.data();
   }
-  return sum;
+  for (size_t m = 0; m < n; ++m) {
+    rows[m] = factors_[m].RowPtr(static_cast<size_t>(index[m]));
+  }
+  return KruskalValueAtRows(rows, n, rank());
 }
 
 double KruskalTensor::NormSquaredViaGrams() const {
@@ -63,19 +100,15 @@ double KruskalTensor::NormSquaredViaGrams() const {
 
 double KruskalTensor::InnerWithSparse(const SparseTensor& x) const {
   DISMASTD_CHECK(x.order() == order());
-  const size_t r = rank();
+  const size_t n = order();
+  std::vector<const double*> rows(n);
   double total = 0.0;
   for (size_t e = 0; e < x.nnz(); ++e) {
     const uint64_t* idx = x.IndexTuple(e);
-    double sum = 0.0;
-    for (size_t f = 0; f < r; ++f) {
-      double prod = 1.0;
-      for (size_t m = 0; m < order(); ++m) {
-        prod *= factors_[m](static_cast<size_t>(idx[m]), f);
-      }
-      sum += prod;
+    for (size_t m = 0; m < n; ++m) {
+      rows[m] = factors_[m].RowPtr(static_cast<size_t>(idx[m]));
     }
-    total += x.Value(e) * sum;
+    total += x.Value(e) * KruskalValueAtRows(rows.data(), n, rank());
   }
   return total;
 }

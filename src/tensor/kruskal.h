@@ -55,6 +55,13 @@ class KruskalTensor {
 /// (A_1ᵀB_1) * ... * (A_NᵀB_N). Used by the paper's L^(0,0,0) loss term.
 double KruskalInner(const KruskalTensor& a, const KruskalTensor& b);
 
+/// The canonical Hadamard-dot evaluation Σ_f Π_m rows[m][f], routed
+/// through the dispatched compute kernels. Both KruskalTensor::ValueAt and
+/// ServableModel point predictions call this — it is the single
+/// implementation of brute-force Kruskal scoring.
+double KruskalValueAtRows(const double* const* rows, size_t num_rows,
+                          size_t rank);
+
 }  // namespace dismastd
 
 #endif  // DISMASTD_TENSOR_KRUSKAL_H_

@@ -1,5 +1,6 @@
 #include "tensor/mttkrp.h"
 
+#include "kernels/kernels.h"
 #include "la/ops.h"
 #include "tensor/dense_tensor.h"
 
@@ -27,18 +28,17 @@ size_t MttkrpAccumulate(const SparseTensor& x,
   }
   DISMASTD_CHECK(out->rows() >= x.dim(mode) && out->cols() == rank);
 
-  std::vector<double> row(rank);
+  const kernels::KernelTable& kern = kernels::Get();
+  std::vector<const double*> rows(order > 0 ? order - 1 : 0);
   for (size_t e = 0; e < x.nnz(); ++e) {
     const uint64_t* idx = x.IndexTuple(e);
-    const double value = x.Value(e);
-    for (size_t f = 0; f < rank; ++f) row[f] = value;
+    size_t nr = 0;
     for (size_t m = 0; m < order; ++m) {
       if (m == mode) continue;
-      const double* frow = factors[m]->RowPtr(static_cast<size_t>(idx[m]));
-      for (size_t f = 0; f < rank; ++f) row[f] *= frow[f];
+      rows[nr++] = factors[m]->RowPtr(static_cast<size_t>(idx[m]));
     }
-    double* orow = out->RowPtr(static_cast<size_t>(idx[mode]));
-    for (size_t f = 0; f < rank; ++f) orow[f] += row[f];
+    kern.mttkrp_row(x.Value(e), rows.data(), nr, rank,
+                    out->RowPtr(static_cast<size_t>(idx[mode])));
   }
   return x.nnz();
 }

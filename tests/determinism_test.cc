@@ -10,6 +10,7 @@
 #include "core/dismastd.h"
 #include "core/dms_mg.h"
 #include "core/driver.h"
+#include "kernels/kernels.h"
 #include "stream/generator.h"
 #include "stream/snapshot.h"
 #include "test_util.h"
@@ -152,6 +153,38 @@ TEST(DeterminismTest, FaultInjectionBitIdenticalAcrossThreadCounts) {
   // The plan actually injected: this is not a vacuous comparison.
   EXPECT_GT(seq.metrics.recovery.messages_dropped, 0u);
   EXPECT_EQ(seq.metrics.recovery.crashes, 1u);
+}
+
+TEST(DeterminismTest, ForcedScalarBitIdenticalToBestKernelBackend) {
+  // The compute-kernel determinism contract at decomposition scale: a full
+  // DisMASTD run on the forced-scalar backend must be bit-identical to the
+  // best SIMD backend this host supports, across thread counts too. On a
+  // scalar-only host this degenerates to comparing scalar with itself,
+  // which keeps the test meaningful everywhere and vacuous nowhere it can
+  // help it.
+  const SparseTensor full =
+      test::MakeDenseLowRank({22, 17, 13}, 2, /*seed=*/45, 0.05).tensor;
+  const std::vector<uint64_t> old_dims = {17, 13, 10};
+  const SparseTensor delta = RelativeComplement(full, old_dims);
+  DecompositionOptions cold;
+  cold.rank = 3;
+  cold.max_iterations = 10;
+
+  ASSERT_TRUE(kernels::ForceBackend(kernels::Backend::kScalar).ok());
+  const KruskalTensor prev_scalar =
+      CpAls(RestrictToBox(full, old_dims), cold).factors;
+  const DistributedResult scalar_seq = DisMastdDecompose(
+      delta, old_dims, prev_scalar, DetOpts(PartitionerKind::kMaxMin, 1));
+
+  ASSERT_TRUE(kernels::ForceBackend(kernels::BestSupported()).ok());
+  const KruskalTensor prev_best =
+      CpAls(RestrictToBox(full, old_dims), cold).factors;
+  const DistributedResult best_par = DisMastdDecompose(
+      delta, old_dims, prev_best, DetOpts(PartitionerKind::kMaxMin, 4));
+  kernels::ResetDispatch();
+
+  ExpectFactorsIdentical(prev_scalar, prev_best);
+  ExpectResultsIdentical(scalar_seq, best_par);
 }
 
 TEST(DeterminismTest, MoreThreadsThanWorkersIsClamped) {

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/driver.h"
+#include "kernels/kernels.h"
 #include "serve/query_engine.h"
 #include "serve/serve_session.h"
 #include "stream/generator.h"
@@ -127,11 +128,12 @@ std::vector<ScoredIndex> BruteForceTopK(const ServableModel& model,
       model.CombinationWeights(target_mode, anchor);
   const Matrix& target = model.factors().factor(target_mode);
   std::vector<ScoredIndex> scored;
+  // Score through the canonical kernel dot so the comparison below can be
+  // exact: the scan and this rescore share the blocked-8 reduction order.
   for (uint64_t j = 0; j < model.dims()[target_mode]; ++j) {
-    double score = 0.0;
-    for (size_t f = 0; f < model.rank(); ++f) {
-      score += target(static_cast<size_t>(j), f) * weights[f];
-    }
+    const double score = kernels::Get().dot_strided(
+        target.RowPtr(static_cast<size_t>(j)), 1, weights.data(), 1,
+        model.rank());
     scored.push_back({j, score});
   }
   std::sort(scored.begin(), scored.end(),

@@ -154,6 +154,58 @@ TEST(ServableModelTest, TopKScoresAreCombinationWeightsDotRows) {
   }
 }
 
+TEST(ServableModelTest, QuantizedCopiesFollowBuildOptions) {
+  const KruskalTensor factors = MakeFactors(12);
+  const auto full = ServableModel::Build(factors, 1, 0);
+  EXPECT_TRUE(full->HasPrecision(Precision::kF64));
+  EXPECT_TRUE(full->HasPrecision(Precision::kBf16));
+  EXPECT_TRUE(full->HasPrecision(Precision::kInt8));
+
+  ServableBuildOptions f64_only;
+  f64_only.publish_bf16 = false;
+  f64_only.publish_int8 = false;
+  const auto lean = ServableModel::Build(factors, 1, 0, f64_only);
+  EXPECT_TRUE(lean->HasPrecision(Precision::kF64));
+  EXPECT_FALSE(lean->HasPrecision(Precision::kBf16));
+  EXPECT_FALSE(lean->HasPrecision(Precision::kInt8));
+  const Result<TopKResult> refused =
+      lean->TopKWithPrecision(1, {0, 0, 0}, 3, Precision::kBf16);
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST(ServableModelTest, QuantizedTopKScoresWithinReportedBound) {
+  const KruskalTensor factors = MakeFactors(13, {20, 40, 6}, 4);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  const std::vector<uint64_t> anchor = {3, 0, 2};
+  const size_t candidates = 40;  // rank every candidate so none is hidden
+  const Result<TopKResult> exact =
+      model->TopKWithPrecision(1, anchor, candidates, Precision::kF64);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value().score_error_bound, 0.0);
+
+  for (Precision precision : {Precision::kBf16, Precision::kInt8}) {
+    const Result<TopKResult> quant =
+        model->TopKWithPrecision(1, anchor, candidates, precision);
+    ASSERT_TRUE(quant.ok()) << PrecisionName(precision);
+    EXPECT_EQ(quant.value().precision, precision);
+    const double bound = quant.value().score_error_bound;
+    EXPECT_GT(bound, 0.0);
+
+    // Index the exact scores and check each quantized score against its
+    // candidate's exact score: |s_quant - s_f64| <= bound for every item.
+    std::vector<double> exact_by_index(candidates, 0.0);
+    for (const ScoredIndex& entry : exact.value().items) {
+      exact_by_index[static_cast<size_t>(entry.index)] = entry.score;
+    }
+    for (const ScoredIndex& entry : quant.value().items) {
+      const double f64_score =
+          exact_by_index[static_cast<size_t>(entry.index)];
+      EXPECT_LE(std::abs(entry.score - f64_score), bound * (1.0 + 1e-12))
+          << PrecisionName(precision) << " index " << entry.index;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace dismastd

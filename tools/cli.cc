@@ -1,11 +1,14 @@
 #include "tools/cli.h"
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <ostream>
 #include <thread>
 
 #include "common/string_util.h"
 #include "core/driver.h"
+#include "kernels/kernels.h"
 #include "ingest/event_log.h"
 #include "ingest/ingest_session.h"
 #include "obs/metrics.h"
@@ -212,6 +215,7 @@ Status CmdInfoEventLog(const std::string& path, std::ostream& out) {
 }
 
 Status CmdInfo(const Args& args, std::ostream& out) {
+  out << "kernels : " << kernels::DispatchExplanation() << "\n";
   const std::string input = args.Get("input");
   Result<bool> is_event_log = ingest::IsEventLogFile(input);
   if (!is_event_log.ok()) return is_event_log.status();
@@ -580,6 +584,7 @@ Status CmdStream(const Args& args, std::ostream& out) {
 
   out << MethodLabel(method, options.partitioner) << " on "
       << options.num_workers << " workers\n";
+  out << "kernels : " << kernels::DispatchExplanation() << "\n";
   out << "step  snapshot_nnz  processed_nnz  s/iter(sim)  fit\n";
   char line[128];
   for (const StreamStepMetrics& m : metrics) {
@@ -725,6 +730,12 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   log_options.batch_size = static_cast<size_t>(batch.value());
   log_options.topk_target_mode = stream.DimsAt(0).size() > 1 ? 1 : 0;
   log_options.seed = options.als.seed;
+  if (args.Has("precision")) {
+    Result<serve::Precision> precision =
+        serve::ParsePrecision(args.Get("precision"));
+    if (!precision.ok()) return precision.status();
+    log_options.topk_precision = precision.value();
+  }
   const std::vector<serve::QueryRecord> log =
       serve::GenerateQueryLog(stream.DimsAt(0), log_options);
 
@@ -746,11 +757,60 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   out << MethodLabel(method_kind.value(), options.partitioner) << " on "
       << options.num_workers << " workers, " << clients.value()
       << " query clients\n";
+  out << "kernels : " << kernels::DispatchExplanation() << "\n";
+  out << "topk precision     : "
+      << serve::PrecisionName(log_options.topk_precision) << "\n";
   out << "versions published : " << session.store().num_published() << "\n";
   out << "retained versions  :";
   for (uint64_t v : session.store().RetainedVersions()) out << " v" << v;
   out << "\nqueries answered   : " << stats.answered << " (" << stats.failed
-      << " failed)\n\n";
+      << " failed)\n";
+
+  // Quantized-serving error report: for each published quantized copy,
+  // replay a sample of the log's top-K anchors at that precision and
+  // compare every returned score against the exact fp64 score of the same
+  // candidate (Predict of the completed index tuple). The measured error
+  // must sit inside the model's analytic per-query bound.
+  if (const auto model = session.store().Current(); model != nullptr) {
+    for (const serve::Precision precision :
+         {serve::Precision::kBf16, serve::Precision::kInt8}) {
+      if (!model->HasPrecision(precision)) continue;
+      double max_abs = 0.0, max_rel = 0.0, max_bound = 0.0;
+      uint64_t sampled = 0;
+      for (const serve::QueryRecord& record : log) {
+        if (record.type != serve::QueryType::kTopK) continue;
+        if (sampled >= 32) break;
+        if (record.topk.target_mode >= model->order() ||
+            record.topk.anchor.size() != model->order()) {
+          continue;
+        }
+        Result<serve::TopKResult> quant = model->TopKWithPrecision(
+            record.topk.target_mode, record.topk.anchor, record.topk.k,
+            precision);
+        if (!quant.ok()) continue;
+        ++sampled;
+        max_bound = std::max(max_bound, quant.value().score_error_bound);
+        std::vector<uint64_t> tuple = record.topk.anchor;
+        for (const serve::ScoredIndex& item : quant.value().items) {
+          tuple[record.topk.target_mode] = item.index;
+          const double exact = model->Predict(tuple.data());
+          const double err = std::abs(item.score - exact);
+          max_abs = std::max(max_abs, err);
+          if (exact != 0.0) {
+            max_rel = std::max(max_rel, err / std::abs(exact));
+          }
+        }
+      }
+      char qline[160];
+      std::snprintf(qline, sizeof(qline),
+                    "quantized %-4s     : max |dscore| %.3e (bound %.3e), "
+                    "max rel %.3e over %llu queries",
+                    serve::PrecisionName(precision), max_abs, max_bound,
+                    max_rel, (unsigned long long)sampled);
+      out << qline << "\n";
+    }
+  }
+  out << "\n";
   out << session.metrics().Report().ToString();
   if (obs_sinks.metrics != nullptr) {
     session.metrics().PublishTo(obs_sinks.metrics.get());
@@ -791,6 +851,11 @@ std::string UsageText() {
       "dismastd_cli — distributed multi-aspect streaming tensor "
       "decomposition\n"
       "\n"
+      "global flags:\n"
+      "  --kernel scalar|avx2|avx512   force the compute-kernel backend\n"
+      "                  (default: best CPUID-supported; DISMASTD_KERNEL\n"
+      "                  env var overrides the default the same way)\n"
+      "\n"
       "commands:\n"
       "  generate        --output F --dims IxJxK --nnz N [--zipf a,b,c]\n"
       "                  [--rank R --noise S] [--seed N]\n"
@@ -825,6 +890,7 @@ std::string UsageText() {
       "                  [--lateness TICKS]\n"
       "  serve-bench     --input F [stream flags above]\n"
       "                  [--queries N --clients C --k K --batch B]\n"
+      "                  [--precision f64|bf16|int8]  (top-K scan factors)\n"
       "                  [--keep-depth D] [--warm-checkpoint F]\n"
       "                  [--trace-out F.json] [--metrics-out F.prom]\n"
       "  partition-stats --input F [--parts 8x15x23] [--partitioner "
@@ -839,6 +905,15 @@ Status RunCli(int argc, const char* const* argv, std::ostream& out) {
     return parsed.status();
   }
   const Args& args = parsed.value();
+  // Global --kernel override (every command computes through the kernel
+  // table): force the backend before any work happens. The environment
+  // (DISMASTD_KERNEL) is honored by the default dispatch itself.
+  if (args.Has("kernel")) {
+    Result<kernels::Backend> backend =
+        kernels::ParseBackend(args.Get("kernel"));
+    if (!backend.ok()) return backend.status();
+    DISMASTD_RETURN_IF_ERROR(kernels::ForceBackend(backend.value()));
+  }
   if (args.command == "generate") return CmdGenerate(args, out);
   if (args.command == "info") return CmdInfo(args, out);
   if (args.command == "decompose") return CmdDecompose(args, out);
