@@ -70,6 +70,44 @@ inline std::vector<DatasetSpec> ScaledPaperDatasets() {
   return specs;
 }
 
+/// The synthetic user population every serving bench and the query-log CLI
+/// path agree on: `users` Zipf(s)-distributed entities, sampled with a
+/// dedicated query seed so the population is independent of the model
+/// seed. Parsed from argv:
+///   --users=N       population size (default 1e6)
+///   --zipf-s=S      Zipf exponent; 0 = uniform (default 1.0)
+///   --query-seed=X  RNG seed for query sampling (default 7)
+/// BenchObs::FromArgs recognizes (and skips) the same flags, so harnesses
+/// can hand the full argv to both parsers.
+struct ZipfPopulation {
+  uint64_t users = 1000000;
+  double s = 1.0;
+  uint64_t seed = 7;
+
+  static bool IsPopulationFlag(const std::string& arg) {
+    return arg.rfind("--users=", 0) == 0 || arg.rfind("--zipf-s=", 0) == 0 ||
+           arg.rfind("--query-seed=", 0) == 0;
+  }
+
+  static ZipfPopulation FromArgs(int argc, const char* const* argv) {
+    ZipfPopulation population;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--users=", 0) == 0) {
+        const long long users = std::atoll(arg.c_str() + 8);
+        if (users > 0) population.users = static_cast<uint64_t>(users);
+      } else if (arg.rfind("--zipf-s=", 0) == 0) {
+        const double s = std::atof(arg.c_str() + 9);
+        if (s >= 0.0) population.s = s;
+      } else if (arg.rfind("--query-seed=", 0) == 0) {
+        population.seed = static_cast<uint64_t>(
+            std::atoll(arg.c_str() + 13));
+      }
+    }
+    return population;
+  }
+};
+
 /// Observability sinks shared by the bench harnesses, parsed from argv:
 ///   --trace-out=FILE [--trace-detail=steps|phases|workers]
 ///   --metrics-out=FILE
@@ -104,6 +142,11 @@ class BenchObs {
           std::fprintf(stderr, "%s\n", forced.message().c_str());
           std::exit(1);
         }
+      } else if (ZipfPopulation::IsPopulationFlag(arg) ||
+                 arg.rfind("--search-mode=", 0) == 0 ||
+                 arg.rfind("--probes=", 0) == 0 ||
+                 arg.rfind("--bits=", 0) == 0) {
+        // Parsed by ZipfPopulation::FromArgs / the harness itself.
       } else {
         std::fprintf(stderr, "ignoring unknown bench flag: %s\n",
                      arg.c_str());

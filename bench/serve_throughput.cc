@@ -10,10 +10,22 @@
 // it also demonstrates the overlap contract: queries are answered from
 // version t while step t+1 is being computed.
 //
+// Phase 3 is the millions-of-users ANN sweep: a synthetic recommendation
+// model with --users (default 1e6) Gaussian user rows is published once,
+// then the same Zipf-skewed audience-query trace is replayed through each
+// SearchMode (exact scan / LSH shortlist + exact re-rank / shortlist
+// behind the version-keyed result cache), reporting QPS, p50/p95/p99,
+// candidate rows scored per query, measured recall@K against the exact
+// scan, and the cache hit rate (serve_ann_sweep.csv).
+//
 // DISMASTD_BENCH_SCALE scales the tensor, DISMASTD_BENCH_THREADS the
-// decomposition engine's thread count.
+// decomposition engine's thread count. Phase-3 flags: --users, --zipf-s,
+// --query-seed (see bench_util.h) plus --bits=N (LSH code width) and
+// --probes=N (shortlist = probes * K candidates).
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
 #include <thread>
 
 #include "bench_util.h"
@@ -22,6 +34,97 @@
 #include "stream/generator.h"
 
 using namespace dismastd;
+
+namespace {
+
+/// One phase-3 sweep row: replays `num_queries` Zipf-skewed top-K audience
+/// queries through `mode`, then measures recall@K of the sampled answers
+/// against the exact scan (outside the timed loop, so the reference scan
+/// does not pollute latency or rows-scored accounting).
+struct SweepRow {
+  serve::SearchMode mode;
+  uint64_t queries = 0;
+  double qps = 0.0;
+  serve::LatencySummary topk;
+  double rows_per_query = 0.0;
+  double recall = 1.0;
+  double cache_hit_rate = 0.0;
+};
+
+SweepRow RunAnnSweep(serve::ServeSession& session,
+                     const bench::ZipfPopulation& population,
+                     serve::SearchMode mode, uint64_t num_queries,
+                     size_t probes, uint64_t items, uint64_t contexts,
+                     obs::Tracer* tracer) {
+  serve::ServeMetrics metrics;
+  const serve::QueryEngine engine(&session.store(), nullptr, &metrics,
+                                  tracer, session.cache());
+  // Every mode replays the identical anchor sequence: same seed, same
+  // Zipf draw order, so the comparison across modes is apples-to-apples.
+  Rng rng(population.seed);
+  const ZipfSampler item_zipf(items, population.s);
+
+  serve::TopKQuery query;
+  query.target_mode = 0;
+  query.k = 10;
+  query.search = mode;
+  query.probes = probes;
+
+  // Anchors of every 16th query are kept so recall can be measured after
+  // the clock stops.
+  std::vector<std::pair<std::vector<uint64_t>, std::vector<serve::ScoredIndex>>>
+      sampled;
+  WallTimer timer;
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    const uint64_t item = item_zipf.Sample(rng);
+    // Each item carries a habitual context, so a re-queried head item is
+    // an exact repeat — the situation the result cache exists for.
+    const uint64_t context = (item * 2654435761ULL) % contexts;
+    query.anchor = {0, item, context};
+    const Result<std::vector<serve::ScoredIndex>> answer = engine.TopK(query);
+    if (!answer.ok()) continue;
+    if (mode != serve::SearchMode::kExact && i % 16 == 0) {
+      sampled.emplace_back(query.anchor, answer.value());
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  // Recall@K of the sampled approximate answers against the exact scan.
+  const std::shared_ptr<const serve::ServableModel> model =
+      session.store().Current();
+  for (const auto& [anchor, got] : sampled) {
+    const Result<serve::TopKResult> exact =
+        model->TopKWithPrecision(0, anchor, query.k, serve::Precision::kF64);
+    if (!exact.ok()) continue;
+    std::set<uint64_t> truth;
+    for (const serve::ScoredIndex& entry : exact.value().items) {
+      truth.insert(entry.index);
+    }
+    size_t overlap = 0;
+    for (const serve::ScoredIndex& entry : got) overlap += truth.count(entry.index);
+    metrics.NoteRecallSample(truth.empty()
+                                 ? 1.0
+                                 : static_cast<double>(overlap) /
+                                       static_cast<double>(truth.size()));
+  }
+
+  const serve::ServeMetricsReport report = metrics.Report();
+  SweepRow row;
+  row.mode = mode;
+  row.queries = report.topk_by_search[static_cast<size_t>(mode)];
+  row.qps = seconds > 0.0 ? static_cast<double>(row.queries) / seconds : 0.0;
+  row.topk = report.latency[static_cast<size_t>(serve::QueryType::kTopK)];
+  row.rows_per_query =
+      row.queries > 0
+          ? static_cast<double>(report.topk_rows_scored_total) /
+                static_cast<double>(row.queries)
+          : 0.0;
+  row.recall = report.recall_samples > 0 ? report.mean_recall : 1.0;
+  row.cache_hit_rate = report.cache_hit_rate;
+  return row;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::PrintHeader("Serve throughput: versioned model store + query engine");
@@ -125,7 +228,103 @@ int main(int argc, char** argv) {
               session.metrics().Report().ToString().c_str());
   if (obs_sinks.metrics() != nullptr) {
     session.metrics().PublishTo(obs_sinks.metrics());
+    session.store().PublishTo(obs_sinks.metrics());
   }
+
+  // Phase 3: the millions-of-users ANN sweep. A synthetic recommendation
+  // model (Gaussian factors — no decomposition, mode 0 is the user
+  // population) is published once; the same Zipf audience-query trace then
+  // runs through every SearchMode.
+  const bench::ZipfPopulation population =
+      bench::ZipfPopulation::FromArgs(argc, argv);
+  size_t bits = 256;
+  size_t probes = 100;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bits=", 0) == 0) {
+      bits = std::max<size_t>(1, static_cast<size_t>(
+                                     std::atoll(arg.c_str() + 7)));
+    } else if (arg.rfind("--probes=", 0) == 0) {
+      probes = std::max<size_t>(1, static_cast<size_t>(
+                                       std::atoll(arg.c_str() + 9)));
+    }
+  }
+  const uint64_t users = std::max<uint64_t>(
+      2000, static_cast<uint64_t>(static_cast<double>(population.users) *
+                                  scale));
+  const uint64_t items = std::max<uint64_t>(
+      64, static_cast<uint64_t>(4000 * scale));
+  const uint64_t contexts = std::max<uint64_t>(
+      16, static_cast<uint64_t>(200 * scale));
+  const size_t ann_rank = 10;
+  bench::PrintHeader("ANN sweep: " + std::to_string(users) +
+                     " users, Zipf(s=" + std::to_string(population.s) +
+                     ") audience queries, " + std::to_string(bits) +
+                     "-bit LSH, shortlist = " + std::to_string(probes) +
+                     "x K");
+
+  Rng model_rng(97);
+  std::vector<Matrix> big_factors;
+  big_factors.push_back(Matrix::RandomGaussian(
+      static_cast<size_t>(users), ann_rank, model_rng));
+  big_factors.push_back(Matrix::RandomGaussian(
+      static_cast<size_t>(items), ann_rank, model_rng));
+  big_factors.push_back(Matrix::RandomGaussian(
+      static_cast<size_t>(contexts), ann_rank, model_rng));
+
+  serve::ServeSessionOptions big_options;
+  big_options.num_query_threads = 1;
+  big_options.store.servable.lsh.bits = bits;
+  big_options.tracer = obs_sinks.tracer();
+  serve::ServeSession big(big_options);
+  WallTimer publish_timer;
+  big.Publish(KruskalTensor(std::move(big_factors)), 0);
+  std::printf("model published (rank %zu, %zu-bit codes) in %.2f s\n",
+              ann_rank, bits, publish_timer.ElapsedSeconds());
+
+  const uint64_t approx_queries = std::max<uint64_t>(
+      200, static_cast<uint64_t>(4000 * scale));
+  // The exact scan reads every user row per query, so it gets a smaller
+  // (but still percentile-worthy) slice of the trace.
+  const uint64_t exact_queries = std::max<uint64_t>(
+      50, static_cast<uint64_t>(300 * scale));
+
+  bench::CsvWriter sweep_csv("serve_ann_sweep.csv");
+  sweep_csv.Row("search_mode", "users", "queries", "qps", "p50_us", "p95_us",
+                "p99_us", "rows_per_query", "recall_at_10",
+                "cache_hit_rate");
+  std::printf("%-11s %-9s %-10s %-22s %-14s %-9s %-9s\n", "mode", "queries",
+              "QPS", "p50/p95/p99 (us)", "rows/query", "recall", "cachehit");
+  for (const serve::SearchMode mode :
+       {serve::SearchMode::kExact, serve::SearchMode::kAnn,
+        serve::SearchMode::kAnnCached}) {
+    const uint64_t num_queries =
+        mode == serve::SearchMode::kExact ? exact_queries : approx_queries;
+    const SweepRow row = RunAnnSweep(big, population, mode, num_queries,
+                                     probes, items, contexts,
+                                     obs_sinks.tracer());
+    std::printf("%-11s %-9llu %-10.0f %6.0f/%6.0f/%6.0f %14.1f %9.3f %9.3f\n",
+                serve::SearchModeName(mode),
+                (unsigned long long)row.queries, row.qps,
+                row.topk.p50_seconds * 1e6, row.topk.p95_seconds * 1e6,
+                row.topk.p99_seconds * 1e6, row.rows_per_query, row.recall,
+                row.cache_hit_rate);
+    sweep_csv.Row(serve::SearchModeName(mode), users, row.queries, row.qps,
+                  row.topk.p50_seconds * 1e6, row.topk.p95_seconds * 1e6,
+                  row.topk.p99_seconds * 1e6, row.rows_per_query, row.recall,
+                  row.cache_hit_rate);
+  }
+  const std::shared_ptr<const ann::AnnIndex> index =
+      big.store().Current()->ann_index();
+  if (index != nullptr) {
+    std::printf("index: %llu rows hashed, %llu reused\n",
+                (unsigned long long)index->hashed_rows(),
+                (unsigned long long)index->reused_rows());
+  }
+  if (obs_sinks.metrics() != nullptr) {
+    big.store().PublishTo(obs_sinks.metrics());
+  }
+
   obs_sinks.Finish();
   return 0;
 }

@@ -173,6 +173,46 @@ void TopKScoreBlockI8Avx2(const int8_t* rows, size_t num_rows, size_t rank,
   }
 }
 
+/// Per-64-bit-lane popcount via the classic nibble lookup
+/// (_mm256_shuffle_epi8 against a 0..15 bit-count table, then horizontal
+/// byte sums with _mm256_sad_epu8). Exact, like every popcount.
+inline __m256i Popcount64x4(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+                                       3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2,
+                                       2, 3, 2, 3, 3, 4);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, mask));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+  return _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+}
+
+void HammingBlockAvx2(const uint64_t* codes, size_t num_rows, size_t words,
+                      const uint64_t* query, uint32_t* dists) {
+  if (words == 1) {
+    // One code word per row: distance 4 rows at a time.
+    const __m256i q = _mm256_set1_epi64x(static_cast<long long>(query[0]));
+    const size_t n4 = num_rows & ~static_cast<size_t>(3);
+    size_t j = 0;
+    for (; j < n4; j += 4) {
+      const __m256i rows = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(codes + j));
+      const __m256i counts = Popcount64x4(_mm256_xor_si256(rows, q));
+      alignas(32) uint64_t c[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(c), counts);
+      dists[j] = static_cast<uint32_t>(c[0]);
+      dists[j + 1] = static_cast<uint32_t>(c[1]);
+      dists[j + 2] = static_cast<uint32_t>(c[2]);
+      dists[j + 3] = static_cast<uint32_t>(c[3]);
+    }
+    for (; j < num_rows; ++j) {
+      dists[j] = detail::Popcount64(codes[j] ^ query[0]);
+    }
+    return;
+  }
+  detail::HammingBlockScalar(codes, num_rows, words, query, dists);
+}
+
 void F64ToBf16Plain(const double* src, size_t n, Bf16* dst) {
   for (size_t i = 0; i < n; ++i) dst[i] = detail::F64ToBf16(src[i]);
 }
@@ -198,6 +238,7 @@ const KernelTable& Avx2Kernels() {
     t.topk_score_block_bf16 = TopKScoreBlockBf16Avx2;
     t.i8_dot = I8DotAvx2;
     t.topk_score_block_i8 = TopKScoreBlockI8Avx2;
+    t.hamming_block = HammingBlockAvx2;
     return t;
   }();
   return table;

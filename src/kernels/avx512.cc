@@ -165,6 +165,38 @@ void Bf16ToF64Plain(const Bf16* src, size_t n, double* dst) {
   for (size_t i = 0; i < n; ++i) dst[i] = detail::Bf16ToF64(src[i]);
 }
 
+#if defined(DISMASTD_KERNELS_HAVE_VPOPCNTDQ)
+/// VPOPCNTDQ Hamming scan: 8 rows' single-word codes per _mm512_popcnt_epi64.
+/// Compiled with a per-function target attribute — the base AVX-512 feature
+/// set this TU is built with does not include VPOPCNTDQ, so the table
+/// constructor checks CPUID before installing this pointer.
+__attribute__((target("avx512vpopcntdq")))
+void HammingBlockVpopcntdq(const uint64_t* codes, size_t num_rows,
+                           size_t words, const uint64_t* query,
+                           uint32_t* dists) {
+  if (words == 1) {
+    const __m512i q = _mm512_set1_epi64(static_cast<long long>(query[0]));
+    const size_t n8 = num_rows & ~static_cast<size_t>(7);
+    size_t j = 0;
+    for (; j < n8; j += 8) {
+      const __m512i rows =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(codes + j));
+      const __m512i counts = _mm512_popcnt_epi64(_mm512_xor_si512(rows, q));
+      // 8 x u64 counts -> 8 x u32 dists.
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dists + j),
+                          _mm512_cvtepi64_epi32(counts));
+    }
+    for (; j < num_rows; ++j) {
+      dists[j] = detail::Popcount64(codes[j] ^ query[0]);
+    }
+    return;
+  }
+  detail::HammingBlockScalar(codes, num_rows, words, query, dists);
+}
+
+bool CpuHasVpopcntdq() { return __builtin_cpu_supports("avx512vpopcntdq"); }
+#endif  // DISMASTD_KERNELS_HAVE_VPOPCNTDQ
+
 }  // namespace
 
 const KernelTable& Avx512Kernels() {
@@ -182,6 +214,10 @@ const KernelTable& Avx512Kernels() {
     t.topk_score_block_bf16 = TopKScoreBlockBf16Avx512;
     t.i8_dot = I8DotAvx512;
     t.topk_score_block_i8 = TopKScoreBlockI8Avx512;
+    t.hamming_block = detail::HammingBlockScalar;
+#if defined(DISMASTD_KERNELS_HAVE_VPOPCNTDQ)
+    if (CpuHasVpopcntdq()) t.hamming_block = HammingBlockVpopcntdq;
+#endif
     return t;
   }();
   return table;

@@ -101,6 +101,14 @@ struct KernelTable {
   void (*topk_score_block_i8)(const int8_t* rows, size_t num_rows,
                               size_t rank, const double* wscaled,
                               double* scores);
+
+  /// dists[j] = Σ_w popcount(codes[j*words + w] ^ query[w]): Hamming
+  /// distance between every packed row code and the query code — the ANN
+  /// shortlist scan (src/ann/). Pure integer arithmetic, so every backend
+  /// is exact and bit-identical by construction (AVX-512 uses VPOPCNTDQ
+  /// when the CPU has it).
+  void (*hamming_block)(const uint64_t* codes, size_t num_rows, size_t words,
+                        const uint64_t* query, uint32_t* dists);
 };
 
 /// The table selected at startup: best CPUID-supported backend, overridden

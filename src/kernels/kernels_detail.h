@@ -103,6 +103,21 @@ inline double Bf16DotScalar(const Bf16* x, const double* weights, size_t n) {
   return CombinePartials8(p);
 }
 
+inline uint32_t Popcount64(uint64_t v) {
+  return static_cast<uint32_t>(__builtin_popcountll(v));
+}
+
+inline void HammingBlockScalar(const uint64_t* codes, size_t num_rows,
+                               size_t words, const uint64_t* query,
+                               uint32_t* dists) {
+  for (size_t j = 0; j < num_rows; ++j) {
+    const uint64_t* row = codes + j * words;
+    uint32_t d = 0;
+    for (size_t w = 0; w < words; ++w) d += Popcount64(row[w] ^ query[w]);
+    dists[j] = d;
+  }
+}
+
 inline double I8DotScalar(const int8_t* x, const double* wscaled, size_t n) {
   double p[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
   const size_t n8 = n & ~static_cast<size_t>(7);

@@ -1,5 +1,7 @@
 #include "serve/model_store.h"
 
+#include "obs/metrics.h"
+
 namespace dismastd {
 namespace serve {
 
@@ -10,12 +12,16 @@ ModelStore::ModelStore(ModelStoreOptions options) : options_(options) {
 uint64_t ModelStore::PublishModel(KruskalTensor factors, uint64_t step) {
   std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   const uint64_t version = next_version_++;
-  // Build (Gram/norm precompute, fingerprint) happens under the publisher
-  // mutex but before the exclusive swap lock: readers keep querying the
-  // previous version the whole time.
+  // The superseded head feeds the incremental ANN-index patch. Publishers
+  // are serialized on publish_mutex_, so this snapshot IS the model being
+  // replaced; a shared_lock read keeps readers unblocked.
+  std::shared_ptr<const ServableModel> previous = Current();
+  // Build (Gram/norm precompute, fingerprint, ANN index) happens under the
+  // publisher mutex but before the exclusive swap lock: readers keep
+  // querying the previous version the whole time.
   std::shared_ptr<const ServableModel> model =
       ServableModel::Build(std::move(factors), version, step,
-                           options_.servable);
+                           options_.servable, previous.get());
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     retained_.push_back(model);
@@ -58,6 +64,25 @@ std::vector<uint64_t> ModelStore::RetainedVersions() const {
   versions.reserve(retained_.size());
   for (const auto& model : retained_) versions.push_back(model->version());
   return versions;
+}
+
+void ModelStore::PublishTo(obs::MetricRegistry* registry) const {
+  size_t retained;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    retained = retained_.size();
+  }
+  const uint64_t published = num_published();
+  const uint64_t exported =
+      published_exported_.exchange(published, std::memory_order_relaxed);
+  registry
+      ->GetCounter("dismastd_store_publishes_total", {},
+                   "Models published into the store since process start")
+      ->Add(published > exported ? published - exported : 0);
+  registry
+      ->GetGauge("dismastd_store_retained_versions", {},
+                 "Model versions currently retained for Version() lookups")
+      ->Set(static_cast<double>(retained));
 }
 
 }  // namespace serve

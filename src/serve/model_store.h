@@ -14,6 +14,11 @@
 #include "tensor/checkpoint.h"
 
 namespace dismastd {
+
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 namespace serve {
 
 struct ModelStoreOptions {
@@ -88,11 +93,20 @@ class ModelStore {
 
   size_t keep_depth() const { return options_.keep_depth; }
 
+  /// Registers the store's state into the shared registry: the cumulative
+  /// publish counter and a gauge of how many versions are currently
+  /// retained (both visible through --metrics-out).
+  void PublishTo(obs::MetricRegistry* registry) const;
+
  private:
   uint64_t PublishModel(KruskalTensor factors, uint64_t step);
 
   ModelStoreOptions options_;
   std::atomic<uint64_t> num_published_{0};
+
+  /// Publishes already exported through PublishTo(): registry counters are
+  /// additive, so each export contributes only the delta since the last.
+  mutable std::atomic<uint64_t> published_exported_{0};
 
   /// Serializes publishers and guards next_version_; never held while a
   /// reader waits. Build() runs under this lock but outside mutex_.

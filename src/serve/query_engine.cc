@@ -1,13 +1,19 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace dismastd {
 namespace serve {
 
 QueryEngine::QueryEngine(const ModelStore* store, ThreadPool* pool,
-                         ServeMetrics* metrics, obs::Tracer* tracer)
-    : store_(store), pool_(pool), metrics_(metrics), tracer_(tracer) {
+                         ServeMetrics* metrics, obs::Tracer* tracer,
+                         TopKResultCache* cache)
+    : store_(store),
+      pool_(pool),
+      metrics_(metrics),
+      tracer_(tracer),
+      cache_(cache) {
   DISMASTD_CHECK(store_ != nullptr);
 }
 
@@ -84,7 +90,6 @@ Result<TopKResult> QueryEngine::TopKWithBound(const TopKQuery& query) const {
         "target mode " + std::to_string(query.target_mode) +
         " out of range for order " + std::to_string(model.order()));
   }
-  if (query.k == 0) return Status::InvalidArgument("top-K needs k >= 1");
   if (query.anchor.size() != model.order()) {
     return Status::InvalidArgument(
         "anchor arity " + std::to_string(query.anchor.size()) +
@@ -98,12 +103,72 @@ Result<TopKResult> QueryEngine::TopKWithBound(const TopKQuery& query) const {
           " out of range for mode " + std::to_string(n));
     }
   }
+  if (query.k == 0) {
+    // Asking for nothing is a well-formed request with an empty answer,
+    // not an error — and it must not burn a candidate scan.
+    TopKResult empty;
+    empty.precision = query.precision;
+    Record(QueryType::kTopK, timer.Stop(), model);
+    if (metrics_ != nullptr) {
+      metrics_->RecordTopKSearch(query.search, 0, false);
+    }
+    return empty;
+  }
 
-  Result<TopKResult> top = model.TopKWithPrecision(
-      query.target_mode, query.anchor, query.k, query.precision);
-  if (!top.ok()) return top.status();
+  TopKResult out;
+  bool cache_hit = false;
+  switch (query.search) {
+    case SearchMode::kExact: {
+      Result<TopKResult> top = model.TopKWithPrecision(
+          query.target_mode, query.anchor, query.k, query.precision);
+      if (!top.ok()) return top.status();
+      out = std::move(top.value());
+      break;
+    }
+    case SearchMode::kAnn: {
+      Result<TopKResult> top =
+          model.TopKAnn(query.target_mode, query.anchor, query.k,
+                        query.precision, query.probes);
+      if (!top.ok()) return top.status();
+      out = std::move(top.value());
+      break;
+    }
+    case SearchMode::kAnnCached: {
+      // Key the cache on the full query identity plus the snapshot's
+      // version AND fingerprint: a publish changes both, so an entry
+      // computed against a superseded model can never be served again.
+      ann::ResultCacheKey key;
+      key.version = model.version();
+      key.fingerprint = model.fingerprint();
+      key.target_mode = static_cast<uint32_t>(query.target_mode);
+      key.k = static_cast<uint32_t>(query.k);
+      key.precision = static_cast<uint32_t>(query.precision);
+      key.search = static_cast<uint32_t>(query.search);
+      key.probes = static_cast<uint32_t>(query.probes);
+      key.anchor = query.anchor;
+      // anchor[target_mode] is ignored by scoring; normalize it out of the
+      // key so callers that vary it still share one entry.
+      key.anchor[query.target_mode] = 0;
+      if (cache_ != nullptr && cache_->Lookup(key, &out)) {
+        cache_hit = true;
+        out.from_cache = true;
+        out.rows_scored = 0;
+        break;
+      }
+      Result<TopKResult> top =
+          model.TopKAnn(query.target_mode, query.anchor, query.k,
+                        query.precision, query.probes);
+      if (!top.ok()) return top.status();
+      out = std::move(top.value());
+      if (cache_ != nullptr) cache_->Insert(key, out);
+      break;
+    }
+  }
   Record(QueryType::kTopK, timer.Stop(), model);
-  return top;
+  if (metrics_ != nullptr) {
+    metrics_->RecordTopKSearch(query.search, out.rows_scored, cache_hit);
+  }
+  return out;
 }
 
 Result<std::vector<ScoredIndex>> QueryEngine::TopK(

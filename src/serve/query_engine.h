@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ann/result_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
@@ -14,16 +15,24 @@
 namespace dismastd {
 namespace serve {
 
+/// The version-keyed hot-entity cache of finished top-K answers.
+using TopKResultCache = ann::ResultCache<TopKResult>;
+
 /// A top-K recommendation request: pin every mode to `anchor[n]` except
 /// `target_mode`, rank that mode's slices. anchor[target_mode] is ignored
 /// (conventionally 0). `precision` picks which factor representation the
 /// candidate scan reads (f64 is exact; bf16/int8 are bandwidth-dense with
-/// a reported score error bound).
+/// a reported score error bound). `search` picks the candidate-finding
+/// path (exact scan / LSH shortlist + exact re-rank / shortlist behind the
+/// result cache); `probes` scales the ANN shortlist to
+/// min(J, max(k, probes * k)) candidates.
 struct TopKQuery {
   size_t target_mode = 1;
   std::vector<uint64_t> anchor;
   size_t k = 10;
   Precision precision = Precision::kF64;
+  SearchMode search = SearchMode::kExact;
+  size_t probes = 8;
 };
 
 /// Concurrent read path over a ModelStore.
@@ -39,13 +48,15 @@ struct TopKQuery {
 /// single-core configuration.
 class QueryEngine {
  public:
-  /// `store` must outlive the engine; `pool`, `metrics` and `tracer` may
-  /// be nullptr (inline execution / no recording / no tracing). With a
-  /// tracer attached, every query records a wall-clock span on the calling
+  /// `store` must outlive the engine; `pool`, `metrics`, `tracer` and
+  /// `cache` may be nullptr (inline execution / no recording / no tracing
+  /// / no result cache — kAnnCached then degrades to kAnn). With a tracer
+  /// attached, every query records a wall-clock span on the calling
   /// thread's "serve" lane.
   QueryEngine(const ModelStore* store, ThreadPool* pool = nullptr,
               ServeMetrics* metrics = nullptr,
-              obs::Tracer* tracer = nullptr);
+              obs::Tracer* tracer = nullptr,
+              TopKResultCache* cache = nullptr);
 
   /// Model value at one index tuple.
   Result<double> Predict(const std::vector<uint64_t>& index) const;
@@ -56,9 +67,12 @@ class QueryEngine {
       const std::vector<std::vector<uint64_t>>& indices) const;
 
   /// Top-K recommendation (see TopKQuery). `query.anchor` must have
-  /// order() entries with every non-target entry in bounds, k >= 1, and
-  /// target_mode < order(). Honors query.precision; returns just the
-  /// ranked items — use TopKWithBound to also get the error bound.
+  /// order() entries with every non-target entry in bounds and
+  /// target_mode < order(). Degenerate shapes answer cleanly rather than
+  /// erroring: k = 0 returns an empty list, k >= J returns all J
+  /// candidates ranked, and a zero-row target mode returns an empty list.
+  /// Honors query.precision and query.search; returns just the ranked
+  /// items — use TopKWithBound to also get the error bound.
   Result<std::vector<ScoredIndex>> TopK(const TopKQuery& query) const;
 
   /// Like TopK but returns the full TopKResult: items, the precision the
@@ -81,6 +95,7 @@ class QueryEngine {
   ThreadPool* pool_;
   ServeMetrics* metrics_;
   obs::Tracer* tracer_;
+  TopKResultCache* cache_;
 };
 
 }  // namespace serve

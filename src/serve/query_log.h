@@ -30,6 +30,10 @@ struct QueryLogOptions {
   size_t topk_target_mode = 1;
   /// Precision the generated top-K queries request (f64/bf16/int8).
   Precision topk_precision = Precision::kF64;
+  /// Search path and ANN shortlist multiplier copied into every generated
+  /// top-K query (see TopKQuery).
+  SearchMode topk_search = SearchMode::kExact;
+  size_t topk_probes = 8;
   /// Zipf exponent skewing which rows are queried — real serving traffic
   /// concentrates on head users/items. 0 = uniform.
   double skew = 0.8;

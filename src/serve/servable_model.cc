@@ -33,6 +33,11 @@ uint64_t FingerprintFactors(const KruskalTensor& factors) {
   return hash;
 }
 
+bool BetterScored(const ScoredIndex& a, const ScoredIndex& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
 /// Partial-sorts the best k of `scores` with deterministic index
 /// tie-breaking (shared by all precisions).
 std::vector<ScoredIndex> SelectTopK(const std::vector<double>& scores,
@@ -42,13 +47,27 @@ std::vector<ScoredIndex> SelectTopK(const std::vector<double>& scores,
     scored[j] = {static_cast<uint64_t>(j), scores[j]};
   }
   k = std::min(k, scored.size());
-  const auto better = [](const ScoredIndex& a, const ScoredIndex& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.index < b.index;
-  };
   std::partial_sort(scored.begin(),
                     scored.begin() + static_cast<ptrdiff_t>(k),
-                    scored.end(), better);
+                    scored.end(), BetterScored);
+  scored.resize(k);
+  return scored;
+}
+
+/// SelectTopK over a shortlist: scores[i] belongs to global candidate
+/// ids[i]. Same tie-break (score desc, global index asc), so a shortlist
+/// containing the true top-K yields exactly the exact scan's answer.
+std::vector<ScoredIndex> SelectTopKMapped(const std::vector<double>& scores,
+                                          const std::vector<uint32_t>& ids,
+                                          size_t k) {
+  std::vector<ScoredIndex> scored(scores.size());
+  for (size_t j = 0; j < scores.size(); ++j) {
+    scored[j] = {static_cast<uint64_t>(ids[j]), scores[j]};
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(k),
+                    scored.end(), BetterScored);
   scored.resize(k);
   return scored;
 }
@@ -75,9 +94,32 @@ Result<Precision> ParsePrecision(const std::string& text) {
                                  "' (expected f64|bf16|int8)");
 }
 
+const char* SearchModeName(SearchMode mode) {
+  switch (mode) {
+    case SearchMode::kExact:
+      return "exact";
+    case SearchMode::kAnn:
+      return "ann";
+    case SearchMode::kAnnCached:
+      return "ann_cached";
+  }
+  return "unknown";
+}
+
+Result<SearchMode> ParseSearchMode(const std::string& text) {
+  if (text == "exact") return SearchMode::kExact;
+  if (text == "ann") return SearchMode::kAnn;
+  if (text == "ann_cached" || text == "ann+cache" || text == "cache") {
+    return SearchMode::kAnnCached;
+  }
+  return Status::InvalidArgument("unknown search mode '" + text +
+                                 "' (expected exact|ann|ann_cached)");
+}
+
 ServableModel::ServableModel(KruskalTensor factors, uint64_t version,
                              uint64_t step,
-                             const ServableBuildOptions& options)
+                             const ServableBuildOptions& options,
+                             const ServableModel* previous)
     : factors_(std::move(factors)),
       dims_(factors_.dims()),
       version_(version),
@@ -120,14 +162,21 @@ ServableModel::ServableModel(KruskalTensor factors, uint64_t version,
   } else {
     int8_factors_.resize(n);
   }
+  if (options.build_ann) {
+    ann_index_ = ann::AnnIndex::Build(
+        factors_, options.lsh,
+        previous != nullptr ? previous->ann_index_.get() : nullptr,
+        previous != nullptr ? &previous->factors_ : nullptr);
+  }
 }
 
 std::shared_ptr<const ServableModel> ServableModel::Build(
     KruskalTensor factors, uint64_t version, uint64_t step,
-    const ServableBuildOptions& options) {
+    const ServableBuildOptions& options, const ServableModel* previous) {
   DISMASTD_CHECK(factors.order() > 0);
   return std::shared_ptr<const ServableModel>(
-      new ServableModel(std::move(factors), version, step, options));
+      new ServableModel(std::move(factors), version, step, options,
+                        previous));
 }
 
 uint64_t ServableModel::ComputeFingerprint() const {
@@ -226,6 +275,68 @@ double ServableModel::ScoreCandidates(size_t target_mode,
   return 0.0;
 }
 
+double ServableModel::ScoreShortlist(
+    size_t target_mode, const std::vector<double>& weights,
+    Precision precision, const std::vector<uint32_t>& shortlist,
+    std::vector<double>* scores) const {
+  const kernels::KernelTable& kern = kernels::Get();
+  const size_t r = rank();
+  const size_t n = shortlist.size();
+  scores->resize(n);
+  // Gather the shortlist rows into one contiguous block and run the same
+  // topk_score_block kernel the exact scan uses. Each row's dot product is
+  // computed from identical inputs by identical code, so shortlisted rows
+  // score bit-identically to the full scan.
+  switch (precision) {
+    case Precision::kF64: {
+      const Matrix& target = factors_.factor(target_mode);
+      std::vector<double> gathered(n * r);
+      for (size_t j = 0; j < n; ++j) {
+        std::memcpy(gathered.data() + j * r, target.RowPtr(shortlist[j]),
+                    r * sizeof(double));
+      }
+      kern.topk_score_block(gathered.data(), n, r, weights.data(),
+                            scores->data());
+      return 0.0;
+    }
+    case Precision::kBf16: {
+      const kernels::Bf16Matrix& target = bf16_factors_[target_mode];
+      std::vector<kernels::Bf16> gathered(n * r);
+      for (size_t j = 0; j < n; ++j) {
+        std::memcpy(gathered.data() + j * r, target.RowPtr(shortlist[j]),
+                    r * sizeof(kernels::Bf16));
+      }
+      kern.topk_score_block_bf16(gathered.data(), n, r, weights.data(),
+                                 scores->data());
+      double bound = 0.0;
+      for (size_t f = 0; f < r; ++f) {
+        bound += std::abs(weights[f]) * target.col_max_abs_err[f];
+      }
+      return bound;
+    }
+    case Precision::kInt8: {
+      const kernels::Int8Matrix& target = int8_factors_[target_mode];
+      std::vector<int8_t> gathered(n * r);
+      for (size_t j = 0; j < n; ++j) {
+        std::memcpy(gathered.data() + j * r, target.RowPtr(shortlist[j]),
+                    r * sizeof(int8_t));
+      }
+      std::vector<double> wscaled(r);
+      for (size_t f = 0; f < r; ++f) {
+        wscaled[f] = weights[f] * target.col_scale[f];
+      }
+      kern.topk_score_block_i8(gathered.data(), n, r, wscaled.data(),
+                               scores->data());
+      double bound = 0.0;
+      for (size_t f = 0; f < r; ++f) {
+        bound += std::abs(weights[f]) * target.col_max_abs_err[f];
+      }
+      return bound;
+    }
+  }
+  return 0.0;
+}
+
 std::vector<ScoredIndex> ServableModel::TopK(
     size_t target_mode, const std::vector<uint64_t>& anchor,
     size_t k) const {
@@ -253,6 +364,40 @@ Result<TopKResult> ServableModel::TopKWithPrecision(
   result.score_error_bound =
       ScoreCandidates(target_mode, weights, precision, &scores);
   result.items = SelectTopK(scores, k);
+  result.rows_scored = scores.size();
+  return result;
+}
+
+Result<TopKResult> ServableModel::TopKAnn(
+    size_t target_mode, const std::vector<uint64_t>& anchor, size_t k,
+    Precision precision, size_t probes) const {
+  if (ann_index_ == nullptr) {
+    return Status::FailedPrecondition(
+        "model version " + std::to_string(version_) +
+        " was published without an ANN index (build_ann = false)");
+  }
+  if (!HasPrecision(precision)) {
+    return Status::FailedPrecondition(
+        std::string("model version ") + std::to_string(version_) +
+        " was published without a " + PrecisionName(precision) +
+        " factor copy");
+  }
+  const std::vector<double> weights =
+      CombinationWeights(target_mode, anchor);
+  const size_t candidates = static_cast<size_t>(dims_[target_mode]);
+  if (probes == 0) probes = 1;
+  const size_t shortlist_size =
+      std::min(candidates, std::max(k, probes * k));
+  const std::vector<uint32_t> shortlist =
+      ann_index_->Shortlist(target_mode, weights.data(), shortlist_size);
+
+  TopKResult result;
+  result.precision = precision;
+  std::vector<double> scores;
+  result.score_error_bound =
+      ScoreShortlist(target_mode, weights, precision, shortlist, &scores);
+  result.items = SelectTopKMapped(scores, shortlist, k);
+  result.rows_scored = shortlist.size();
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/lsh_index.h"
 #include "common/status.h"
 #include "kernels/quantized.h"
 #include "la/matrix.h"
@@ -38,6 +39,21 @@ enum class Precision : int {
 const char* PrecisionName(Precision precision);
 Result<Precision> ParsePrecision(const std::string& text);
 
+/// How a top-K query finds its candidates. kExact scans every row of the
+/// target mode; kAnn scans the LSH index's Hamming codes and exactly
+/// re-ranks a shortlist (same kernels, so shortlisted rows score
+/// bit-identically to the full scan — only rows outside the shortlist can
+/// be missed); kAnnCached additionally consults the version-keyed result
+/// cache before doing any work.
+enum class SearchMode : int {
+  kExact = 0,
+  kAnn = 1,
+  kAnnCached = 2,
+};
+
+const char* SearchModeName(SearchMode mode);
+Result<SearchMode> ParseSearchMode(const std::string& text);
+
 /// A top-K answer plus the precision it was computed at and a guaranteed
 /// bound on how far any reported score can be from the fp64 score of the
 /// same candidate: |score_quant - score_f64| <= score_error_bound
@@ -47,6 +63,12 @@ struct TopKResult {
   std::vector<ScoredIndex> items;
   Precision precision = Precision::kF64;
   double score_error_bound = 0.0;
+  /// Candidate rows the scoring kernel actually read: J for an exact scan,
+  /// the shortlist size for ANN, 0 for a cache hit. The per-query cost
+  /// denominator of the ANN speedup claim.
+  uint64_t rows_scored = 0;
+  /// True iff this answer came out of the result cache untouched.
+  bool from_cache = false;
 };
 
 /// Controls which quantized factor copies Build() materializes alongside
@@ -54,6 +76,11 @@ struct TopKResult {
 struct ServableBuildOptions {
   bool publish_bf16 = true;
   bool publish_int8 = true;
+  /// Whether Build() attaches an LSH index (ann/lsh_index.h) for
+  /// SearchMode::kAnn queries. The index rides inside the published model,
+  /// so a query snapshot pins factors and index together.
+  bool build_ann = true;
+  ann::LshOptions lsh;
 };
 
 /// An immutable, query-ready published CP model.
@@ -83,9 +110,13 @@ class ServableModel {
   /// Precomputes the serving metadata and freezes the model. `factors`
   /// must be non-empty (order >= 1); `version` is assigned by the
   /// ModelStore, `step` is the streaming step the factors correspond to.
+  /// When `previous` (the model this publish supersedes) is given, the ANN
+  /// index is patched incrementally: rows whose fp64 bytes are unchanged
+  /// keep their codes instead of being re-hashed.
   static std::shared_ptr<const ServableModel> Build(
       KruskalTensor factors, uint64_t version, uint64_t step,
-      const ServableBuildOptions& options = {});
+      const ServableBuildOptions& options = {},
+      const ServableModel* previous = nullptr);
 
   uint64_t version() const { return version_; }
   uint64_t step() const { return step_; }
@@ -153,6 +184,23 @@ class ServableModel {
                                        const std::vector<uint64_t>& anchor,
                                        size_t k, Precision precision) const;
 
+  /// The LSH index built at publish time, or nullptr if the model was
+  /// published with build_ann = false.
+  const std::shared_ptr<const ann::AnnIndex>& ann_index() const {
+    return ann_index_;
+  }
+
+  /// Approximate TopK: Hamming-shortlists min(J, max(k, probes * k))
+  /// candidates from the LSH index, then re-ranks just those rows through
+  /// the same scoring kernel the exact scan uses. Shortlisted rows'
+  /// returned scores are therefore bit-identical to the exact scan's; the
+  /// only approximation is which rows make the shortlist. Fails with
+  /// FailedPrecondition if the model carries no index or the requested
+  /// precision copy was not published.
+  Result<TopKResult> TopKAnn(size_t target_mode,
+                             const std::vector<uint64_t>& anchor, size_t k,
+                             Precision precision, size_t probes) const;
+
   /// The combination weights w[f] = Π_{n != target_mode} A_n[anchor[n], f]
   /// of a TopK query — exposed for the microbenchmark and brute-force
   /// test oracles.
@@ -162,7 +210,8 @@ class ServableModel {
 
  private:
   ServableModel(KruskalTensor factors, uint64_t version, uint64_t step,
-                const ServableBuildOptions& options);
+                const ServableBuildOptions& options,
+                const ServableModel* previous);
 
   /// Scores all candidates of `target_mode` at `precision` into `scores`
   /// and returns the query's score error bound.
@@ -170,6 +219,15 @@ class ServableModel {
                          const std::vector<double>& weights,
                          Precision precision,
                          std::vector<double>* scores) const;
+
+  /// Scores just the `shortlist` rows of `target_mode` (gathered into a
+  /// contiguous block so the same topk_score_block kernels run on them)
+  /// and returns the query's score error bound.
+  double ScoreShortlist(size_t target_mode,
+                        const std::vector<double>& weights,
+                        Precision precision,
+                        const std::vector<uint32_t>& shortlist,
+                        std::vector<double>* scores) const;
 
   KruskalTensor factors_;
   std::vector<uint64_t> dims_;
@@ -183,6 +241,7 @@ class ServableModel {
   bool has_int8_ = false;
   double norm_squared_ = 0.0;
   uint64_t fingerprint_ = 0;
+  std::shared_ptr<const ann::AnnIndex> ann_index_;
 };
 
 }  // namespace serve

@@ -52,6 +52,24 @@ void ServeMetrics::RecordQuery(QueryType type, double seconds,
   ++served_per_version_[version];
 }
 
+void ServeMetrics::RecordTopKSearch(SearchMode mode, uint64_t rows_scored,
+                                    bool cache_hit) {
+  topk_by_search_[static_cast<size_t>(mode)].fetch_add(
+      1, std::memory_order_relaxed);
+  topk_rows_scored_total_.fetch_add(rows_scored, std::memory_order_relaxed);
+  if (mode == SearchMode::kAnnCached) {
+    cache_lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServeMetrics::NoteRecallSample(double recall) {
+  const double clamped = std::min(1.0, std::max(0.0, recall));
+  recall_nano_sum_.fetch_add(static_cast<uint64_t>(clamped * 1e9),
+                             std::memory_order_relaxed);
+  recall_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServeMetrics::NoteModelPublished(uint64_t step) {
   uint64_t prev = latest_step_.load(std::memory_order_relaxed);
   while (step > prev && !latest_step_.compare_exchange_weak(
@@ -115,6 +133,26 @@ ServeMetricsReport ServeMetrics::Report() const {
     report.event_time_lag_ticks = std::max<int64_t>(
         0, report.ingest_watermark - report.model_event_time);
   }
+  for (size_t m = 0; m < kNumSearchModes; ++m) {
+    report.topk_by_search[m] =
+        topk_by_search_[m].load(std::memory_order_relaxed);
+  }
+  report.topk_rows_scored_total =
+      topk_rows_scored_total_.load(std::memory_order_relaxed);
+  report.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  report.cache_lookups = cache_lookups_.load(std::memory_order_relaxed);
+  report.cache_hit_rate =
+      report.cache_lookups > 0
+          ? static_cast<double>(report.cache_hits) /
+                static_cast<double>(report.cache_lookups)
+          : 0.0;
+  report.recall_samples = recall_samples_.load(std::memory_order_relaxed);
+  report.mean_recall =
+      report.recall_samples > 0
+          ? static_cast<double>(
+                recall_nano_sum_.load(std::memory_order_relaxed)) *
+                1e-9 / static_cast<double>(report.recall_samples)
+          : 0.0;
   {
     std::lock_guard<std::mutex> lock(version_mutex_);
     report.served_per_version = served_per_version_;
@@ -164,6 +202,41 @@ void ServeMetrics::PublishTo(obs::MetricRegistry* registry) const {
                    "Event-time staleness of the served models vs ingest")
         ->Set(static_cast<double>(std::max<int64_t>(0, watermark - model_ts)));
   }
+  for (size_t m = 0; m < kNumSearchModes; ++m) {
+    const uint64_t count = topk_by_search_[m].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    registry
+        ->GetCounter("dismastd_serve_topk_search_total",
+                     {{"mode", SearchModeName(static_cast<SearchMode>(m))}},
+                     "Top-K queries answered per search mode")
+        ->Add(count);
+  }
+  registry
+      ->GetCounter("dismastd_serve_topk_rows_scored_total", {},
+                   "Candidate rows read by top-K scoring kernels")
+      ->Add(topk_rows_scored_total_.load(std::memory_order_relaxed));
+  const uint64_t cache_lookups =
+      cache_lookups_.load(std::memory_order_relaxed);
+  if (cache_lookups > 0) {
+    registry
+        ->GetCounter("dismastd_serve_cache_lookups_total", {},
+                     "Result-cache lookups by ann_cached top-K queries")
+        ->Add(cache_lookups);
+    registry
+        ->GetCounter("dismastd_serve_cache_hits_total", {},
+                     "Result-cache hits (fresh model stamps verified)")
+        ->Add(cache_hits_.load(std::memory_order_relaxed));
+  }
+  const uint64_t recall_samples =
+      recall_samples_.load(std::memory_order_relaxed);
+  if (recall_samples > 0) {
+    registry
+        ->GetGauge("dismastd_serve_recall_mean", {},
+                   "Mean measured recall@K of ANN answers vs exact")
+        ->Set(static_cast<double>(
+                  recall_nano_sum_.load(std::memory_order_relaxed)) *
+              1e-9 / static_cast<double>(recall_samples));
+  }
   std::lock_guard<std::mutex> lock(version_mutex_);
   for (const auto& [version, count] : served_per_version_) {
     registry
@@ -199,6 +272,31 @@ std::string ServeMetricsReport::ToString() const {
                   "event time: model %lld / watermark %lld (lag %lld ticks)",
                   (long long)model_event_time, (long long)ingest_watermark,
                   (long long)event_time_lag_ticks);
+    os << line << "\n";
+  }
+  const uint64_t topk_total =
+      topk_by_search[0] + topk_by_search[1] + topk_by_search[2];
+  if (topk_total > 0) {
+    std::snprintf(line, sizeof(line),
+                  "topk search: exact=%llu ann=%llu ann_cached=%llu, rows "
+                  "scored %llu",
+                  (unsigned long long)topk_by_search[0],
+                  (unsigned long long)topk_by_search[1],
+                  (unsigned long long)topk_by_search[2],
+                  (unsigned long long)topk_rows_scored_total);
+    os << line << "\n";
+  }
+  if (cache_lookups > 0) {
+    std::snprintf(line, sizeof(line),
+                  "result cache: %llu/%llu hits (%.1f%%)",
+                  (unsigned long long)cache_hits,
+                  (unsigned long long)cache_lookups, cache_hit_rate * 100.0);
+    os << line << "\n";
+  }
+  if (recall_samples > 0) {
+    std::snprintf(line, sizeof(line),
+                  "recall@K: mean %.4f over %llu samples", mean_recall,
+                  (unsigned long long)recall_samples);
     os << line << "\n";
   }
   os << "served per version:";

@@ -12,6 +12,7 @@
 
 #include "common/timer.h"
 #include "obs/histogram.h"
+#include "serve/servable_model.h"
 
 namespace dismastd {
 
@@ -26,6 +27,8 @@ enum class QueryType : uint8_t { kPoint = 0, kBatch = 1, kTopK = 2 };
 inline constexpr size_t kNumQueryTypes = 3;
 
 const char* QueryTypeName(QueryType type);
+
+inline constexpr size_t kNumSearchModes = 3;  // SearchMode enum arity
 
 /// Point-in-time rollup of one query type's latency distribution.
 struct LatencySummary {
@@ -58,6 +61,17 @@ struct ServeMetricsReport {
   int64_t model_event_time = 0;
   int64_t ingest_watermark = 0;
   int64_t event_time_lag_ticks = 0;
+  /// Top-K search-path breakdown: queries per SearchMode, candidate rows
+  /// the scoring kernels actually read (the ANN speedup denominator),
+  /// result-cache effectiveness, and the mean of the recall@K samples the
+  /// bench/test harness fed in via NoteRecallSample.
+  std::array<uint64_t, kNumSearchModes> topk_by_search{};
+  uint64_t topk_rows_scored_total = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_lookups = 0;
+  double cache_hit_rate = 0.0;
+  uint64_t recall_samples = 0;
+  double mean_recall = 0.0;
 
   std::string ToString() const;
 };
@@ -75,6 +89,17 @@ class ServeMetrics {
   /// answered, and that model's streaming step.
   void RecordQuery(QueryType type, double seconds, uint64_t version,
                    uint64_t model_step);
+
+  /// Records the search path of one answered top-K query: which mode ran,
+  /// how many candidate rows the scoring kernel read (0 on a cache hit),
+  /// and — for kAnnCached — whether the cache answered.
+  void RecordTopKSearch(SearchMode mode, uint64_t rows_scored,
+                        bool cache_hit);
+
+  /// Feeds one measured recall@K sample (|ann top-K ∩ exact top-K| / K).
+  /// Recall is measured by whoever holds both answers — the bench sweep
+  /// and the tests — not by the serving path itself.
+  void NoteRecallSample(double recall);
 
   /// The publisher advances this after every publish; staleness of a query
   /// is measured against the newest step published so far.
@@ -107,6 +132,14 @@ class ServeMetrics {
  private:
   std::array<obs::Pow2Histogram, kNumQueryTypes> histograms_;
   std::atomic<uint64_t> queries_total_{0};
+  std::array<std::atomic<uint64_t>, kNumSearchModes> topk_by_search_{};
+  std::atomic<uint64_t> topk_rows_scored_total_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_lookups_{0};
+  /// Recall samples accumulate as a fixed-point sum (1e-9 resolution) so
+  /// the hot path stays lock-free without std::atomic<double>.
+  std::atomic<uint64_t> recall_nano_sum_{0};
+  std::atomic<uint64_t> recall_samples_{0};
   std::atomic<uint64_t> latest_step_{0};
   std::atomic<uint64_t> staleness_steps_total_{0};
   std::atomic<uint64_t> staleness_steps_max_{0};

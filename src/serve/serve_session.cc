@@ -18,7 +18,12 @@ ServeSession::ServeSession(ServeSessionOptions options)
     : store_(options.store),
       query_pool_(std::make_unique<ThreadPool>(
           ResolveThreads(options.num_query_threads))),
-      engine_(&store_, query_pool_.get(), &metrics_, options.tracer) {}
+      cache_(options.result_cache_slots > 0
+                 ? std::make_unique<TopKResultCache>(
+                       options.result_cache_slots)
+                 : nullptr),
+      engine_(&store_, query_pool_.get(), &metrics_, options.tracer,
+              cache_.get()) {}
 
 uint64_t ServeSession::Publish(KruskalTensor factors, uint64_t step) {
   const uint64_t version = store_.Publish(std::move(factors), step);

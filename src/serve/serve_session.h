@@ -22,6 +22,10 @@ struct ServeSessionOptions {
   /// Optional span tracer shared with the rest of the process (not owned,
   /// may be null); the query engine records per-query wall spans onto it.
   obs::Tracer* tracer = nullptr;
+  /// Slots of the hot-entity top-K result cache (rounded up to a power of
+  /// two); 0 disables the cache, making SearchMode::kAnnCached behave
+  /// like kAnn.
+  size_t result_cache_slots = 4096;
 };
 
 /// The assembled serving plane: store + metrics + engine + query pool,
@@ -50,6 +54,8 @@ class ServeSession {
   const ModelStore& store() const { return store_; }
   ServeMetrics& metrics() { return metrics_; }
   const QueryEngine& engine() const { return engine_; }
+  /// The session's result cache; nullptr when result_cache_slots was 0.
+  TopKResultCache* cache() { return cache_.get(); }
 
   /// Publishes `factors` as the model of streaming step `step` and
   /// advances the staleness reference point. Returns the version.
@@ -68,6 +74,7 @@ class ServeSession {
   ModelStore store_;
   ServeMetrics metrics_;
   std::unique_ptr<ThreadPool> query_pool_;
+  std::unique_ptr<TopKResultCache> cache_;
   QueryEngine engine_;
 };
 

@@ -10,6 +10,7 @@
 
 #include "core/driver.h"
 #include "kernels/kernels.h"
+#include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "serve/serve_session.h"
 #include "stream/generator.h"
@@ -71,6 +72,47 @@ TEST(ModelStoreTest, RetiredVersionStaysAliveForInFlightReaders) {
   // ...but the in-flight reader's snapshot is still fully usable.
   EXPECT_EQ(pinned->version(), 1u);
   EXPECT_EQ(pinned->ComputeFingerprint(), pinned->fingerprint());
+}
+
+TEST(ModelStoreTest, PublishToExportsRetentionGauges) {
+  ModelStoreOptions options;
+  options.keep_depth = 2;
+  ModelStore store(options);
+  for (uint64_t v = 1; v <= 5; ++v) store.Publish(MakeFactors(v), v - 1);
+
+  obs::MetricRegistry registry;
+  store.PublishTo(&registry);
+  const std::string prom = registry.ExposePrometheus();
+  EXPECT_NE(prom.find("dismastd_store_publishes_total 5"), std::string::npos);
+  EXPECT_NE(prom.find("dismastd_store_retained_versions 2"),
+            std::string::npos);
+
+  // Additive counter, level gauge: re-publishing refreshes both.
+  store.Publish(MakeFactors(6), 5);
+  store.PublishTo(&registry);
+  const std::string again = registry.ExposePrometheus();
+  EXPECT_NE(again.find("dismastd_store_publishes_total 6"),
+            std::string::npos);
+  EXPECT_NE(again.find("dismastd_store_retained_versions 2"),
+            std::string::npos);
+}
+
+TEST(ModelStoreTest, PublishReusesAnnCodesForUnchangedRows) {
+  // Successive publishes where only one row moves: the RCU snapshot chain
+  // hands the previous model to Build, so the LSH index patches instead of
+  // rehashing the world.
+  ModelStore store;
+  KruskalTensor factors = MakeFactors(31, {40, 30, 20}, 3);
+  store.Publish(factors, 0);
+  ASSERT_NE(store.Current()->ann_index(), nullptr);
+
+  // Shrink (not grow) one entry so the mode's max augmentation norm cannot
+  // increase — growth would legitimately rehash the whole mode.
+  factors.mutable_factor(0)(7, 1) *= 0.5;
+  store.Publish(factors, 1);
+  const auto& index = *store.Current()->ann_index();
+  EXPECT_EQ(index.hashed_rows(), 1u);
+  EXPECT_EQ(index.reused_rows(), 40u + 30u + 20u - 1u);
 }
 
 TEST(ModelStoreTest, WarmStartFromCheckpoint) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "serve/query_log.h"
 
 namespace dismastd {
@@ -117,14 +119,142 @@ TEST_F(QueryEngineTest, TopKValidatesQuery) {
             StatusCode::kInvalidArgument);
   query.anchor = {0, 0, 77};
   EXPECT_EQ(engine_.TopK(query).status().code(), StatusCode::kOutOfRange);
-  query.anchor = {0, 0, 0};
-  query.k = 0;
-  EXPECT_EQ(engine_.TopK(query).status().code(),
-            StatusCode::kInvalidArgument);
   // The anchor entry of the target mode is ignored, even out-of-range.
   query.k = 2;
   query.anchor = {0, 9999, 0};
   EXPECT_TRUE(engine_.TopK(query).ok());
+}
+
+TEST_F(QueryEngineTest, TopKBoundaryShapesAnswerCleanly) {
+  // k = 0: a well-formed request for nothing, not an error — and it must
+  // not scan any candidates.
+  TopKQuery query;
+  query.anchor = {0, 0, 0};
+  query.k = 0;
+  Result<TopKResult> none = engine_.TopKWithBound(query);
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_TRUE(none.value().items.empty());
+  EXPECT_EQ(none.value().rows_scored, 0u);
+
+  // k >= J: every candidate comes back, ranked, exactly once.
+  query.k = 1000;  // mode 1 has 8 rows
+  Result<TopKResult> all = engine_.TopKWithBound(query);
+  ASSERT_TRUE(all.ok()) << all.status();
+  ASSERT_EQ(all.value().items.size(), 8u);
+  for (size_t i = 1; i < all.value().items.size(); ++i) {
+    EXPECT_GE(all.value().items[i - 1].score, all.value().items[i].score);
+  }
+  std::set<uint64_t> distinct;
+  for (const ScoredIndex& item : all.value().items) {
+    distinct.insert(item.index);
+  }
+  EXPECT_EQ(distinct.size(), 8u);
+
+  // Same boundary shapes through the ANN path.
+  query.search = SearchMode::kAnn;
+  query.k = 0;
+  Result<TopKResult> ann_none = engine_.TopKWithBound(query);
+  ASSERT_TRUE(ann_none.ok()) << ann_none.status();
+  EXPECT_TRUE(ann_none.value().items.empty());
+  query.k = 1000;
+  Result<TopKResult> ann_all = engine_.TopKWithBound(query);
+  ASSERT_TRUE(ann_all.ok()) << ann_all.status();
+  EXPECT_EQ(ann_all.value().items.size(), 8u);
+}
+
+TEST_F(QueryEngineTest, TopKOnZeroRowTargetModeIsEmpty) {
+  // A mode with zero rows can exist mid-growth; queries against it must
+  // return an empty list, not crash or error.
+  ModelStore store;
+  Rng rng(3);
+  std::vector<Matrix> factors;
+  factors.push_back(Matrix::Random(6, 3, rng));
+  factors.push_back(Matrix(0, 3));
+  factors.push_back(Matrix::Random(5, 3, rng));
+  store.Publish(KruskalTensor(std::move(factors)), 0);
+  QueryEngine engine(&store);
+  TopKQuery query;
+  query.target_mode = 1;
+  query.anchor = {2, 0, 3};
+  query.k = 4;
+  for (SearchMode mode :
+       {SearchMode::kExact, SearchMode::kAnn, SearchMode::kAnnCached}) {
+    query.search = mode;
+    Result<TopKResult> top = engine.TopKWithBound(query);
+    ASSERT_TRUE(top.ok()) << SearchModeName(mode) << ": " << top.status();
+    EXPECT_TRUE(top.value().items.empty()) << SearchModeName(mode);
+  }
+}
+
+TEST_F(QueryEngineTest, AnnFullShortlistMatchesExactBitForBit) {
+  // With probes large enough that the shortlist covers the whole mode, the
+  // ANN path must reproduce the exact scan's answer bit-for-bit (same
+  // kernels on the same rows).
+  TopKQuery exact;
+  exact.target_mode = 1;
+  exact.anchor = {4, 0, 3};
+  exact.k = 5;
+  TopKQuery ann = exact;
+  ann.search = SearchMode::kAnn;
+  ann.probes = 100;  // 100 * 5 >= 8 rows -> full coverage
+  Result<TopKResult> exact_top = engine_.TopKWithBound(exact);
+  Result<TopKResult> ann_top = engine_.TopKWithBound(ann);
+  ASSERT_TRUE(exact_top.ok());
+  ASSERT_TRUE(ann_top.ok());
+  EXPECT_EQ(ann_top.value().items, exact_top.value().items);
+  EXPECT_EQ(ann_top.value().rows_scored, 8u);
+}
+
+TEST_F(QueryEngineTest, CachedSearchHitsAndNeverServesStaleVersions) {
+  TopKResultCache cache(64);
+  ServeMetrics metrics;
+  QueryEngine engine(&store_, nullptr, &metrics, nullptr, &cache);
+  TopKQuery query;
+  query.target_mode = 1;
+  query.anchor = {4, 0, 3};
+  query.k = 3;
+  query.search = SearchMode::kAnnCached;
+  query.probes = 100;
+
+  Result<TopKResult> first = engine.TopKWithBound(query);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first.value().from_cache);
+  Result<TopKResult> second = engine.TopKWithBound(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_EQ(second.value().rows_scored, 0u);
+  EXPECT_EQ(second.value().items, first.value().items);
+
+  // Publish a different model: the cached v1 answer must not come back.
+  store_.Publish(MakeFactors(2), 1);
+  const uint64_t fresh_fingerprint = store_.Current()->fingerprint();
+  Result<TopKResult> after = engine.TopKWithBound(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().from_cache);
+  // And the recomputed answer matches a from-scratch exact query against
+  // the fresh model (full shortlist -> bit-exact).
+  EXPECT_EQ(after.value().items,
+            store_.Current()->TopK(1, query.anchor, 3));
+  EXPECT_EQ(store_.Current()->fingerprint(), fresh_fingerprint);
+
+  const ServeMetricsReport report = metrics.Report();
+  EXPECT_EQ(report.cache_lookups, 3u);
+  EXPECT_EQ(report.cache_hits, 1u);
+  const ann::ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.stale_misses, 1u);
+}
+
+TEST_F(QueryEngineTest, CachedSearchWithoutCacheDegradesToAnn) {
+  TopKQuery query;
+  query.target_mode = 1;
+  query.anchor = {4, 0, 3};
+  query.k = 3;
+  query.search = SearchMode::kAnnCached;
+  query.probes = 100;
+  Result<TopKResult> top = engine_.TopKWithBound(query);
+  ASSERT_TRUE(top.ok()) << top.status();
+  EXPECT_FALSE(top.value().from_cache);
+  EXPECT_EQ(top.value().items, store_.Current()->TopK(1, query.anchor, 3));
 }
 
 TEST_F(QueryEngineTest, QueriesAreRecordedPerTypeAndVersion) {

@@ -206,6 +206,76 @@ TEST(ServableModelTest, QuantizedTopKScoresWithinReportedBound) {
   }
 }
 
+TEST(ServableModelTest, AnnExactPrecisionFullShortlistIsBitExact) {
+  // With the shortlist covering every candidate, ANN + exact re-rank is the
+  // same computation as the brute-force scan: scores must match bit for bit.
+  const KruskalTensor factors = MakeFactors(14, {64, 48, 6}, 4);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  ASSERT_NE(model->ann_index(), nullptr);
+  const std::vector<uint64_t> anchor = {3, 0, 2};
+  const Result<TopKResult> exact =
+      model->TopKWithPrecision(1, anchor, 10, Precision::kF64);
+  const Result<TopKResult> ann =
+      model->TopKAnn(1, anchor, 10, Precision::kF64, /*probes=*/1000);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(ann.ok());
+  EXPECT_EQ(ann.value().rows_scored, 48u);
+  ASSERT_EQ(ann.value().items.size(), exact.value().items.size());
+  for (size_t i = 0; i < exact.value().items.size(); ++i) {
+    EXPECT_EQ(ann.value().items[i].index, exact.value().items[i].index);
+    // Bit-exact, not approximately equal: the shortlist rows go through the
+    // same topk_score_block kernel as the full scan.
+    EXPECT_EQ(ann.value().items[i].score, exact.value().items[i].score);
+  }
+}
+
+TEST(ServableModelTest, AnnQuantizedRerankStaysWithinReportedBound) {
+  // Quantized ANN composition: the shortlist is re-ranked through the bf16
+  // / int8 kernels, and every returned score must sit within the published
+  // score_error_bound of the fp64 score for that same row.
+  const KruskalTensor factors = MakeFactors(15, {30, 64, 6}, 4);
+  const auto model = ServableModel::Build(factors, 1, 0);
+  const std::vector<uint64_t> anchor = {7, 0, 3};
+  const std::vector<double> weights = model->CombinationWeights(1, anchor);
+
+  for (Precision precision : {Precision::kBf16, Precision::kInt8}) {
+    const Result<TopKResult> quant =
+        model->TopKAnn(1, anchor, 8, precision, /*probes=*/4);
+    ASSERT_TRUE(quant.ok()) << PrecisionName(precision);
+    EXPECT_EQ(quant.value().precision, precision);
+    const double bound = quant.value().score_error_bound;
+    EXPECT_GT(bound, 0.0);
+    EXPECT_GT(quant.value().rows_scored, 0u);
+    EXPECT_LT(quant.value().rows_scored, 64u);  // genuinely a shortlist
+
+    for (const ScoredIndex& entry : quant.value().items) {
+      double f64_score = 0.0;
+      for (size_t f = 0; f < model->rank(); ++f) {
+        f64_score += factors.factor(1)(static_cast<size_t>(entry.index), f) *
+                     weights[f];
+      }
+      EXPECT_LE(std::abs(entry.score - f64_score), bound * (1.0 + 1e-12))
+          << PrecisionName(precision) << " index " << entry.index;
+    }
+  }
+}
+
+TEST(ServableModelTest, AnnRefusesWhenIndexOrPrecisionMissing) {
+  const KruskalTensor factors = MakeFactors(16);
+  ServableBuildOptions no_ann;
+  no_ann.build_ann = false;
+  const auto lean = ServableModel::Build(factors, 1, 0, no_ann);
+  EXPECT_EQ(lean->ann_index(), nullptr);
+  EXPECT_EQ(lean->TopKAnn(1, {0, 0, 0}, 3, Precision::kF64, 4).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ServableBuildOptions f64_only;
+  f64_only.publish_bf16 = false;
+  f64_only.publish_int8 = false;
+  const auto no_bf16 = ServableModel::Build(factors, 1, 0, f64_only);
+  EXPECT_FALSE(no_bf16->TopKAnn(1, {0, 0, 0}, 3, Precision::kBf16, 4).ok());
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace dismastd

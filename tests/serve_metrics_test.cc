@@ -110,6 +110,60 @@ TEST(ServeMetricsTest, PublishToRegistersSharedSeries) {
             std::string::npos);
 }
 
+TEST(ServeMetricsTest, SearchModeCountersFeedReportAndRegistry) {
+  ServeMetrics metrics;
+  metrics.RecordTopKSearch(SearchMode::kExact, /*rows_scored=*/100,
+                           /*cache_hit=*/false);
+  metrics.RecordTopKSearch(SearchMode::kAnn, 20, false);
+  metrics.RecordTopKSearch(SearchMode::kAnnCached, 20, false);
+  metrics.RecordTopKSearch(SearchMode::kAnnCached, 0, true);
+  metrics.NoteRecallSample(1.0);
+  metrics.NoteRecallSample(0.9);
+
+  const ServeMetricsReport report = metrics.Report();
+  EXPECT_EQ(report.topk_by_search[static_cast<size_t>(SearchMode::kExact)],
+            1u);
+  EXPECT_EQ(report.topk_by_search[static_cast<size_t>(SearchMode::kAnn)], 1u);
+  EXPECT_EQ(
+      report.topk_by_search[static_cast<size_t>(SearchMode::kAnnCached)], 2u);
+  EXPECT_EQ(report.topk_rows_scored_total, 140u);
+  EXPECT_EQ(report.cache_lookups, 2u);
+  EXPECT_EQ(report.cache_hits, 1u);
+  EXPECT_NEAR(report.cache_hit_rate, 0.5, 1e-12);
+  EXPECT_EQ(report.recall_samples, 2u);
+  EXPECT_NEAR(report.mean_recall, 0.95, 1e-6);
+
+  obs::MetricRegistry registry;
+  metrics.PublishTo(&registry);
+  const std::string prom = registry.ExposePrometheus();
+  EXPECT_NE(prom.find("dismastd_serve_topk_search_total{mode=\"exact\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("dismastd_serve_topk_search_total{mode=\"ann_cached\"} 2"),
+      std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_topk_rows_scored_total 140"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_cache_hits_total 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_cache_lookups_total 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dismastd_serve_recall_mean 0.95"), std::string::npos);
+
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("topk search:"), std::string::npos);
+  EXPECT_NE(text.find("result cache:"), std::string::npos);
+  EXPECT_NE(text.find("recall@K:"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, RecallSamplesAreClampedToUnitInterval) {
+  ServeMetrics metrics;
+  metrics.NoteRecallSample(1.5);
+  metrics.NoteRecallSample(-0.5);
+  const ServeMetricsReport report = metrics.Report();
+  EXPECT_EQ(report.recall_samples, 2u);
+  EXPECT_NEAR(report.mean_recall, 0.5, 1e-6);
+}
+
 TEST(ServeMetricsTest, EventTimeAbsentUntilNoted) {
   ServeMetrics metrics;
   EXPECT_FALSE(metrics.Report().has_event_time);

@@ -6,9 +6,11 @@
 # recovery layer, the RCU-style model store with its concurrent query
 # engine, the observability layer (lock-free metric registry and the
 # span tracer's multi-thread wall lanes), the ingest pipeline
-# (bounded MPSC queue plus multi-producer ingest sessions), and the
+# (bounded MPSC queue plus multi-producer ingest sessions), the
 # compute-kernel dispatch (mutex-guarded table selection that every
-# worker thread reads through) must all be race-free.
+# worker thread reads through), and the ANN serving layer (the LSH index
+# riding inside RCU-published models while queries shortlist against it,
+# plus the lock-per-slot result cache) must all be race-free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,10 +26,11 @@ cmake --build "${build_dir}" -j \
   --target thread_pool_test cluster_test determinism_test \
   fault_test fault_recovery_test kernels_test \
   model_store_test query_engine_test serve_metrics_test \
+  ann_index_test result_cache_test \
   histogram_test metric_registry_test trace_test \
   event_log_test event_queue_test delta_builder_test ingest_session_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|histogram_test|metric_registry_test|trace_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|ann_index_test|result_cache_test|histogram_test|metric_registry_test|trace_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
 
 echo "TSan: all clean"

@@ -698,10 +698,19 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   if (keep_depth.value() == 0) {
     return Status::InvalidArgument("serve-bench needs --keep-depth >= 1");
   }
+  Result<uint64_t> probes = GetU64(args, "probes", 8);
+  if (!probes.ok()) return probes.status();
+  Result<uint64_t> bits = GetU64(args, "bits", 64);
+  if (!bits.ok()) return bits.status();
+  if (bits.value() == 0) {
+    return Status::InvalidArgument("serve-bench needs --bits >= 1");
+  }
 
   serve::ServeSessionOptions session_options;
   session_options.store.keep_depth =
       static_cast<size_t>(keep_depth.value());
+  session_options.store.servable.lsh.bits =
+      static_cast<size_t>(bits.value());
   session_options.num_query_threads = options.execution.num_threads;
   session_options.tracer = obs_sinks.tracer.get();
   serve::ServeSession session(session_options);
@@ -729,12 +738,27 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   log_options.k = static_cast<size_t>(k.value());
   log_options.batch_size = static_cast<size_t>(batch.value());
   log_options.topk_target_mode = stream.DimsAt(0).size() > 1 ? 1 : 0;
-  log_options.seed = options.als.seed;
+  // The shared Zipf population knobs (same semantics as the bench
+  // harnesses, see bench/bench_util.h): query skew and a dedicated query
+  // seed independent of the model seed.
+  Result<double> zipf_s = GetDouble(args, "zipf-s", log_options.skew);
+  if (!zipf_s.ok()) return zipf_s.status();
+  log_options.skew = zipf_s.value();
+  Result<uint64_t> query_seed = GetU64(args, "query-seed", options.als.seed);
+  if (!query_seed.ok()) return query_seed.status();
+  log_options.seed = query_seed.value();
+  log_options.topk_probes = static_cast<size_t>(probes.value());
   if (args.Has("precision")) {
     Result<serve::Precision> precision =
         serve::ParsePrecision(args.Get("precision"));
     if (!precision.ok()) return precision.status();
     log_options.topk_precision = precision.value();
+  }
+  if (args.Has("search-mode")) {
+    Result<serve::SearchMode> search =
+        serve::ParseSearchMode(args.Get("search-mode"));
+    if (!search.ok()) return search.status();
+    log_options.topk_search = search.value();
   }
   const std::vector<serve::QueryRecord> log =
       serve::GenerateQueryLog(stream.DimsAt(0), log_options);
@@ -760,6 +784,9 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   out << "kernels : " << kernels::DispatchExplanation() << "\n";
   out << "topk precision     : "
       << serve::PrecisionName(log_options.topk_precision) << "\n";
+  out << "topk search        : "
+      << serve::SearchModeName(log_options.topk_search) << " (probes "
+      << log_options.topk_probes << ", " << bits.value() << "-bit codes)\n";
   out << "versions published : " << session.store().num_published() << "\n";
   out << "retained versions  :";
   for (uint64_t v : session.store().RetainedVersions()) out << " v" << v;
@@ -810,10 +837,18 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
       out << qline << "\n";
     }
   }
+  if (const auto model = session.store().Current(); model != nullptr) {
+    if (const auto index = model->ann_index(); index != nullptr) {
+      out << "ann index          : " << index->hashed_rows()
+          << " rows hashed, " << index->reused_rows()
+          << " reused across publishes\n";
+    }
+  }
   out << "\n";
   out << session.metrics().Report().ToString();
   if (obs_sinks.metrics != nullptr) {
     session.metrics().PublishTo(obs_sinks.metrics.get());
+    session.store().PublishTo(obs_sinks.metrics.get());
   }
   return WriteObsSinks(obs_sinks, out);
 }
@@ -891,6 +926,10 @@ std::string UsageText() {
       "  serve-bench     --input F [stream flags above]\n"
       "                  [--queries N --clients C --k K --batch B]\n"
       "                  [--precision f64|bf16|int8]  (top-K scan factors)\n"
+      "                  [--search-mode exact|ann|ann_cached]\n"
+      "                  [--probes P]  (ANN shortlist = P * K candidates)\n"
+      "                  [--bits B]    (LSH code width per row)\n"
+      "                  [--zipf-s S --query-seed N]  (query population)\n"
       "                  [--keep-depth D] [--warm-checkpoint F]\n"
       "                  [--trace-out F.json] [--metrics-out F.prom]\n"
       "  partition-stats --input F [--parts 8x15x23] [--partitioner "
