@@ -1,5 +1,6 @@
 #include "core/dismastd.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -75,14 +76,31 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   const size_t rank = options.als.rank;
   const double mu = options.als.mu;
   DISMASTD_CHECK(old_dims.size() == order);
-  const uint32_t workers = options.num_workers;
-  const uint32_t parts =
-      options.parts_per_mode == 0 ? workers : options.parts_per_mode;
-
   bool has_prev = false;
   for (uint64_t d : old_dims) has_prev = has_prev || d > 0;
 
-  Cluster cluster(workers, options.cost_model);
+  // With an elastic coordinator attached, the coordinator decides this
+  // step's cluster shape and partition before any compute: due scale
+  // events apply first, then the load monitor may trigger an online
+  // repartition of the decayed per-slice loads. All its inputs are
+  // simulated metrics, so the plan is identical across thread counts.
+  ElasticCoordinator* elastic = options.elastic;
+  ElasticStepPlan eplan;
+  if (elastic != nullptr) {
+    eplan = elastic->BeginStep(delta, options.stream_step);
+  }
+  const uint32_t workers =
+      elastic != nullptr ? eplan.num_workers : options.num_workers;
+  const uint32_t parts =
+      elastic != nullptr
+          ? elastic->num_parts()
+          : (options.parts_per_mode == 0 ? workers : options.parts_per_mode);
+
+  // The cluster starts at the pre-scale size: joiners must receive their
+  // state over the fabric and leavers must hand theirs off before the
+  // drain, the same boundary discipline checkpoint recovery uses.
+  Cluster cluster(elastic != nullptr ? eplan.workers_before : workers,
+                  options.cost_model);
   WorkerExecutor exec(workers, options.execution);
   DistributedResult result;
 
@@ -109,6 +127,116 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   }
 
   // ---------------------------------------------------------------------
+  // Phase 0 (elastic only): execute the coordinator's step plan — scale
+  // out, repartition, migrate, scale in — before the decomposition proper.
+  // ---------------------------------------------------------------------
+  if (elastic != nullptr && eplan.workers_added > 0) {
+    cluster.AddWorkers(eplan.workers_added);
+  }
+  if (elastic != nullptr && eplan.repartition) {
+    // Account the online GTP/MTP recompute as its own superstep: every
+    // worker re-counts its resident non-zeros and the driver's boundary
+    // assignment is spread over the cluster, mirroring phase 1's cost.
+    const double repart_before = cluster.ElapsedSimSeconds();
+    SuperstepAccounting racct = cluster.NewSuperstep();
+    for (size_t n = 0; n < order; ++n) {
+      const uint64_t slices =
+          elastic->partitioning().modes[n].slice_to_part.size();
+      const uint64_t assign_cost =
+          options.partitioner == PartitionerKind::kMaxMin
+              ? slices *
+                    (64 - static_cast<uint64_t>(__builtin_clzll(slices | 1)))
+              : slices;
+      exec.Run(&racct, [&](uint32_t w, SuperstepAccounting& shard) {
+        shard.AddSparseTask(w, delta.nnz() / workers + 1,
+                            assign_cost / workers + 1);
+      });
+    }
+    cluster.CommitSuperstep(racct, "repartition");
+    result.metrics.sim_seconds_repartition =
+        cluster.ElapsedSimSeconds() - repart_before;
+    elastic->totals().repartition_sim_seconds +=
+        result.metrics.sim_seconds_repartition;
+
+    if (has_prev || eplan.workers_added > 0) {
+      // Live migration: every factor row whose owner changed moves from
+      // its old worker to its new one through the fabric — CRC-framed,
+      // retried under injected faults (TransmitReliably inside SendRows),
+      // and booked as migration traffic so rebalance cost stays separate
+      // from algorithm traffic. Joiners additionally receive the
+      // replicated R x R Gram products.
+      ScopedTrafficClass migration_traffic(
+          cluster.network(), SimulatedNetwork::TrafficClass::kMigration);
+      const double migrate_before = cluster.ElapsedSimSeconds();
+      const uint64_t migration_bytes_before =
+          cluster.network().stats().migration_bytes;
+      SuperstepAccounting macct = cluster.NewSuperstep();
+      uint64_t migrated_rows = 0;
+      for (size_t n = 0; has_prev && n < order; ++n) {
+        const ModePartition& prev_mp = eplan.prev_partitioning.modes[n];
+        const ModePartition& new_mp = elastic->partitioning().modes[n];
+        // Only rows that exist in the previous factors can move; rows of
+        // this step's new slices are initialized in place on their owner.
+        const uint64_t movable = std::min<uint64_t>(
+            old_dims[n], prev_mp.slice_to_part.size());
+        std::vector<std::vector<std::vector<uint64_t>>> moved(
+            eplan.workers_before, std::vector<std::vector<uint64_t>>(workers));
+        for (uint64_t i = 0; i < movable; ++i) {
+          const uint32_t src =
+              prev_mp.slice_to_part[i] % eplan.workers_before;
+          const uint32_t dst = new_mp.slice_to_part[i] % workers;
+          if (src != dst) moved[src][dst].push_back(i);
+        }
+        for (uint32_t src = 0; src < eplan.workers_before; ++src) {
+          for (uint32_t dst = 0; dst < workers; ++dst) {
+            const std::vector<uint64_t>& rows = moved[src][dst];
+            if (rows.empty()) continue;
+            Matrix block(rows.size(), rank);
+            for (size_t i = 0; i < rows.size(); ++i) {
+              const double* src_row =
+                  prev.factor(n).RowPtr(static_cast<size_t>(rows[i]));
+              std::copy(src_row, src_row + rank, block.RowPtr(i));
+            }
+            Result<Matrix> landed = cluster.SendRows(src, dst, block, &macct);
+            DISMASTD_CHECK_OK(landed.status());
+            // The CRC frame + retransmission guarantee migration never
+            // silently alters state, even under injected corruption.
+            DISMASTD_CHECK(landed.value() == block);
+            migrated_rows += rows.size();
+          }
+        }
+      }
+      for (uint32_t w = eplan.workers_before;
+           w < eplan.workers_before + eplan.workers_added; ++w) {
+        // State handoff to each joiner: the three replicated R x R
+        // products per mode (its factor rows arrived above).
+        for (size_t n = 0; n < order; ++n) {
+          for (int rep = 0; rep < 3; ++rep) {
+            Result<Matrix> gram =
+                cluster.SendRows(0, w, Matrix(rank, rank), &macct);
+            DISMASTD_CHECK_OK(gram.status());
+          }
+        }
+      }
+      cluster.CommitSuperstep(macct, "migrate");
+      result.metrics.sim_seconds_migrate =
+          cluster.ElapsedSimSeconds() - migrate_before;
+      result.metrics.migrated_rows = migrated_rows;
+      result.metrics.migration_bytes =
+          cluster.network().stats().migration_bytes - migration_bytes_before;
+      elastic->totals().migrated_rows += migrated_rows;
+      elastic->totals().migration_bytes += result.metrics.migration_bytes;
+      elastic->totals().migration_sim_seconds +=
+          result.metrics.sim_seconds_migrate;
+    }
+  }
+  if (elastic != nullptr && eplan.workers_drained > 0) {
+    // The drained ranks' state moved away in the migrate superstep; the
+    // drain itself is a boundary operation, like checkpoint handoff.
+    DISMASTD_CHECK_OK(cluster.DrainWorkers(eplan.workers_drained));
+  }
+
+  // ---------------------------------------------------------------------
   // Phase 1: data partitioning (§IV-A).
   // ---------------------------------------------------------------------
   TensorPartitioning partitioning;
@@ -119,7 +247,19 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
     const uint64_t entry_bytes = EntryBytes(order);
     for (size_t n = 0; n < order; ++n) {
       const std::vector<uint64_t> slice_nnz = delta.SliceNnzCounts(n);
-      ModePartition mp = PartitionMode(options.partitioner, slice_nnz, parts);
+      ModePartition mp;
+      if (elastic != nullptr) {
+        // The coordinator's persistent (step-spanning) partition, with
+        // this delta's loads filled in so balance reporting and shipping
+        // accounting reflect what this step actually moves.
+        mp = elastic->partitioning().modes[n];
+        std::fill(mp.part_nnz.begin(), mp.part_nnz.end(), 0);
+        for (uint64_t i = 0; i < slice_nnz.size(); ++i) {
+          mp.part_nnz[mp.slice_to_part[i]] += slice_nnz[i];
+        }
+      } else {
+        mp = PartitionMode(options.partitioner, slice_nnz, parts);
+      }
       result.metrics.balance_per_mode.push_back(ComputeBalance(mp));
       // Counting pass + boundary assignment cost, spread over workers
       // (O(nnz + I) for GTP, O(nnz + I log I) for MTP; Theorem 2).
@@ -564,6 +704,30 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
   result.metrics.recovery = injector.metrics();
   result.metrics.orphaned_messages = cluster.network().stats().orphan_events;
   result.metrics.leaked_messages = cluster.network().stats().orphan_messages;
+  result.metrics.num_workers = workers;
+  result.metrics.worker_busy_seconds = cluster.per_worker_busy_seconds();
+  {
+    double busy_max = 0.0, busy_sum = 0.0;
+    for (double b : result.metrics.worker_busy_seconds) {
+      busy_max = std::max(busy_max, b);
+      busy_sum += b;
+    }
+    const double busy_avg =
+        result.metrics.worker_busy_seconds.empty()
+            ? 0.0
+            : busy_sum /
+                  static_cast<double>(result.metrics.worker_busy_seconds.size());
+    result.metrics.load_imbalance = busy_avg > 0.0 ? busy_max / busy_avg : 1.0;
+  }
+  if (elastic != nullptr) {
+    result.metrics.elastic_active = true;
+    result.metrics.repartitioned = eplan.repartition;
+    result.metrics.workers_added = eplan.workers_added;
+    result.metrics.workers_drained = eplan.workers_drained;
+    // Close the feedback loop: the monitor folds this step's realized
+    // per-worker load into the rolling signal the next step consults.
+    elastic->EndStep(result.metrics.worker_busy_seconds);
+  }
 
   if (options.metrics != nullptr) {
     obs::MetricRegistry* reg = options.metrics;
@@ -581,6 +745,12 @@ DistributedResult DisMastdDecompose(const SparseTensor& delta,
     phase_gauge("mttkrp_update", result.metrics.sim_seconds_mttkrp_update);
     phase_gauge("gram_reduce", result.metrics.sim_seconds_gram_reduce);
     phase_gauge("loss", result.metrics.sim_seconds_loss);
+    phase_gauge("repartition", result.metrics.sim_seconds_repartition);
+    phase_gauge("migrate", result.metrics.sim_seconds_migrate);
+    for (size_t n = 0; n < result.metrics.balance_per_mode.size(); ++n) {
+      PublishBalanceTo(result.metrics.balance_per_mode[n], n, reg);
+    }
+    if (elastic != nullptr) elastic->PublishTo(reg);
     reg->GetCounter("dismastd_core_flops_total", {},
                     "Counted floating-point work across all workers")
         ->Add(result.metrics.total_flops);

@@ -7,6 +7,7 @@
 #include "core/cp_als.h"
 #include "core/options.h"
 #include "dist/cost_model.h"
+#include "dist/elastic.h"
 #include "dist/execution.h"
 #include "dist/fault.h"
 #include "partition/partition.h"
@@ -60,6 +61,14 @@ struct DistributedOptions {
   /// the `dismastd_<subsystem>_*` naming convention, and the network's
   /// per-message wire-byte histogram records into it live.
   obs::MetricRegistry* metrics = nullptr;
+  /// Optional elastic-cluster coordinator (not owned, may be null). When
+  /// attached, the partition persists across streaming steps under the
+  /// coordinator (instead of being recomputed per delta), the run executes
+  /// the coordinator's step plan — worker joins/drains and online
+  /// repartitioning with factor-row + Gram-shard migration through the
+  /// simulated network — and num_workers is taken from the coordinator.
+  /// One coordinator must span one streaming run, driven in step order.
+  ElasticCoordinator* elastic = nullptr;
 
   /// Rejects invalid settings (invalid ALS options, zero workers, bad
   /// cost-model constants, inconsistent fault plan). parts_per_mode is
@@ -100,6 +109,23 @@ struct DistributedRunMetrics {
   /// Total undelivered messages across those violations — sizes the leak,
   /// where orphaned_messages only counts the offending supersteps.
   uint64_t leaked_messages = 0;
+  /// Workers the run actually computed on (differs from the options when
+  /// an elastic coordinator scales the cluster).
+  uint32_t num_workers = 0;
+  /// Per-worker busy seconds across the run's supersteps (cost-model terms
+  /// before the BSP max) and their max/avg ratio — the realized load
+  /// imbalance the elastic monitor watches.
+  std::vector<double> worker_busy_seconds;
+  double load_imbalance = 1.0;
+  /// Elastic-cluster activity of this run (zeros without a coordinator).
+  bool elastic_active = false;
+  bool repartitioned = false;
+  uint32_t workers_added = 0;
+  uint32_t workers_drained = 0;
+  uint64_t migrated_rows = 0;
+  uint64_t migration_bytes = 0;
+  double sim_seconds_repartition = 0.0;
+  double sim_seconds_migrate = 0.0;
 
   /// Mean simulated seconds per ALS sweep (the paper's reported metric).
   double MeanIterationSeconds() const;

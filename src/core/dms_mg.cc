@@ -9,6 +9,9 @@ DistributedResult DmsMgDecompose(const SparseTensor& snapshot,
   // distributed engine executes a from-scratch medium-grained CP-ALS over
   // every non-zero of the snapshot.
   const std::vector<uint64_t> no_old_dims(snapshot.order(), 0);
+  // Elastic coordination is a streaming concern (persistent partition,
+  // migration of chained state); a from-scratch recompute has neither.
+  DISMASTD_CHECK(options.elastic == nullptr);
   return DisMastdDecompose(snapshot, no_old_dims, KruskalTensor(), options);
 }
 

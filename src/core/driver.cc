@@ -38,6 +38,24 @@ void FillStepMetrics(const DistributedResult& result, StreamStepMetrics* sm) {
   sm->recovery = result.metrics.recovery;
   sm->orphaned_messages = result.metrics.orphaned_messages;
   sm->leaked_messages = result.metrics.leaked_messages;
+  sm->num_workers = result.metrics.num_workers;
+  sm->load_imbalance = result.metrics.load_imbalance;
+  for (double b : result.metrics.worker_busy_seconds) {
+    sm->busy_seconds_max = std::max(sm->busy_seconds_max, b);
+    sm->busy_seconds_avg += b;
+  }
+  if (!result.metrics.worker_busy_seconds.empty()) {
+    sm->busy_seconds_avg /=
+        static_cast<double>(result.metrics.worker_busy_seconds.size());
+  }
+  sm->elastic_active = result.metrics.elastic_active;
+  sm->elastic_repartitioned = result.metrics.repartitioned;
+  sm->workers_added = result.metrics.workers_added;
+  sm->workers_drained = result.metrics.workers_drained;
+  sm->migrated_rows = result.metrics.migrated_rows;
+  sm->migration_bytes = result.metrics.migration_bytes;
+  sm->sim_seconds_repartition = result.metrics.sim_seconds_repartition;
+  sm->sim_seconds_migrate = result.metrics.sim_seconds_migrate;
 }
 
 /// Per-step durable state: what a restarted process (or crash recovery)

@@ -77,6 +77,21 @@ struct StreamStepMetrics {
   /// measures model staleness against the watermark.
   int64_t event_time_max = kNoEventTime;
   int64_t event_time_watermark = kNoEventTime;
+  /// Workers the step computed on and the realized per-worker busy-time
+  /// imbalance (max/avg; the signal the elastic monitor watches).
+  uint32_t num_workers = 0;
+  double busy_seconds_max = 0.0;
+  double busy_seconds_avg = 0.0;
+  double load_imbalance = 1.0;
+  /// Elastic-cluster activity of the step (zeros without a coordinator).
+  bool elastic_active = false;
+  bool elastic_repartitioned = false;
+  uint32_t workers_added = 0;
+  uint32_t workers_drained = 0;
+  uint64_t migrated_rows = 0;
+  uint64_t migration_bytes = 0;
+  double sim_seconds_repartition = 0.0;
+  double sim_seconds_migrate = 0.0;
 };
 
 /// Called after every completed streaming step with that step's metrics

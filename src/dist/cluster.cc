@@ -32,12 +32,33 @@ Result<Matrix> DeserializeMatrix(const std::vector<uint8_t>& bytes) {
 }
 
 Cluster::Cluster(uint32_t num_workers, CostModelConfig config)
-    : network_(num_workers), config_(config) {}
+    : network_(num_workers),
+      config_(config),
+      busy_seconds_(num_workers, 0.0),
+      processed_elements_(num_workers, 0) {}
+
+void Cluster::AddWorkers(uint32_t count) {
+  network_.AddWorkers(count);
+  busy_seconds_.resize(network_.num_workers(), 0.0);
+  processed_elements_.resize(network_.num_workers(), 0);
+}
+
+Status Cluster::DrainWorkers(uint32_t count) {
+  DISMASTD_RETURN_IF_ERROR(network_.RemoveWorkers(count));
+  busy_seconds_.resize(network_.num_workers());
+  processed_elements_.resize(network_.num_workers());
+  return Status::OK();
+}
 
 void Cluster::CommitSuperstep(const SuperstepAccounting& acct,
                               const char* phase) {
   const double before = sim_seconds_;
   sim_seconds_ += SuperstepSeconds(config_, acct);
+  for (uint32_t w = 0; w < acct.num_workers() && w < busy_seconds_.size();
+       ++w) {
+    busy_seconds_[w] += WorkerSeconds(config_, acct, w);
+    processed_elements_[w] += acct.per_worker_sparse_elements()[w];
+  }
   // Fault overhead accrued during this superstep (straggler delays,
   // retransmission backoff, recovery penalties) lands on the clock here,
   // so the cost model prices unreliability alongside the regular work.

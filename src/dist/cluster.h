@@ -34,6 +34,28 @@ class Cluster {
   SimulatedNetwork& network() { return network_; }
   const CostModelConfig& config() const { return config_; }
 
+  /// Elastic scale-out: `count` fresh workers join at the next ranks with
+  /// empty inboxes and zeroed cumulative counters. Call only between
+  /// supersteps; the joiners' state handoff is the caller's migration.
+  void AddWorkers(uint32_t count);
+
+  /// Elastic scale-in: the `count` highest-ranked workers leave. Fails if
+  /// a drained worker still holds undelivered messages — drains reuse the
+  /// checkpoint-recovery discipline of handing state off at a fully
+  /// drained BSP boundary (the caller migrates shards away first).
+  Status DrainWorkers(uint32_t count);
+
+  /// Cumulative per-worker busy seconds across committed supersteps: the
+  /// cost model's per-worker term before the BSP max. This is the load
+  /// signal the elastic LoadMonitor folds into its imbalance ratio.
+  const std::vector<double>& per_worker_busy_seconds() const {
+    return busy_seconds_;
+  }
+  /// Cumulative per-worker sparse elements (nnz) processed.
+  const std::vector<uint64_t>& per_worker_processed_elements() const {
+    return processed_elements_;
+  }
+
   /// Attaches a deterministic fault source to this cluster and its network
   /// fabric. Collectives then retransmit dropped/corrupt messages with
   /// bounded retries, charging retransmission bytes and exponential
@@ -111,6 +133,8 @@ class Cluster {
   FaultInjector* injector_ = nullptr;  // not owned
   obs::Tracer* tracer_ = nullptr;      // not owned
   double sim_seconds_ = 0.0;
+  std::vector<double> busy_seconds_;
+  std::vector<uint64_t> processed_elements_;
   uint64_t total_flops_ = 0;
   uint64_t total_comm_bytes_ = 0;
   uint64_t total_comm_messages_ = 0;

@@ -17,6 +17,12 @@ class MetricRegistry;
 struct CommStats {
   uint64_t messages = 0;
   uint64_t payload_bytes = 0;
+  /// Subset of the totals above attributed to elastic state migration
+  /// (factor rows + Gram shards moved by a repartition). Kept as a
+  /// distinct category so rebalance cost is separable from algorithm
+  /// traffic in the CSVs and the Prometheus exposition.
+  uint64_t migration_messages = 0;
+  uint64_t migration_bytes = 0;
   /// End-of-superstep hygiene violations: how many times the fabric was
   /// found holding undelivered messages when a superstep committed. A
   /// non-zero count means some collective leaked traffic (every committed
@@ -32,9 +38,16 @@ struct CommStats {
     payload_bytes += bytes;
   }
 
+  void RecordMigration(uint64_t bytes) {
+    ++migration_messages;
+    migration_bytes += bytes;
+  }
+
   void Merge(const CommStats& other) {
     messages += other.messages;
     payload_bytes += other.payload_bytes;
+    migration_messages += other.migration_messages;
+    migration_bytes += other.migration_bytes;
     orphan_events += other.orphan_events;
     orphan_messages += other.orphan_messages;
   }

@@ -23,12 +23,21 @@ WorkerExecutor::WorkerExecutor(uint32_t num_workers,
 }
 
 void WorkerExecutor::Run(SuperstepAccounting* acct, const WorkerBody& body) {
-  if (pool_.num_threads() == 0 || num_workers_ == 1) {
-    for (uint32_t w = 0; w < num_workers_; ++w) body(w, *acct);
+  // The accounting defines the superstep's membership: the elastic step
+  // plan runs its repartition superstep while drain-pending workers are
+  // still alive, so the cluster can briefly be larger than the executor's
+  // steady-state worker count.
+  const uint32_t workers = acct->num_workers();
+  if (pool_.num_threads() == 0 || workers == 1) {
+    for (uint32_t w = 0; w < workers; ++w) body(w, *acct);
     return;
   }
+  if (shards_.size() != workers ||
+      shards_.front().num_workers() != workers) {
+    shards_.assign(workers, SuperstepAccounting(workers));
+  }
   for (auto& shard : shards_) shard.Reset();
-  pool_.ParallelFor(num_workers_, [&](size_t w) {
+  pool_.ParallelFor(workers, [&](size_t w) {
     body(static_cast<uint32_t>(w), shards_[w]);
   });
   // Integral counters: the fixed merge order is for auditability, the sums

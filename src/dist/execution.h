@@ -53,8 +53,10 @@ class WorkerExecutor {
 
   using WorkerBody = std::function<void(uint32_t, SuperstepAccounting&)>;
 
-  /// Runs `body(w, shard_w)` for every worker w in [0, num_workers) and
-  /// merges the accounting shards into `*acct` in worker order.
+  /// Runs `body(w, shard_w)` for every worker w of `*acct` (the cluster's
+  /// current membership, which an elastic step plan can briefly hold above
+  /// the steady-state count while a drain is pending) and merges the
+  /// accounting shards into `*acct` in worker order.
   void Run(SuperstepAccounting* acct, const WorkerBody& body);
 
  private:

@@ -60,43 +60,63 @@ Status FaultPlan::Validate() const {
 
 Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
   FaultPlan plan;
-  for (const std::string& token : SplitString(spec, ',')) {
+  const std::vector<std::string> tokens = SplitString(spec, ',');
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
     if (token.empty()) continue;
+    // Every error names the offending token and its 1-based position so a
+    // typo deep inside a long plan is findable from the message alone.
+    const auto fail = [&](const std::string& why) {
+      return Status::InvalidArgument("fault plan token " +
+                                     std::to_string(i + 1) + " ('" + token +
+                                     "'): " + why);
+    };
     const size_t eq = token.find('=');
-    if (eq == std::string::npos) {
-      return Status::InvalidArgument("fault plan token '" + token +
-                                     "' is not key=value");
-    }
+    if (eq == std::string::npos) return fail("not key=value");
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
+    const auto number = [&](double* out) {
+      if (!ParseDouble(value, out).ok()) {
+        return fail("value '" + value + "' is not a number");
+      }
+      return Status::OK();
+    };
+    const auto integer = [&](const std::string& text, uint64_t* out) {
+      if (!ParseU64(text, out).ok()) {
+        return fail("value '" + text + "' is not a non-negative integer");
+      }
+      return Status::OK();
+    };
     if (key == "drop") {
-      DISMASTD_RETURN_IF_ERROR(ParseDouble(value, &plan.drop_prob));
+      DISMASTD_RETURN_IF_ERROR(number(&plan.drop_prob));
     } else if (key == "corrupt") {
-      DISMASTD_RETURN_IF_ERROR(ParseDouble(value, &plan.corrupt_prob));
+      DISMASTD_RETURN_IF_ERROR(number(&plan.corrupt_prob));
     } else if (key == "delay") {
-      DISMASTD_RETURN_IF_ERROR(ParseDouble(value, &plan.delay_prob));
+      DISMASTD_RETURN_IF_ERROR(number(&plan.delay_prob));
     } else if (key == "delay_seconds") {
-      DISMASTD_RETURN_IF_ERROR(ParseDouble(value, &plan.delay_seconds));
+      DISMASTD_RETURN_IF_ERROR(number(&plan.delay_seconds));
     } else if (key == "crash") {
       // "W" or "W@S": worker W crashes (at streaming step S).
       const size_t at = value.find('@');
       uint64_t worker = 0;
-      DISMASTD_RETURN_IF_ERROR(ParseU64(value.substr(0, at), &worker));
+      DISMASTD_RETURN_IF_ERROR(integer(value.substr(0, at), &worker));
       plan.crash_worker = static_cast<uint32_t>(worker);
       if (at != std::string::npos) {
         DISMASTD_RETURN_IF_ERROR(
-            ParseU64(value.substr(at + 1), &plan.crash_stream_step));
+            integer(value.substr(at + 1), &plan.crash_stream_step));
       }
     } else if (key == "superstep") {
-      DISMASTD_RETURN_IF_ERROR(ParseU64(value, &plan.crash_superstep));
+      DISMASTD_RETURN_IF_ERROR(integer(value, &plan.crash_superstep));
     } else if (key == "retries") {
       uint64_t retries = 0;
-      DISMASTD_RETURN_IF_ERROR(ParseU64(value, &retries));
+      DISMASTD_RETURN_IF_ERROR(integer(value, &retries));
       plan.max_retries = static_cast<uint32_t>(retries);
     } else if (key == "seed") {
-      DISMASTD_RETURN_IF_ERROR(ParseU64(value, &plan.seed));
+      DISMASTD_RETURN_IF_ERROR(integer(value, &plan.seed));
     } else {
-      return Status::InvalidArgument("unknown fault plan key '" + key + "'");
+      return fail("unknown key '" + key +
+                  "' (expected drop, corrupt, delay, delay_seconds, crash, "
+                  "superstep, retries or seed)");
     }
   }
   DISMASTD_RETURN_IF_ERROR(plan.Validate());

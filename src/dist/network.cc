@@ -26,6 +26,37 @@ SimulatedNetwork::SimulatedNetwork(uint32_t num_workers)
   DISMASTD_CHECK(num_workers > 0);
 }
 
+void SimulatedNetwork::AddWorkers(uint32_t count) {
+  num_workers_ += count;
+  inboxes_.resize(num_workers_);
+  bytes_sent_.resize(num_workers_, 0);
+  bytes_recv_.resize(num_workers_, 0);
+  msgs_sent_.resize(num_workers_, 0);
+}
+
+Status SimulatedNetwork::RemoveWorkers(uint32_t count) {
+  if (count >= num_workers_) {
+    return Status::InvalidArgument(
+        "cannot drain " + std::to_string(count) + " of " +
+        std::to_string(num_workers_) + " workers (at least one must remain)");
+  }
+  for (uint32_t w = num_workers_ - count; w < num_workers_; ++w) {
+    if (!inboxes_[w].empty()) {
+      return Status::FailedPrecondition(
+          "worker " + std::to_string(w) + " still holds " +
+          std::to_string(inboxes_[w].size()) +
+          " undelivered message(s); drain only at a fully-drained "
+          "superstep boundary");
+    }
+  }
+  num_workers_ -= count;
+  inboxes_.resize(num_workers_);
+  bytes_sent_.resize(num_workers_);
+  bytes_recv_.resize(num_workers_);
+  msgs_sent_.resize(num_workers_);
+  return Status::OK();
+}
+
 Status SimulatedNetwork::Send(uint32_t src, uint32_t dst, uint32_t tag,
                               std::vector<uint8_t> payload) {
   if (src >= num_workers_ || dst >= num_workers_) {
@@ -35,6 +66,9 @@ Status SimulatedNetwork::Send(uint32_t src, uint32_t dst, uint32_t tag,
   const uint64_t size = payload.size();
   if (src != dst) {
     stats_.Record(size);
+    if (traffic_class_ == TrafficClass::kMigration) {
+      stats_.RecordMigration(size);
+    }
     bytes_sent_[src] += size;
     ++msgs_sent_[src];
     if (message_bytes_ != nullptr) message_bytes_->Record(size);

@@ -31,9 +31,29 @@ struct Message {
 /// the cost model's bandwidth term).
 class SimulatedNetwork {
  public:
+  /// Which accounting bucket remote traffic lands in. Migration traffic
+  /// (elastic state handoff) is counted separately in CommStats so
+  /// rebalance cost stays distinguishable from algorithm traffic.
+  enum class TrafficClass { kGeneral, kMigration };
+
   explicit SimulatedNetwork(uint32_t num_workers);
 
   uint32_t num_workers() const { return num_workers_; }
+
+  /// Grows the fabric by `count` fresh workers (empty inboxes, zeroed
+  /// per-worker counters) at the next ranks.
+  void AddWorkers(uint32_t count);
+
+  /// Removes the `count` highest-ranked workers. Fails if a drained
+  /// worker still holds undelivered messages (the drain must happen at a
+  /// fully-drained BSP boundary) or if it would empty the cluster.
+  Status RemoveWorkers(uint32_t count);
+
+  /// Sets the accounting bucket for subsequent sends (see TrafficClass).
+  void SetTrafficClass(TrafficClass traffic_class) {
+    traffic_class_ = traffic_class;
+  }
+  TrafficClass traffic_class() const { return traffic_class_; }
 
   /// Attaches (or detaches, with nullptr) a deterministic fault source.
   /// While an injector with message faults is attached, every payload is
@@ -99,12 +119,31 @@ class SimulatedNetwork {
  private:
   uint32_t num_workers_;
   std::vector<std::deque<Message>> inboxes_;  // per destination
+  TrafficClass traffic_class_ = TrafficClass::kGeneral;
   FaultInjector* injector_ = nullptr;         // not owned
   obs::Pow2Histogram* message_bytes_ = nullptr;  // not owned
   CommStats stats_;
   std::vector<uint64_t> bytes_sent_;
   std::vector<uint64_t> bytes_recv_;
   std::vector<uint64_t> msgs_sent_;
+};
+
+/// RAII guard that routes a scope's sends into a traffic class and
+/// restores the previous class on exit.
+class ScopedTrafficClass {
+ public:
+  ScopedTrafficClass(SimulatedNetwork& network,
+                     SimulatedNetwork::TrafficClass traffic_class)
+      : network_(network), previous_(network.traffic_class()) {
+    network_.SetTrafficClass(traffic_class);
+  }
+  ~ScopedTrafficClass() { network_.SetTrafficClass(previous_); }
+  ScopedTrafficClass(const ScopedTrafficClass&) = delete;
+  ScopedTrafficClass& operator=(const ScopedTrafficClass&) = delete;
+
+ private:
+  SimulatedNetwork& network_;
+  SimulatedNetwork::TrafficClass previous_;
 };
 
 }  // namespace dismastd

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace dismastd {
 
 std::string PartitionBalance::ToString() const {
@@ -48,6 +50,24 @@ double MeanCvOverModes(const TensorPartitioning& partitioning) {
     sum += ComputeBalance(mode).cv;
   }
   return sum / static_cast<double>(partitioning.modes.size());
+}
+
+void PublishBalanceTo(const PartitionBalance& balance, size_t mode,
+                      obs::MetricRegistry* registry) {
+  const obs::LabelSet labels = {{"mode", std::to_string(mode)}};
+  const auto gauge = [&](const char* name, const char* help, double value) {
+    registry->GetGauge(name, labels, help)->Set(value);
+  };
+  gauge("dismastd_partition_max_load",
+        "Largest per-partition nnz load of the mode",
+        static_cast<double>(balance.max_load));
+  gauge("dismastd_partition_mean_load",
+        "Mean per-partition nnz load of the mode", balance.mean_load);
+  gauge("dismastd_partition_load_stddev",
+        "Population stddev of per-partition nnz loads", balance.stddev);
+  gauge("dismastd_partition_imbalance",
+        "max/avg load ratio of the mode (1 is perfectly balanced)",
+        balance.imbalance);
 }
 
 }  // namespace dismastd

@@ -1,11 +1,16 @@
 #ifndef DISMASTD_PARTITION_STATS_H_
 #define DISMASTD_PARTITION_STATS_H_
 
+#include <cstddef>
 #include <string>
 
 #include "partition/partition.h"
 
 namespace dismastd {
+
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
 
 /// Load-balance statistics of one mode partition.
 struct PartitionBalance {
@@ -30,6 +35,12 @@ PartitionBalance ComputeBalance(const ModePartition& partition);
 /// Averages the per-mode coefficient of variation over all modes of a
 /// tensor partitioning (the per-dataset scalar reported in Table IV).
 double MeanCvOverModes(const TensorPartitioning& partitioning);
+
+/// Sets this balance as `dismastd_partition_*` gauges labeled by mode, so
+/// the elastic LoadMonitor and operators read the same numbers the CSVs
+/// report: max/mean load, stddev, and the max/avg imbalance ratio.
+void PublishBalanceTo(const PartitionBalance& balance, size_t mode,
+                      obs::MetricRegistry* registry);
 
 }  // namespace dismastd
 

@@ -345,6 +345,66 @@ TEST(CliTest, StreamFaultFlagsInjectAndReport) {
   std::remove(tensor_path.c_str());
 }
 
+TEST(CliTest, StreamElasticFlagsRebalanceAndScale) {
+  const std::string tensor_path = TempPath("cli_elastic.tns");
+  std::string output;
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "30x20x10", "--nnz", "800", "--rank", "2",
+                          "--seed", "21"},
+                         &output)
+                  .ok());
+  // A monitored elastic run with a scale plan completes and reports the
+  // rollup: both scale events repartition, so the add and the drain are in
+  // the cumulative totals.
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--workers", "3",
+                          "--steps", "4", "--rank", "2", "--iterations", "3",
+                          "--elastic", "on", "--imbalance-threshold", "2.0",
+                          "--rebalance-cooldown", "1", "--scale-plan",
+                          "add=1@1,drain=1@3"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("elastic :"), std::string::npos) << output;
+  EXPECT_NE(output.find("workers(add/drain)=1/1"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("peak-imbalance="), std::string::npos) << output;
+
+  // --scale-plan alone (no --elastic) executes the schedule without the
+  // monitor.
+  ASSERT_TRUE(RunCommand({"stream", "--input", tensor_path, "--workers", "3",
+                          "--steps", "3", "--rank", "2", "--iterations", "2",
+                          "--scale-plan", "add=1@1"},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("workers(add/drain)=1/0"), std::string::npos)
+      << output;
+
+  // Elastic coordination is a streaming (dismastd) concern.
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--method",
+                           "dmsmg", "--steps", "2", "--rank", "2",
+                           "--iterations", "2", "--elastic", "on"},
+                          &output)
+                   .ok());
+
+  // A bad scale plan surfaces the token-addressed parse diagnostic.
+  const Status bad_plan =
+      RunCommand({"stream", "--input", tensor_path, "--steps", "2", "--rank",
+                  "2", "--scale-plan", "grow=1@2"},
+                 &output);
+  ASSERT_FALSE(bad_plan.ok());
+  EXPECT_NE(bad_plan.message().find("scale plan token 1"), std::string::npos)
+      << bad_plan.message();
+
+  // Out-of-range knobs surface ElasticOptions::Validate.
+  EXPECT_FALSE(RunCommand({"stream", "--input", tensor_path, "--steps", "2",
+                           "--rank", "2", "--elastic", "on",
+                           "--imbalance-threshold", "0.5"},
+                          &output)
+                   .ok());
+  std::remove(tensor_path.c_str());
+}
+
 TEST(CliTest, StreamWritesTraceAndMetricsFiles) {
   const std::string tensor_path = TempPath("cli_obs.tns");
   const std::string trace_path = TempPath("cli_obs_trace.json");

@@ -8,9 +8,11 @@
 # span tracer's multi-thread wall lanes), the ingest pipeline
 # (bounded MPSC queue plus multi-producer ingest sessions), the
 # compute-kernel dispatch (mutex-guarded table selection that every
-# worker thread reads through), and the ANN serving layer (the LSH index
+# worker thread reads through), the ANN serving layer (the LSH index
 # riding inside RCU-published models while queries shortlist against it,
-# plus the lock-per-slot result cache) must all be race-free.
+# plus the lock-per-slot result cache), and the elastic cluster (live
+# repartitioning and state migration while a query thread reads the
+# published model) must all be race-free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,13 +26,13 @@ cmake -S "${repo_root}" -B "${build_dir}" \
 
 cmake --build "${build_dir}" -j \
   --target thread_pool_test cluster_test determinism_test \
-  fault_test fault_recovery_test kernels_test \
+  fault_test fault_recovery_test elastic_test kernels_test \
   model_store_test query_engine_test serve_metrics_test \
   ann_index_test result_cache_test \
   histogram_test metric_registry_test trace_test \
   event_log_test event_queue_test delta_builder_test ingest_session_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|ann_index_test|result_cache_test|histogram_test|metric_registry_test|trace_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|elastic_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|ann_index_test|result_cache_test|histogram_test|metric_registry_test|trace_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
 
 echo "TSan: all clean"

@@ -102,6 +102,16 @@ Result<double> GetDouble(const Args& args, const std::string& key,
   return value;
 }
 
+Result<bool> GetBool(const Args& args, const std::string& key,
+                     bool fallback) {
+  if (!args.Has(key)) return fallback;
+  const std::string value = args.Get(key);
+  if (value == "on" || value == "true" || value == "1") return true;
+  if (value == "off" || value == "false" || value == "0") return false;
+  return Status::InvalidArgument("--" + key + " expects on or off, got '" +
+                                 value + "'");
+}
+
 Result<DecompositionOptions> GetAlsOptions(const Args& args) {
   DecompositionOptions options;
   Result<uint64_t> rank = GetU64(args, "rank", options.rank);
@@ -336,6 +346,40 @@ Result<DistributedOptions> GetDistributedOptions(const Args& args) {
   // letting the decomposition entry point fail-fast abort.
   DISMASTD_RETURN_IF_ERROR(options.Validate());
   return options;
+}
+
+/// Builds the elastic-cluster coordinator requested on the command line,
+/// or null when no elastic flag is present. --elastic turns the monitor-
+/// triggered repartitioning on; --scale-plan alone runs the worker
+/// add/drain schedule over a persistent partition without rebalancing
+/// (the skew-drift baseline).
+Result<std::unique_ptr<ElasticCoordinator>> MakeElasticCoordinator(
+    const Args& args, const DistributedOptions& options) {
+  const bool wants = args.Has("elastic") || args.Has("scale-plan") ||
+                     args.Has("imbalance-threshold") ||
+                     args.Has("rebalance-cooldown");
+  if (!wants) return std::unique_ptr<ElasticCoordinator>();
+  ElasticOptions elastic_options;
+  Result<bool> rebalance = GetBool(args, "elastic", false);
+  if (!rebalance.ok()) return rebalance.status();
+  elastic_options.rebalance_enabled = rebalance.value();
+  Result<double> threshold = GetDouble(args, "imbalance-threshold",
+                                       elastic_options.imbalance_threshold);
+  if (!threshold.ok()) return threshold.status();
+  elastic_options.imbalance_threshold = threshold.value();
+  Result<uint64_t> cooldown =
+      GetU64(args, "rebalance-cooldown", elastic_options.cooldown_steps);
+  if (!cooldown.ok()) return cooldown.status();
+  elastic_options.cooldown_steps = static_cast<uint32_t>(cooldown.value());
+  if (args.Has("scale-plan")) {
+    Result<ScalePlan> plan = ParseScalePlan(args.Get("scale-plan"));
+    if (!plan.ok()) return plan.status();
+    elastic_options.scale_plan = plan.value();
+  }
+  DISMASTD_RETURN_IF_ERROR(elastic_options.Validate());
+  return std::make_unique<ElasticCoordinator>(
+      elastic_options, options.partitioner, options.num_workers,
+      options.parts_per_mode);
 }
 
 /// Observability sinks requested on the command line. The tracer and the
@@ -576,6 +620,18 @@ Status CmdStream(const Args& args, std::ostream& out) {
   if (!method_kind.ok()) return method_kind.status();
   const MethodKind method = method_kind.value();
 
+  Result<std::unique_ptr<ElasticCoordinator>> elastic_result =
+      MakeElasticCoordinator(args, options);
+  if (!elastic_result.ok()) return elastic_result.status();
+  std::unique_ptr<ElasticCoordinator> coordinator =
+      std::move(elastic_result.value());
+  if (coordinator != nullptr && method != MethodKind::kDisMastd) {
+    return Status::InvalidArgument(
+        "--elastic/--scale-plan need --method dismastd (elastic "
+        "coordination is a streaming concern)");
+  }
+  options.elastic = coordinator.get();
+
   Result<StreamingTensorSequence> stream_result = GetStream(args);
   if (!stream_result.ok()) return stream_result.status();
   const StreamingTensorSequence& stream = stream_result.value();
@@ -613,6 +669,23 @@ Status CmdStream(const Args& args, std::ostream& out) {
                 total_s - part_s - mttkrp_s - gram_s - loss_s);
   out << phase_line << "\n";
 
+  if (coordinator != nullptr) {
+    // Elastic rollup: cumulative activity plus the per-step imbalance the
+    // monitor saw (max/avg busy seconds).
+    double imb_max = 1.0;
+    for (const StreamStepMetrics& m : metrics) {
+      imb_max = std::max(imb_max, m.load_imbalance);
+    }
+    char elastic_line[192];
+    std::snprintf(elastic_line, sizeof(elastic_line),
+                  "elastic : %s peak-imbalance=%.2f repartition %.4fs + "
+                  "migrate %.4fs (sim)",
+                  coordinator->totals().ToString().c_str(), imb_max,
+                  coordinator->totals().repartition_sim_seconds,
+                  coordinator->totals().migration_sim_seconds);
+    out << elastic_line << "\n";
+  }
+
   // Summarize what the fault layer did, if anything — including the
   // network's CheckNoOrphans diagnostics and retransmission totals.
   RecoveryMetrics fault_totals;
@@ -634,7 +707,16 @@ Status CmdStream(const Args& args, std::ostream& out) {
 
   const std::string checkpoint_path = args.Get("checkpoint");
   if (!checkpoint_path.empty() && method == MethodKind::kDisMastd) {
-    // Re-derive the final factors for the checkpoint.
+    // Re-derive the final factors for the checkpoint. An elastic run is
+    // replayed under a fresh coordinator with the same options: its
+    // decisions derive from simulated metrics, so the replay makes the
+    // same ones and the checkpoint is bit-identical to the measured run.
+    std::unique_ptr<ElasticCoordinator> replay_coordinator;
+    if (coordinator != nullptr) {
+      replay_coordinator = std::make_unique<ElasticCoordinator>(
+          coordinator->options(), options.partitioner, options.num_workers,
+          options.parts_per_mode);
+    }
     KruskalTensor prev;
     std::vector<uint64_t> prev_dims(stream.full().order(), 0);
     for (size_t t = 0; t < stream.num_steps(); ++t) {
@@ -645,6 +727,7 @@ Status CmdStream(const Args& args, std::ostream& out) {
       // out of the trace and the metric totals.
       step_options.tracer = nullptr;
       step_options.metrics = nullptr;
+      step_options.elastic = replay_coordinator.get();
       prev = DisMastdDecompose(stream.DeltaAt(t), prev_dims, prev,
                                step_options)
                  .als.factors;
@@ -912,6 +995,9 @@ std::string UsageText() {
       "                  [--crash-worker W --crash-at-step T\n"
       "                   --crash-superstep S]\n"
       "                  [--recovery checkpoint|degraded]\n"
+      "                  [--elastic on] [--imbalance-threshold X]\n"
+      "                  [--rebalance-cooldown STEPS]\n"
+      "                  [--scale-plan add=N@S,drain=N@S]\n"
       "                  [--trace-out F.json]\n"
       "                  [--trace-detail steps|phases|workers]\n"
       "                  [--metrics-out F.prom]\n"

@@ -25,6 +25,20 @@ REQUIRED_KEYS = {"ph", "pid", "ts"}
 SIM_PID = 1
 WALL_PID = 2
 
+# Superstep names the decomposition commits as 'phase'-category spans.
+# 'repartition' and 'migrate' are the elastic cluster's online rebalance
+# supersteps (partition recompute and factor-row/Gram-shard migration).
+KNOWN_PHASES = {
+    "partition",
+    "products",
+    "mttkrp_update",
+    "gram_reduce",
+    "loss",
+    "recovery",
+    "repartition",
+    "migrate",
+}
+
 
 def fail(message):
     print(f"validate_trace: FAIL: {message}")
@@ -109,6 +123,14 @@ def main():
         if ph == "B":
             if "name" not in event:
                 fail(f"event {i}: B event without name")
+            if (
+                event.get("cat") == "phase"
+                and event["name"] not in KNOWN_PHASES
+            ):
+                fail(
+                    f"event {i}: unknown phase span {event['name']!r} "
+                    f"(known: {sorted(KNOWN_PHASES)})"
+                )
             open_spans.setdefault(lane, []).append(event)
         elif ph == "E":
             stack = open_spans.get(lane, [])
