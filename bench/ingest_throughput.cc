@@ -36,7 +36,8 @@ struct SweepRow {
 };
 
 void RunRow(const SweepRow& row, const ingest::EventLogReader& log,
-            const DistributedOptions& options, bench::CsvWriter* csv) {
+            const DistributedOptions& options, bench::CsvWriter* csv,
+            bench::BenchReport* report) {
   ingest::IngestSessionOptions session;
   session.decompose = options;
   session.num_producers = row.producers;
@@ -52,15 +53,21 @@ void RunRow(const SweepRow& row, const ingest::EventLogReader& log,
   const double events_per_second =
       r.wall_seconds > 0.0 ? static_cast<double>(r.events) / r.wall_seconds
                            : 0.0;
-  const double p50_us = r.event_to_publish_nanos->Percentile(0.50) * 1e-3;
-  const double p95_us = r.event_to_publish_nanos->Percentile(0.95) * 1e-3;
+  const obs::HistogramSummary lat =
+      obs::Summarize(*r.event_to_publish_nanos, 1e-3);  // ns -> us
   std::printf("%-22s %9zu %12.0f %10.1f %10.1f %8zu %9llu  %016llx\n",
-              row.label.c_str(), row.producers, events_per_second, p50_us,
-              p95_us, r.steps.size(),
+              row.label.c_str(), row.producers, events_per_second, lat.p50,
+              lat.p95, r.steps.size(),
               static_cast<unsigned long long>(r.max_queue_depth),
               static_cast<unsigned long long>(r.batch_fingerprint));
-  csv->Row(row.label, row.producers, events_per_second, p50_us, p95_us,
+  csv->Row(row.label, row.producers, events_per_second, lat.p50, lat.p95,
            r.steps.size(), r.max_queue_depth, r.batch_fingerprint);
+  const std::string point =
+      row.label + "/" + std::to_string(row.producers) + "producers";
+  report->AddPoint("events_per_sec", point, events_per_second);
+  report->AddPoint("publish_p95_us", point, lat.p95);
+  report->AddPoint("max_queue_depth", point,
+                   static_cast<double>(r.max_queue_depth));
 }
 
 }  // namespace
@@ -115,6 +122,11 @@ int main(int argc, char** argv) {
   bench::CsvWriter csv("ingest_throughput.csv");
   csv.Row("label", "producers", "events_per_sec", "p50_us", "p95_us",
           "batches", "max_queue_depth", "fingerprint");
+  bench::BenchReport report("ingest_throughput");
+  report.SetConfig("scale", scale);
+  report.AddMetric("events_per_sec", "1/s", "higher_better");
+  report.AddMetric("publish_p95_us", "us", "lower_better");
+  report.AddMetric("max_queue_depth", "events", "info");
   std::printf("%-22s %9s %12s %10s %10s %8s %9s  %s\n", "config",
               "producers", "events/s", "p50(us)", "p95(us)", "batches",
               "max_depth", "fingerprint");
@@ -126,7 +138,7 @@ int main(int argc, char** argv) {
     SweepRow row;
     row.label = "barriers";
     row.producers = producers;
-    RunRow(row, barriers.value(), options, &csv);
+    RunRow(row, barriers.value(), options, &csv, &report);
   }
   bench::PrintRule();
 
@@ -138,7 +150,7 @@ int main(int argc, char** argv) {
     row.label = "count=" + std::to_string(batch_events);
     row.producers = 4;
     row.builder.max_batch_events = batch_events;
-    RunRow(row, events_only.value(), options, &csv);
+    RunRow(row, events_only.value(), options, &csv, &report);
   }
   {
     SweepRow row;
@@ -146,9 +158,10 @@ int main(int argc, char** argv) {
     row.producers = 4;
     row.builder.max_batch_events = 0;
     row.builder.horizon_ticks = 500;
-    RunRow(row, events_only.value(), options, &csv);
+    RunRow(row, events_only.value(), options, &csv, &report);
   }
 
+  report.WriteFile(obs_sinks.bench_out());
   obs_sinks.Finish();
   return 0;
 }

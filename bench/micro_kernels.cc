@@ -16,6 +16,10 @@
 //                                 rows op,backend,precision,rank,items,
 //                                 seconds,rows_per_s,gb_per_s to FILE
 //   --sweep-only                  skip the google-benchmark suite
+//   --bench-out=FILE              write the sweep as a BenchReport JSON
+//                                 (schema dismastd-bench-v1; implies the
+//                                 sweep runs, with the CSV defaulting to
+//                                 micro_kernels_sweep.csv)
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "core/dismastd.h"
 #include "kernels/kernels.h"
@@ -257,20 +262,25 @@ double TimeSeconds(size_t reps, Fn&& fn) {
   return std::chrono::duration<double>(stop - start).count();
 }
 
-void EmitSweepRow(std::ofstream& csv, const char* op,
-                  kernels::Backend backend, const char* precision,
-                  size_t rank, double items, double seconds, double bytes) {
+void EmitSweepRow(std::ofstream& csv, bench::BenchReport* report,
+                  const char* op, kernels::Backend backend,
+                  const char* precision, size_t rank, double items,
+                  double seconds, double bytes) {
   const double rows_per_s = items / seconds;
   const double gb_per_s = bytes / seconds * 1e-9;
   csv << op << ',' << kernels::BackendName(backend) << ',' << precision << ','
       << rank << ',' << static_cast<uint64_t>(items) << ',' << seconds << ','
       << rows_per_s << ',' << gb_per_s << '\n';
+  const std::string label = std::string(op) + "/" +
+                            kernels::BackendName(backend) + "/" + precision;
+  report->AddPoint("rows_per_s", label, rows_per_s);
+  report->AddPoint("gb_per_s", label, gb_per_s);
   std::printf("sweep %-6s %-6s %-4s rank=%zu  %10.3e rows/s  %7.2f GB/s\n",
               op, kernels::BackendName(backend), precision, rank, rows_per_s,
               gb_per_s);
 }
 
-int RunKernelSweep(const std::string& path) {
+int RunKernelSweep(const std::string& path, const std::string& bench_out) {
   std::ofstream csv(path);
   if (!csv) {
     std::fprintf(stderr, "cannot open kernel-sweep output %s\n", path.c_str());
@@ -279,6 +289,10 @@ int RunKernelSweep(const std::string& path) {
   csv << "op,backend,precision,rank,items,seconds,rows_per_s,gb_per_s\n";
 
   constexpr size_t kRank = 16;
+  bench::BenchReport report("micro_kernels");
+  report.SetConfig("rank", static_cast<double>(kRank));
+  report.AddMetric("rows_per_s", "1/s", "higher_better");
+  report.AddMetric("gb_per_s", "GB/s", "info");
   Rng rng(99);
 
   // MTTKRP inputs: one synthetic 3-mode non-zero stream — two non-target
@@ -333,7 +347,7 @@ int RunKernelSweep(const std::string& path) {
       const double items = static_cast<double>(kMttkrpItems) * kReps;
       // Two factor-row reads plus an accumulator read-modify-write.
       const double bytes = items * 4.0 * kRank * sizeof(double);
-      EmitSweepRow(csv, "mttkrp", backend, "f64", kRank, items, secs, bytes);
+      EmitSweepRow(csv, &report, "mttkrp", backend, "f64", kRank, items, secs, bytes);
     }
 
     constexpr size_t kScanReps = 64;
@@ -346,7 +360,7 @@ int RunKernelSweep(const std::string& path) {
       });
       const double bytes =
           scan_items * (kRank * sizeof(double) + sizeof(double));
-      EmitSweepRow(csv, "topk", backend, "f64", kRank, scan_items, secs,
+      EmitSweepRow(csv, &report, "topk", backend, "f64", kRank, scan_items, secs,
                    bytes);
     }
     {
@@ -357,7 +371,7 @@ int RunKernelSweep(const std::string& path) {
       });
       const double bytes =
           scan_items * (kRank * sizeof(kernels::Bf16) + sizeof(double));
-      EmitSweepRow(csv, "topk", backend, "bf16", kRank, scan_items, secs,
+      EmitSweepRow(csv, &report, "topk", backend, "bf16", kRank, scan_items, secs,
                    bytes);
     }
     {
@@ -368,10 +382,11 @@ int RunKernelSweep(const std::string& path) {
       });
       const double bytes =
           scan_items * (kRank * sizeof(int8_t) + sizeof(double));
-      EmitSweepRow(csv, "topk", backend, "i8", kRank, scan_items, secs,
+      EmitSweepRow(csv, &report, "topk", backend, "i8", kRank, scan_items, secs,
                    bytes);
     }
   }
+  report.WriteFile(bench_out);
   std::printf("sweep: wrote %s\n", path.c_str());
   return 0;
 }
@@ -380,11 +395,12 @@ int RunKernelSweep(const std::string& path) {
 }  // namespace dismastd
 
 // Custom main: benchmark_main rejects flags it does not know, so strip our
-// --threads / --kernel / --kernel-sweep / --sweep-only flags before handing
-// argv to the benchmark library.
+// --threads / --kernel / --kernel-sweep / --sweep-only / --bench-out flags
+// before handing argv to the benchmark library.
 int main(int argc, char** argv) {
   std::string sweep_path;
   std::string kernel_name;
+  std::string bench_out;
   bool sweep_only = false;
   int out = 1;  // keep argv[0]
   for (int i = 1; i < argc; ++i) {
@@ -402,6 +418,8 @@ int main(int argc, char** argv) {
       sweep_path = argv[++i];
     } else if (std::strncmp(argv[i], "--kernel-sweep=", 15) == 0) {
       sweep_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
+      bench_out = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
       sweep_only = true;
     } else {
@@ -409,6 +427,11 @@ int main(int argc, char** argv) {
     }
   }
   argc = out;
+  // A JSON report is produced by the sweep path; asking for one without a
+  // CSV destination runs the sweep with a default CSV.
+  if (!bench_out.empty() && sweep_path.empty()) {
+    sweep_path = "micro_kernels_sweep.csv";
+  }
 
   if (!kernel_name.empty()) {
     dismastd::Result<dismastd::kernels::Backend> backend =
@@ -428,7 +451,7 @@ int main(int argc, char** argv) {
               dismastd::kernels::DispatchExplanation().c_str());
 
   if (!sweep_path.empty()) {
-    const int rc = dismastd::RunKernelSweep(sweep_path);
+    const int rc = dismastd::RunKernelSweep(sweep_path, bench_out);
     if (rc != 0) return rc;
     if (sweep_only) return 0;
   } else if (sweep_only) {

@@ -1,9 +1,18 @@
 #include "common/status.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace dismastd {
+
+namespace {
+std::atomic<CheckFailureHook> g_check_failure_hook{nullptr};
+}  // namespace
+
+void SetCheckFailureHook(CheckFailureHook hook) {
+  g_check_failure_hook.store(hook, std::memory_order_release);
+}
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {
@@ -54,6 +63,13 @@ void DieBadResultAccess(const Status& status) {
 void DieCheckFailed(const char* expr, const char* file, int line) {
   std::fprintf(stderr, "FATAL: DISMASTD_CHECK(%s) failed at %s:%d\n", expr,
                file, line);
+  // Give the flight recorder (if installed) one shot at a post-mortem
+  // dump before the abort. Exchange-to-null so a hook that itself fails a
+  // check cannot recurse.
+  if (CheckFailureHook hook = g_check_failure_hook.exchange(
+          nullptr, std::memory_order_acq_rel)) {
+    hook();
+  }
   std::abort();
 }
 

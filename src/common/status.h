@@ -124,6 +124,14 @@ namespace internal {
 [[noreturn]] void DieCheckFailed(const char* expr, const char* file, int line);
 }  // namespace internal
 
+/// Hook invoked (once) right before a failed DISMASTD_CHECK aborts the
+/// process. The observability layer registers the flight-recorder dump
+/// here; common/ cannot depend on obs/, hence the function pointer. Pass
+/// nullptr to clear. Not called for aborts raised outside DISMASTD_CHECK —
+/// install a SIGABRT handler for those.
+using CheckFailureHook = void (*)();
+void SetCheckFailureHook(CheckFailureHook hook);
+
 template <typename T>
 void Result<T>::CheckOk() const {
   if (!ok()) internal::DieBadResultAccess(status_);

@@ -18,6 +18,8 @@
 namespace dismastd {
 
 namespace obs {
+class FlightRecorder;
+class HealthMonitor;
 class MetricRegistry;
 class Tracer;
 }  // namespace obs
@@ -69,6 +71,17 @@ struct DistributedOptions {
   /// simulated network — and num_workers is taken from the coordinator.
   /// One coordinator must span one streaming run, driven in step order.
   ElasticCoordinator* elastic = nullptr;
+  /// Optional health monitor (not owned, may be null). The streaming
+  /// driver feeds it one observation per signal per step (step
+  /// sim-seconds, imbalance, retransmitted bytes, fitness when computed);
+  /// detectors and SLO rules turn anomalies into AlertEvents. Null or
+  /// disabled costs one branch per step.
+  obs::HealthMonitor* health = nullptr;
+  /// Optional flight recorder (not owned, may be null). The streaming
+  /// driver snapshots a compact health frame after every step; crash
+  /// recovery and orphaned-message leaks are noted so a post-mortem dump
+  /// (--flight-out) explains what the run was doing when it died.
+  obs::FlightRecorder* flight = nullptr;
 
   /// Rejects invalid settings (invalid ALS options, zero workers, bad
   /// cost-model constants, inconsistent fault plan). parts_per_mode is

@@ -4,6 +4,8 @@
 #include <cctype>
 
 #include "common/logging.h"
+#include "obs/flightrec.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "tensor/checkpoint.h"
 
@@ -80,6 +82,58 @@ void MaybeWriteStepCheckpoint(const DistributedOptions& options,
 }
 
 }  // namespace
+
+void ObserveStepHealth(const DistributedOptions& options,
+                       const StreamStepMetrics& sm, bool have_fit) {
+  obs::HealthMonitor* health = options.health;
+  obs::Tracer* tracer = options.tracer;
+  if (obs::Active(health)) {
+    // The step's sim span is already closed and the tracer base advanced
+    // to the step-end timestamp, so alert instants land exactly at the end
+    // of the step span they describe.
+    health->Observe(obs::HealthSignal::kStepSimSeconds, sm.step,
+                    sm.sim_seconds_total, tracer);
+    health->Observe(obs::HealthSignal::kImbalance, sm.step, sm.load_imbalance,
+                    tracer);
+    health->Observe(obs::HealthSignal::kRetransmittedBytes, sm.step,
+                    static_cast<double>(sm.recovery.retransmitted_bytes),
+                    tracer);
+    if (have_fit) {
+      health->Observe(obs::HealthSignal::kFitness, sm.step, sm.fit, tracer);
+    }
+  }
+  obs::FlightRecorder* flight = options.flight;
+  if (flight != nullptr) {
+    obs::HealthFrame frame;
+    frame.step = sm.step;
+    frame.sim_seconds_total = sm.sim_seconds_total;
+    frame.fit = sm.fit;
+    frame.load_imbalance = sm.load_imbalance;
+    frame.processed_nnz = sm.processed_nnz;
+    frame.comm_bytes = sm.comm_bytes;
+    frame.retransmitted_bytes = sm.recovery.retransmitted_bytes;
+    frame.crashes = sm.recovery.crashes;
+    frame.orphaned_messages = sm.orphaned_messages;
+    frame.num_workers = sm.num_workers;
+    frame.busy_seconds_max = sm.busy_seconds_max;
+    frame.busy_seconds_avg = sm.busy_seconds_avg;
+    if (obs::Active(health)) {
+      frame.alerts_total = health->alerts_total();
+      frame.SetLastAlert(health->last_alert_rule().c_str());
+    }
+    if (tracer != nullptr) {
+      frame.sim_base_seconds = tracer->sim_base_seconds();
+      frame.trace_events = tracer->event_count();
+    }
+    if (sm.recovery.crashes > 0) {
+      flight->NoteEvent("crash_recovery", sm.step);
+    }
+    if (sm.orphaned_messages > 0) {
+      flight->NoteEvent("orphaned_messages", sm.step);
+    }
+    flight->RecordFrame(frame);
+  }
+}
 
 const char* MethodKindName(MethodKind kind) {
   switch (kind) {
@@ -209,6 +263,7 @@ std::vector<StreamStepMetrics> RunStreamingExperiment(
       const SparseTensor snapshot = stream.SnapshotAt(step);
       sm.fit = prev_factors.Fit(snapshot);
     }
+    ObserveStepHealth(options, sm, compute_fit);
     if (observer) observer(sm, prev_factors);
     metrics.push_back(std::move(sm));
   }

@@ -135,6 +135,16 @@ StreamStepMetrics RunDisMastdDeltaStep(const SparseTensor& delta,
                                        KruskalTensor* factors, size_t step,
                                        const DistributedOptions& options);
 
+/// Feeds one finished step into the attached health monitor (step
+/// sim-seconds, imbalance, retransmitted bytes, plus fitness when
+/// `have_fit`) and snapshots a flight-recorder frame, noting crash
+/// recoveries and orphaned messages. No-op (one branch each) when neither
+/// sink is attached. RunStreamingExperiment calls this itself; paths that
+/// drive RunDisMastdDeltaStep directly (the ingest session) call it once
+/// per step after the step's metrics are final.
+void ObserveStepHealth(const DistributedOptions& options,
+                       const StreamStepMetrics& sm, bool have_fit);
+
 }  // namespace dismastd
 
 #endif  // DISMASTD_CORE_DRIVER_H_

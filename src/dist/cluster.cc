@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/serialization.h"
 #include "la/ops.h"
+#include "obs/flightrec.h"
 
 namespace dismastd {
 
@@ -85,8 +86,14 @@ void Cluster::CommitSuperstep(const SuperstepAccounting& acct,
   }
   ++supersteps_;
   // Every collective of a committed superstep must have drained its
-  // traffic; leftovers are surfaced as CommStats orphan warnings.
-  (void)network_.CheckNoOrphans();
+  // traffic; leftovers are surfaced as CommStats orphan warnings — and
+  // flagged to the process-wide flight recorder, so a leak that only
+  // manifests steps later still shows up in the post-mortem.
+  if (network_.CheckNoOrphans() > 0) {
+    if (obs::FlightRecorder* flight = obs::FlightRecorder::Global()) {
+      flight->NoteEvent("orphan_leak", supersteps_);
+    }
+  }
 }
 
 Result<Message> Cluster::TransmitReliably(uint32_t src, uint32_t dst,

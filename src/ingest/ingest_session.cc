@@ -11,6 +11,7 @@
 
 #include "common/serialization.h"
 #include "common/timer.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -162,6 +163,15 @@ Result<IngestSessionResult> RunIngestSession(
       sm.fit = factors.Fit(snapshot);
     }
     dims = batch.new_dims;
+    ObserveStepHealth(options.decompose, sm, options.compute_fit);
+    if (obs::Active(options.decompose.health)) {
+      // The ingest-only signal: how deep the producer->builder queue stood
+      // when this batch's model was published (wall-clock dependent, so
+      // only z-score/SLO-worthy — never part of the determinism contract).
+      options.decompose.health->Observe(
+          obs::HealthSignal::kIngestQueueDepth, sm.step,
+          static_cast<double>(queue.depth()), options.decompose.tracer);
+    }
     if (observer) observer(sm, factors);
     // The model folding these events in is now published (the observer is
     // the serve-publish hook): the freshness clock stops here.

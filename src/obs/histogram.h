@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace dismastd {
 namespace obs {
@@ -109,6 +111,57 @@ class Pow2Histogram {
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> total_{0};
 };
+
+/// Count + mean + the standard reporting quantiles of one histogram, in
+/// the caller's unit. The single summary shape every reporter shares —
+/// serving latency, span durations, ingest publish delay — instead of
+/// each one re-deriving mean/p50/p95/p99 by hand.
+struct HistogramSummary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarizes `h`, multiplying every value by `scale` to convert from the
+/// recorded unit into the reporting unit (e.g. 1e-9: nanoseconds recorded,
+/// seconds reported).
+inline HistogramSummary Summarize(const Pow2Histogram& h, double scale = 1.0) {
+  HistogramSummary s;
+  s.count = h.Count();
+  s.mean = h.Mean() * scale;
+  s.p50 = h.Percentile(0.50) * scale;
+  s.p95 = h.Percentile(0.95) * scale;
+  s.p99 = h.Percentile(0.99) * scale;
+  return s;
+}
+
+/// The shared fixed-width row "count mean p50 p95 p99" (no trailing
+/// newline). `unit_scale` converts the summary's unit into the printed
+/// one (e.g. 1e6 when the summary is in seconds and the column header
+/// says microseconds).
+inline std::string FormatSummaryRow(const HistogramSummary& s,
+                                    double unit_scale = 1.0) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "%-10llu %-10.2f %-10.2f %-10.2f %.2f",
+                static_cast<unsigned long long>(s.count), s.mean * unit_scale,
+                s.p50 * unit_scale, s.p95 * unit_scale, s.p99 * unit_scale);
+  return line;
+}
+
+/// Column header matching FormatSummaryRow, parameterized on the unit
+/// label ("us", "ms").
+inline std::string SummaryRowHeader(const char* unit) {
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "%-10s %-10s %-10s %-10s %s", "count",
+                (std::string("mean(") + unit + ")").c_str(),
+                (std::string("p50(") + unit + ")").c_str(),
+                (std::string("p95(") + unit + ")").c_str(),
+                (std::string("p99(") + unit + ")").c_str());
+  return line;
+}
 
 }  // namespace obs
 }  // namespace dismastd

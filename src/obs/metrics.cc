@@ -39,6 +39,25 @@ std::string EscapeLabelValue(const std::string& value) {
   return out;
 }
 
+/// Escapes `# HELP` text per the 0.0.4 exposition format: backslash and
+/// newline only (double quotes are legal in help text). Without this, a
+/// help string containing a newline splits the family header and breaks
+/// every scraper.
+std::string EscapeHelpText(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 /// Shortest decimal that round-trips a double; integral values print
 /// without an exponent so counters exposed as gauges stay readable.
 std::string FormatValue(double value) {
@@ -73,7 +92,16 @@ std::string JsonEscape(const std::string& text) {
         out += "\\t";
         break;
       default:
-        out += c;
+        // Remaining control characters (e.g. \r) must be \u-escaped or the
+        // output is not valid JSON.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -159,7 +187,8 @@ std::string MetricRegistry::ExposePrometheus() const {
     if (series.name != last_family) {
       last_family = series.name;
       if (!series.help.empty()) {
-        os << "# HELP " << series.name << " " << series.help << "\n";
+        os << "# HELP " << series.name << " " << EscapeHelpText(series.help)
+           << "\n";
       }
       const char* type = series.kind == Kind::kCounter ? "counter"
                          : series.kind == Kind::kGauge ? "gauge"

@@ -139,6 +139,20 @@ void Tracer::EndSim(uint32_t lane, double end_seconds) {
   Append(std::move(event));
 }
 
+void Tracer::InstantSim(
+    uint32_t lane, const char* name, const char* category, double at_seconds,
+    std::vector<std::pair<std::string, std::string>> args) {
+  Event event;
+  event.phase = 'i';
+  event.pid = kSimPid;
+  event.tid = lane;
+  event.ts_us = (sim_base_seconds_ + at_seconds) * 1e6;
+  event.name = name;
+  event.category = category;
+  event.args = std::move(args);
+  Append(std::move(event));
+}
+
 void Tracer::SetSimLaneName(uint32_t lane, const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   sim_lane_names_.emplace(lane, name);
@@ -211,6 +225,9 @@ void Tracer::WriteChromeTrace(std::ostream& out, bool include_wall) const {
         << ",\"tid\":" << event.tid << ",\"ts\":" << FormatUs(event.ts_us);
     if (event.phase == 'X') {
       out << ",\"dur\":" << FormatUs(event.dur_us);
+    }
+    if (event.phase == 'i') {
+      out << ",\"s\":\"t\"";  // thread-scoped instant marker
     }
     if (!event.name.empty()) {
       out << ",\"name\":\"" << JsonEscape(event.name) << "\"";

@@ -86,6 +86,13 @@ class Tracer {
                 std::vector<std::pair<std::string, std::string>> args);
   void EndSim(uint32_t lane, double end_seconds);
 
+  /// Records a zero-duration instant event ('i', thread scope) on a sim
+  /// lane — alert markers and other point-in-time annotations. Subject to
+  /// the same per-lane monotone-timestamp contract as B/E spans.
+  void InstantSim(uint32_t lane, const char* name, const char* category,
+                  double at_seconds,
+                  std::vector<std::pair<std::string, std::string>> args);
+
   /// Names a sim lane ("driver", "worker 3"); idempotent.
   void SetSimLaneName(uint32_t lane, const std::string& name);
 
@@ -135,7 +142,7 @@ class Tracer {
 
  private:
   struct Event {
-    char phase;  // 'B', 'E', 'X'
+    char phase;  // 'B', 'E', 'X', 'i'
     uint32_t pid = 0;
     uint32_t tid = 0;
     double ts_us = 0.0;

@@ -15,12 +15,6 @@ uint64_t ToNanos(double seconds) {
   return seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
 }
 
-double MeanSeconds(const obs::Pow2Histogram& h) { return h.Mean() * 1e-9; }
-
-double PercentileSeconds(const obs::Pow2Histogram& h, double p) {
-  return h.Percentile(p) * 1e-9;
-}
-
 }  // namespace
 
 const char* QueryTypeName(QueryType type) {
@@ -100,12 +94,13 @@ void ServeMetrics::NoteIngestWatermark(int64_t watermark) {
 ServeMetricsReport ServeMetrics::Report() const {
   ServeMetricsReport report;
   for (size_t t = 0; t < kNumQueryTypes; ++t) {
-    const obs::Pow2Histogram& h = histograms_[t];
-    report.latency[t].count = h.Count();
-    report.latency[t].mean_seconds = MeanSeconds(h);
-    report.latency[t].p50_seconds = PercentileSeconds(h, 0.50);
-    report.latency[t].p95_seconds = PercentileSeconds(h, 0.95);
-    report.latency[t].p99_seconds = PercentileSeconds(h, 0.99);
+    // Latencies are recorded in nanoseconds; the report speaks seconds.
+    const obs::HistogramSummary s = obs::Summarize(histograms_[t], 1e-9);
+    report.latency[t].count = s.count;
+    report.latency[t].mean_seconds = s.mean;
+    report.latency[t].p50_seconds = s.p50;
+    report.latency[t].p95_seconds = s.p95;
+    report.latency[t].p99_seconds = s.p99;
   }
   report.queries_total = queries_total();
   report.elapsed_seconds = since_construction_.ElapsedSeconds();
@@ -250,14 +245,18 @@ void ServeMetrics::PublishTo(obs::MetricRegistry* registry) const {
 std::string ServeMetricsReport::ToString() const {
   std::ostringstream os;
   char line[160];
-  os << "type   count      mean(us)   p50(us)    p95(us)    p99(us)\n";
+  os << "type   " << obs::SummaryRowHeader("us") << "\n";
   for (size_t t = 0; t < kNumQueryTypes; ++t) {
     const LatencySummary& s = latency[t];
-    std::snprintf(line, sizeof(line), "%-6s %-10llu %-10.2f %-10.2f %-10.2f %.2f",
+    obs::HistogramSummary row;
+    row.count = s.count;
+    row.mean = s.mean_seconds;
+    row.p50 = s.p50_seconds;
+    row.p95 = s.p95_seconds;
+    row.p99 = s.p99_seconds;
+    std::snprintf(line, sizeof(line), "%-6s %s",
                   QueryTypeName(static_cast<QueryType>(t)),
-                  (unsigned long long)s.count, s.mean_seconds * 1e6,
-                  s.p50_seconds * 1e6, s.p95_seconds * 1e6,
-                  s.p99_seconds * 1e6);
+                  obs::FormatSummaryRow(row, 1e6).c_str());
     os << line << "\n";
   }
   std::snprintf(line, sizeof(line),

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/health.h"
+
 namespace dismastd {
 namespace obs {
 namespace {
@@ -105,6 +107,42 @@ TEST(MetricRegistryTest, PrometheusEscapesLabelValues) {
   EXPECT_NE(text.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
 }
 
+TEST(MetricRegistryTest, PrometheusEscapesHelpText) {
+  // 0.0.4 exposition format: HELP text escapes backslash and newline
+  // (double quotes are legal there). An unescaped newline would split the
+  // family header line and break every scraper.
+  MetricRegistry registry;
+  registry
+      .GetCounter("dismastd_test_help_total", {},
+                  "line one\nline two with \\ and \"quotes\"")
+      ->Inc();
+  const std::string text = registry.ExposePrometheus();
+  EXPECT_NE(text.find("# HELP dismastd_test_help_total "
+                      "line one\\nline two with \\\\ and \"quotes\""),
+            std::string::npos)
+      << text;
+  // No raw newline inside the HELP line: the next line break starts TYPE.
+  const size_t help_at = text.find("# HELP dismastd_test_help_total");
+  ASSERT_NE(help_at, std::string::npos);
+  const size_t eol = text.find('\n', help_at);
+  ASSERT_NE(eol, std::string::npos);
+  EXPECT_EQ(text.compare(eol + 1, 6, "# TYPE"), 0) << text;
+}
+
+TEST(MetricRegistryTest, JsonEscapesControlCharacters) {
+  // \r and other control characters below 0x20 must come out \u-escaped
+  // or ExposeJson is not valid JSON.
+  MetricRegistry registry;
+  registry
+      .GetCounter("dismastd_test_ctrl_total",
+                  {{"path", std::string("a\rb\tc\x01") + "d"}})
+      ->Inc();
+  const std::string json = registry.ExposeJson();
+  EXPECT_NE(json.find("a\\u000db\\tc\\u0001d"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
 TEST(MetricRegistryTest, ExpositionIsDeterministicallyOrdered) {
   MetricRegistry a, b;
   // Register in opposite orders; exposition must match byte-for-byte.
@@ -166,6 +204,60 @@ TEST(MetricRegistryTest, ConcurrentRegistrationAndUpdates) {
       registry.GetHistogram("dismastd_test_latency_nanoseconds")->Count(),
       kThreads * kIters);
   EXPECT_EQ(registry.NumSeries(), 2u + 4u);
+}
+
+TEST(MetricRegistryTest, ConcurrentHealthPublishAndScrape) {
+  // TSan target (satellite of the health work): one shared registry being
+  // scraped while a HealthMonitor publishes its counters/gauges from
+  // another thread and alerts keep firing. PublishTo's delta discipline
+  // must stay exact under the race: the final published count equals the
+  // alert total, no matter how the publishes interleaved.
+  MetricRegistry registry;
+  HealthOptions options;
+  options.z_threshold = 1e18;  // only the SLO rule fires, deterministically
+  auto rules = ParseSloSpec("imbalance<1.5");
+  ASSERT_TRUE(rules.ok());
+  options.slo = rules.value();
+  HealthMonitor monitor(options);
+  // Seed the registry so the scraper always has something to expose.
+  monitor.PublishTo(&registry);
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    while (!done.load(std::memory_order_acquire)) {
+      const std::string text = registry.ExposePrometheus();
+      EXPECT_FALSE(text.empty());
+      const std::string json = registry.ExposeJson();
+      EXPECT_FALSE(json.empty());
+    }
+  });
+  std::thread alerter([&] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (uint64_t step = 0; step < 400; ++step) {
+      // Alternate ok/violated so every violation is an edge -> an alert.
+      monitor.Observe(HealthSignal::kImbalance, step,
+                      step % 2 == 0 ? 1.0 : 2.0);
+      if (step % 16 == 0) monitor.PublishTo(&registry);
+    }
+  });
+  go.store(true, std::memory_order_release);
+  alerter.join();
+  monitor.PublishTo(&registry);
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(monitor.alerts_total(), 200u);
+  EXPECT_EQ(registry
+                .GetCounter("dismastd_health_alerts_total",
+                            {{"kind", "slo"}},
+                            "Alerts emitted by the health monitor")
+                ->Value(),
+            200u);
+  const std::string text = registry.ExposePrometheus();
+  EXPECT_NE(text.find("dismastd_health_signal{signal=\"imbalance\"}"),
+            std::string::npos);
 }
 
 }  // namespace

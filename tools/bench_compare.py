@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate and diff dismastd-bench-v1 reports (BENCH_*.json).
+
+Two modes:
+
+  bench_compare.py --validate FILE...
+      Schema-check each report; exits non-zero on the first invalid file.
+
+  bench_compare.py BASE NEW [--threshold PCT]
+      Compare two reports of the same bench point-by-point. A point
+      regresses when it moves in its metric's declared bad direction by
+      more than PCT percent (default 10): lower_better metrics regress
+      upward, higher_better metrics regress downward, and "info" metrics
+      are never regressions. Points present in only one report are noted
+      but do not fail. Exits 1 listing every regression; a self-diff
+      (BASE == NEW) always passes.
+
+Stdlib-only on purpose: CI runs it on a bare python3.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "dismastd-bench-v1"
+DIRECTIONS = ("higher_better", "lower_better", "info")
+
+
+def fail(message):
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"bench_compare: {path}: {problem}", file=sys.stderr)
+        sys.exit(1)
+    return report
+
+
+def validate_report(report):
+    """Returns a list of schema problems (empty = valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SCHEMA:
+        problems.append(f"schema is {report.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("bench", "git"):
+        if not isinstance(report.get(key), str) or not report.get(key):
+            problems.append(f"missing or empty string field {key!r}")
+    if not isinstance(report.get("config"), dict):
+        problems.append("config is not an object")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, list):
+        return problems + ["metrics is not an array"]
+    for i, metric in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(metric, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if not isinstance(metric.get("name"), str) or not metric["name"]:
+            problems.append(f"{where} has no name")
+        if metric.get("direction") not in DIRECTIONS:
+            problems.append(
+                f"{where} direction {metric.get('direction')!r} not in "
+                f"{DIRECTIONS}")
+        points = metric.get("points")
+        if not isinstance(points, list):
+            problems.append(f"{where}.points is not an array")
+            continue
+        for j, point in enumerate(points):
+            if (not isinstance(point, dict)
+                    or not isinstance(point.get("label"), str)
+                    or not isinstance(point.get("value"), (int, float))
+                    or isinstance(point.get("value"), bool)):
+                problems.append(
+                    f"{where}.points[{j}] needs a string label and a "
+                    f"numeric value")
+    return problems
+
+
+def index_points(report):
+    """(metric_name, label) -> (direction, value)."""
+    points = {}
+    for metric in report["metrics"]:
+        for point in metric["points"]:
+            points[(metric["name"], point["label"])] = (
+                metric["direction"], float(point["value"]))
+    return points
+
+
+def compare(base, new, threshold_pct):
+    base_points = index_points(base)
+    new_points = index_points(new)
+    regressions = []
+    improvements = 0
+    compared = 0
+    for key, (direction, base_value) in sorted(base_points.items()):
+        if key not in new_points:
+            print(f"  note: {key[0]}/{key[1]} missing from NEW")
+            continue
+        new_value = new_points[key][1]
+        if direction == "info":
+            continue
+        compared += 1
+        if base_value == 0.0:
+            continue  # no meaningful relative change
+        change_pct = (new_value - base_value) / abs(base_value) * 100.0
+        worse = (change_pct > threshold_pct
+                 if direction == "lower_better"
+                 else change_pct < -threshold_pct)
+        better = (change_pct < -threshold_pct
+                  if direction == "lower_better"
+                  else change_pct > threshold_pct)
+        if worse:
+            regressions.append((key, direction, base_value, new_value,
+                                change_pct))
+        elif better:
+            improvements += 1
+    for key in sorted(set(new_points) - set(base_points)):
+        print(f"  note: {key[0]}/{key[1]} missing from BASE")
+    return regressions, improvements, compared
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="validate / diff dismastd-bench-v1 reports")
+    parser.add_argument("files", nargs="+",
+                        help="--validate: one or more reports; "
+                             "otherwise BASE NEW")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check the given files and exit")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    args = parser.parse_args()
+
+    if args.validate:
+        for path in args.files:
+            report = load_report(path)
+            points = sum(len(m["points"]) for m in report["metrics"])
+            print(f"{path}: valid {SCHEMA} report, bench "
+                  f"{report['bench']!r}, {len(report['metrics'])} metrics, "
+                  f"{points} points")
+        return 0
+
+    if len(args.files) != 2:
+        fail("compare mode takes exactly two files: BASE NEW")
+    base = load_report(args.files[0])
+    new = load_report(args.files[1])
+    if base["bench"] != new["bench"]:
+        fail(f"reports are from different benches: "
+             f"{base['bench']!r} vs {new['bench']!r}")
+
+    print(f"comparing {base['bench']}: {args.files[0]} (git {base['git']}) "
+          f"-> {args.files[1]} (git {new['git']}), "
+          f"threshold {args.threshold:g}%")
+    regressions, improvements, compared = compare(base, new, args.threshold)
+    print(f"{compared} points compared, {improvements} improved, "
+          f"{len(regressions)} regressed")
+    if regressions:
+        print("\nREGRESSIONS:")
+        for (name, label), direction, base_v, new_v, pct in regressions:
+            arrow = "up" if pct > 0 else "down"
+            print(f"  {name}/{label}: {base_v:g} -> {new_v:g} "
+                  f"({pct:+.1f}%, {arrow} is bad for {direction})")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

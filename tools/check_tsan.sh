@@ -12,7 +12,9 @@
 # riding inside RCU-published models while queries shortlist against it,
 # plus the lock-per-slot result cache), and the elastic cluster (live
 # repartitioning and state migration while a query thread reads the
-# published model) must all be race-free.
+# published model), and the health layer (the seqlock-stamped alert and
+# flight-recorder rings plus HealthMonitor::PublishTo racing a registry
+# scrape) must all be race-free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,10 +31,10 @@ cmake --build "${build_dir}" -j \
   fault_test fault_recovery_test elastic_test kernels_test \
   model_store_test query_engine_test serve_metrics_test \
   ann_index_test result_cache_test \
-  histogram_test metric_registry_test trace_test \
+  histogram_test metric_registry_test trace_test health_test \
   event_log_test event_queue_test delta_builder_test ingest_session_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|elastic_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|ann_index_test|result_cache_test|histogram_test|metric_registry_test|trace_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|elastic_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|ann_index_test|result_cache_test|histogram_test|metric_registry_test|trace_test|health_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
 
 echo "TSan: all clean"

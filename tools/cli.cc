@@ -11,6 +11,8 @@
 #include "kernels/kernels.h"
 #include "ingest/event_log.h"
 #include "ingest/ingest_session.h"
+#include "obs/flightrec.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/query_log.h"
@@ -382,19 +384,30 @@ Result<std::unique_ptr<ElasticCoordinator>> MakeElasticCoordinator(
       options.parts_per_mode);
 }
 
-/// Observability sinks requested on the command line. The tracer and the
-/// registry outlive the run they instrument; their files are written once
-/// the command's work is done.
+/// Observability sinks requested on the command line. The tracer, the
+/// registry, the health monitor and the flight recorder outlive the run
+/// they instrument; their files are written once the command's work is
+/// done. The flight recorder doubles as the process-wide black box while
+/// the sinks are alive, so a DISMASTD_CHECK failure or SIGABRT mid-run
+/// still dumps to --flight-out.
 struct ObsSinks {
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricRegistry> metrics;
+  std::unique_ptr<obs::HealthMonitor> health;
+  std::unique_ptr<obs::FlightRecorder> flight;
   std::string trace_path;
   std::string metrics_path;
+  std::string flight_path;
+
+  ~ObsSinks() {
+    if (flight != nullptr) obs::FlightRecorder::InstallGlobal(nullptr, "");
+  }
 };
 
 Status SetUpObsSinks(const Args& args, ObsSinks* sinks) {
   sinks->trace_path = args.Get("trace-out");
   sinks->metrics_path = args.Get("metrics-out");
+  sinks->flight_path = args.Get("flight-out");
   if (!sinks->trace_path.empty()) {
     obs::TraceDetail detail = obs::TraceDetail::kPhases;
     if (args.Has("trace-detail")) {
@@ -410,6 +423,23 @@ Status SetUpObsSinks(const Args& args, ObsSinks* sinks) {
   if (!sinks->metrics_path.empty()) {
     sinks->metrics = std::make_unique<obs::MetricRegistry>();
   }
+  if (args.Has("slo") || !sinks->flight_path.empty()) {
+    // --slo arms the declarative rules; --flight-out alone still gets the
+    // default detectors so a post-mortem carries alert context.
+    obs::HealthOptions health_options;
+    if (args.Has("slo")) {
+      Result<std::vector<obs::SloRule>> rules =
+          obs::ParseSloSpec(args.Get("slo"));
+      if (!rules.ok()) return rules.status();
+      health_options.slo = std::move(rules).value();
+    }
+    sinks->health = std::make_unique<obs::HealthMonitor>(health_options);
+  }
+  if (!sinks->flight_path.empty()) {
+    sinks->flight = std::make_unique<obs::FlightRecorder>();
+    obs::FlightRecorder::InstallGlobal(sinks->flight.get(),
+                                       sinks->flight_path);
+  }
   return Status::OK();
 }
 
@@ -423,12 +453,36 @@ Status WriteObsSinks(const ObsSinks& sinks, std::ostream& out) {
       out << ", " << sinks.tracer->dropped_events() << " dropped";
     }
     out << ")\n";
+    const obs::HistogramSummary spans =
+        obs::Summarize(sinks.tracer->span_duration_nanos(), 1e-3);  // -> us
+    if (spans.count > 0) {
+      out << "span durations (us): " << obs::FormatSummaryRow(spans) << "\n";
+    }
+  }
+  if (sinks.health != nullptr) {
+    if (sinks.metrics != nullptr) {
+      sinks.health->PublishTo(sinks.metrics.get());
+    }
+    const std::string alerts = sinks.health->AlertsToString();
+    if (!alerts.empty()) {
+      out << alerts;
+    } else {
+      out << "health alerts: none\n";
+    }
   }
   if (sinks.metrics != nullptr) {
     DISMASTD_RETURN_IF_ERROR(
         sinks.metrics->WritePrometheusFile(sinks.metrics_path));
     out << "metrics written to " << sinks.metrics_path << " ("
         << sinks.metrics->NumSeries() << " series)\n";
+  }
+  if (sinks.flight != nullptr) {
+    DISMASTD_RETURN_IF_ERROR(
+        sinks.flight->DumpFile(sinks.flight_path, "exit"));
+    out << "flight recorder dumped to " << sinks.flight_path << " ("
+        << std::min<uint64_t>(sinks.flight->frames_total(),
+                              obs::FlightRecorder::kCapacity)
+        << " frames)\n";
   }
   return Status::OK();
 }
@@ -515,6 +569,8 @@ Status CmdStreamIngest(const Args& args, std::ostream& out) {
   session.decompose = options_result.value();
   session.decompose.tracer = obs_sinks.tracer.get();
   session.decompose.metrics = obs_sinks.metrics.get();
+  session.decompose.health = obs_sinks.health.get();
+  session.decompose.flight = obs_sinks.flight.get();
   session.compute_fit = true;
   Result<uint64_t> producers = GetU64(args, "producers", 1);
   if (!producers.ok()) return producers.status();
@@ -577,12 +633,12 @@ Status CmdStreamIngest(const Args& args, std::ostream& out) {
       << session.queue_capacity << ", " << r.block_waits
       << " block waits, " << r.dropped_oldest << " dropped, " << r.rejected
       << " rejected\n";
-  const obs::Pow2Histogram& lat = *r.event_to_publish_nanos;
+  const obs::HistogramSummary lat =
+      obs::Summarize(*r.event_to_publish_nanos, 1e-3);  // ns -> us
   std::snprintf(line, sizeof(line),
                 "latency : event->publish p50 %.1f us, p95 %.1f us over "
                 "%llu events",
-                lat.Percentile(0.50) * 1e-3, lat.Percentile(0.95) * 1e-3,
-                (unsigned long long)lat.Count());
+                lat.p50, lat.p95, (unsigned long long)lat.count);
   out << line << "\n";
   std::snprintf(line, sizeof(line),
                 "wall    : %.3f s (%.0f events/s)", r.wall_seconds,
@@ -616,6 +672,8 @@ Status CmdStream(const Args& args, std::ostream& out) {
   DISMASTD_RETURN_IF_ERROR(SetUpObsSinks(args, &obs_sinks));
   options.tracer = obs_sinks.tracer.get();
   options.metrics = obs_sinks.metrics.get();
+  options.health = obs_sinks.health.get();
+  options.flight = obs_sinks.flight.get();
   Result<MethodKind> method_kind = ParseMethodKind(args.Get("method", "dismastd"));
   if (!method_kind.ok()) return method_kind.status();
   const MethodKind method = method_kind.value();
@@ -757,6 +815,8 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   DISMASTD_RETURN_IF_ERROR(SetUpObsSinks(args, &obs_sinks));
   options.tracer = obs_sinks.tracer.get();
   options.metrics = obs_sinks.metrics.get();
+  options.health = obs_sinks.health.get();
+  options.flight = obs_sinks.flight.get();
   Result<MethodKind> method_kind =
       ParseMethodKind(args.Get("method", "dismastd"));
   if (!method_kind.ok()) return method_kind.status();
@@ -846,10 +906,28 @@ Status CmdServeBench(const Args& args, std::ostream& out) {
   const std::vector<serve::QueryRecord> log =
       serve::GenerateQueryLog(stream.DimsAt(0), log_options);
 
+  // Each publish also feeds the serving-plane p99 (top-K latency so far,
+  // ns -> ms) into the health monitor. Wall-clock signal: useful for SLO
+  // rules, never part of the determinism contract.
+  StreamStepObserver observer = session.PublishObserver();
+  if (obs::Active(obs_sinks.health.get())) {
+    observer = [publish = session.PublishObserver(),
+                health = obs_sinks.health.get(),
+                metrics = &session.metrics(),
+                tracer = obs_sinks.tracer.get()](
+                   const StreamStepMetrics& sm, const KruskalTensor& factors) {
+      publish(sm, factors);
+      const obs::Pow2Histogram& h =
+          metrics->histogram(serve::QueryType::kTopK);
+      if (h.Count() > 0) {
+        health->Observe(obs::HealthSignal::kServeP99Ms, sm.step,
+                        h.Percentile(0.99) * 1e-6, tracer);
+      }
+    };
+  }
   std::thread producer([&] {
     RunStreamingExperiment(stream, method_kind.value(), options,
-                           /*compute_fit=*/false,
-                           session.PublishObserver());
+                           /*compute_fit=*/false, observer);
   });
   // Cold start: hold queries until the first model lands (a server would
   // return FailedPrecondition, which is exactly what the engine does —
@@ -1001,6 +1079,9 @@ std::string UsageText() {
       "                  [--trace-out F.json]\n"
       "                  [--trace-detail steps|phases|workers]\n"
       "                  [--metrics-out F.prom]\n"
+      "                  [--slo \"serve_p99_ms<5,imbalance<1.5\"]\n"
+      "                  [--flight-out F.json]  (crash flight recorder;\n"
+      "                   dumps on crash or at exit)\n"
       "                  live-ingest mode (replaces --input/--start/--step/\n"
       "                  --steps with a TEVT log):\n"
       "                  --ingest LOG.tevt [--producers N]\n"
@@ -1018,6 +1099,7 @@ std::string UsageText() {
       "                  [--zipf-s S --query-seed N]  (query population)\n"
       "                  [--keep-depth D] [--warm-checkpoint F]\n"
       "                  [--trace-out F.json] [--metrics-out F.prom]\n"
+      "                  [--slo SPEC] [--flight-out F.json]\n"
       "  partition-stats --input F [--parts 8x15x23] [--partitioner "
       "mtp|gtp]\n"
       "  help\n";

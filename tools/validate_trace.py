@@ -5,9 +5,12 @@ Checks, per lane (pid, tid):
   - every "B" event is closed by a matching "E" at a timestamp >= its
     start, with nothing left open at the end (stack discipline);
   - timestamps are monotonically non-decreasing in emission order;
-  - only the documented phases appear (B/E on the sim process, X on the
-    wall process, M metadata) and every event carries the required keys;
+  - only the documented phases appear (B/E and "i" instants on the sim
+    process, X on the wall process, M metadata) and every event carries
+    the required keys;
   - the sim process (pid 1) and its lane metadata are present;
+  - every "alert"-category instant names its health rule in args.rule and
+    lands inside the stream-step span its args.step points at;
   - the per-phase sim spans tile the timeline: their summed duration
     matches the summed duration of the top-level stream-step spans within
     the given tolerance (default 1%).
@@ -82,10 +85,12 @@ def main():
     step_us = 0.0
     category_us = {}
     n_spans = 0
+    step_spans = {}  # step number -> (begin_ts, end_ts)
+    alerts = []  # (event index, ts, step number, rule)
 
     for i, event in enumerate(events):
         ph = event.get("ph")
-        if ph not in ("B", "E", "X", "M"):
+        if ph not in ("B", "E", "X", "M", "i"):
             fail(f"event {i}: unexpected phase {ph!r}")
         if ph == "M":
             if event.get("name") == "process_name":
@@ -108,6 +113,10 @@ def main():
             fail(f"event {i}: X span off the wall process (pid {pid})")
         if ph == "X" and "dur" not in event:
             fail(f"event {i}: X event without dur")
+        if ph == "i" and pid != SIM_PID:
+            fail(f"event {i}: instant off the sim process (pid {pid})")
+        if ph == "i" and not event.get("name"):
+            fail(f"event {i}: instant without name")
 
         lane = (pid, tid)
         # Emission order is clock order per lane; X wall events may
@@ -152,6 +161,27 @@ def main():
                 "step "
             ):
                 step_us += duration
+                try:
+                    step_number = int(begin["name"].split()[1])
+                except (IndexError, ValueError):
+                    step_number = None
+                if step_number is not None:
+                    step_spans[step_number] = (begin["ts"], ts)
+        elif ph == "i" and event.get("cat") == "alert":
+            arguments = event.get("args", {})
+            rule = arguments.get("rule")
+            if not rule:
+                fail(f"event {i}: alert instant without args.rule")
+            if "step" not in arguments:
+                fail(f"event {i}: alert instant without args.step")
+            try:
+                alert_step = int(arguments["step"])
+            except (TypeError, ValueError):
+                fail(
+                    f"event {i}: alert instant args.step "
+                    f"{arguments['step']!r} is not an integer"
+                )
+            alerts.append((i, ts, alert_step, rule))
 
     dangling = {
         lane: [e.get("name") for e in stack]
@@ -167,6 +197,21 @@ def main():
     for (pid, tid) in last_ts:
         if pid == SIM_PID and tid not in sim_lanes_named:
             fail(f"sim lane {tid} carries events but has no thread_name")
+
+    # Alert instants are emitted at the end of the step that tripped them,
+    # so each must land inside (inclusive) its step's sim span.
+    for i, ts, alert_step, rule in alerts:
+        if alert_step not in step_spans:
+            fail(
+                f"event {i}: alert {rule!r} points at step {alert_step}, "
+                f"which has no stream-step span"
+            )
+        begin_ts, end_ts = step_spans[alert_step]
+        if not (begin_ts - 1e-6 <= ts <= end_ts + 1e-6):
+            fail(
+                f"event {i}: alert {rule!r} at ts {ts} lies outside step "
+                f"{alert_step}'s span [{begin_ts}, {end_ts}]"
+            )
 
     if args.require_phases and phase_us == 0.0:
         fail("no 'phase'-category spans found")
@@ -185,8 +230,8 @@ def main():
     )
     print(
         f"validate_trace: OK: {len(events)} events, {n_spans} sim spans, "
-        f"{len(sim_lanes_named)} sim lanes; per-category sim seconds: "
-        f"{summary}"
+        f"{len(alerts)} alert instants, {len(sim_lanes_named)} sim lanes; "
+        f"per-category sim seconds: {summary}"
     )
 
 
