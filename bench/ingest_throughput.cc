@@ -5,7 +5,10 @@
 // bounded queue -> micro-batch delta builder -> DisMASTD step), sweeping
 // (a) the number of producer threads at a fixed trigger config, and
 // (b) the batch-close trigger (barrier-driven, event-count at several
-// sizes, event-time horizon) at a fixed producer count.
+// sizes, event-time horizon) at a fixed producer count, and (c) the
+// ingest policy: the same Zipf log through the micro-batch pipeline vs
+// the continuous-window path (per-event row updates + periodic stitch),
+// comparing final fitness, event->publish freshness and update rate.
 //
 // Reported per run: events/sec through the pipeline, p50/p95
 // event->published-model latency, batches closed, max queue depth, and
@@ -20,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "cwin/continuous_session.h"
 #include "ingest/event_log.h"
 #include "ingest/ingest_session.h"
 #include "stream/generator.h"
@@ -68,6 +72,31 @@ void RunRow(const SweepRow& row, const ingest::EventLogReader& log,
   report->AddPoint("publish_p95_us", point, lat.p95);
   report->AddPoint("max_queue_depth", point,
                    static_cast<double>(r.max_queue_depth));
+}
+
+/// Sweep 3 rows: the same barrier log through both ingest policies.
+/// Batch folds whole micro-batch deltas per barrier; continuous updates
+/// touched factor rows per fused event group and stitches periodically.
+/// Reported: fitness of the final model, freshness (p50/p95
+/// event->publish), and model-update throughput (batches for the batch
+/// policy, fused event groups for continuous).
+void RunPolicyRow(const std::string& label, double fit, uint64_t updates,
+                  double wall_seconds, uint64_t events,
+                  const obs::Pow2Histogram& latency, bench::CsvWriter* csv,
+                  bench::BenchReport* report) {
+  const obs::HistogramSummary lat = obs::Summarize(latency, 1e-3);  // -> us
+  const double events_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  const double updates_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(updates) / wall_seconds : 0.0;
+  std::printf("%-22s %9.4f %12.0f %10.1f %10.1f %12.0f\n", label.c_str(),
+              fit, events_per_second, lat.p50, lat.p95, updates_per_second);
+  csv->Row(label, fit, events_per_second, lat.p50, lat.p95,
+           updates_per_second);
+  report->AddPoint("final_fit", label, fit);
+  report->AddPoint("policy_publish_p50_us", label, lat.p50);
+  report->AddPoint("policy_publish_p95_us", label, lat.p95);
+  report->AddPoint("updates_per_sec", label, updates_per_second);
 }
 
 }  // namespace
@@ -159,6 +188,68 @@ int main(int argc, char** argv) {
     row.builder.max_batch_events = 0;
     row.builder.horizon_ticks = 500;
     RunRow(row, events_only.value(), options, &csv, &report);
+  }
+
+  // Sweep 3: ingest policy. The same barrier log replayed through the
+  // micro-batch pipeline and through the continuous-window path (fused
+  // per-event row updates, periodic exact stitch). Producers are paced at
+  // a fixed arrival rate so latency measures the *policy* — batch holds
+  // every event until its barrier closes the batch, continuous publishes
+  // every few fused groups — rather than the unpaced firehose backlog.
+  // Final fitness must stay matched: the stitch bounds incremental drift.
+  // The rate must sit below the continuous consumer's capacity, or the
+  // queue wait re-enters the measurement.
+  const double policy_rate = 20000.0;  // events/s
+  report.AddMetric("final_fit", "fit", "higher_better");
+  report.AddMetric("policy_publish_p50_us", "us", "lower_better");
+  report.AddMetric("policy_publish_p95_us", "us", "lower_better");
+  report.AddMetric("updates_per_sec", "1/s", "higher_better");
+  bench::CsvWriter policy_csv("ingest_policy.csv");
+  policy_csv.Row("policy", "final_fit", "events_per_sec", "p50_us", "p95_us",
+                 "updates_per_sec");
+  std::printf("\n%-22s %9s %12s %10s %10s %12s\n", "policy", "fit",
+              "events/s", "p50(us)", "p95(us)", "updates/s");
+  bench::PrintRule();
+  {
+    ingest::IngestSessionOptions batch;
+    batch.decompose = options;
+    batch.num_producers = 4;
+    batch.compute_fit = true;
+    batch.max_events_per_second = policy_rate;
+    const Result<ingest::IngestSessionResult> run =
+        ingest::RunIngestSession(barriers.value(), batch);
+    if (!run.ok()) {
+      std::fprintf(stderr, "policy=batch failed: %s\n",
+                   run.status().message().c_str());
+      return 1;
+    }
+    const ingest::IngestSessionResult& r = run.value();
+    RunPolicyRow("policy=batch", r.steps.empty() ? 0.0 : r.steps.back().fit,
+                 r.steps.size(), r.wall_seconds, r.events,
+                 *r.event_to_publish_nanos, &policy_csv, &report);
+  }
+  {
+    cwin::ContinuousSessionOptions continuous;
+    continuous.decompose = options;
+    continuous.num_producers = 4;
+    continuous.compute_fit = true;
+    continuous.max_events_per_second = policy_rate;
+    continuous.fuse_events = 8;
+    continuous.publish_interval_events = 256;
+    continuous.stitch_interval_events = stream.num_steps() > 0
+        ? log_with_barriers.num_records() / stream.num_steps()
+        : 0;
+    const Result<cwin::ContinuousSessionResult> run =
+        cwin::RunContinuousSession(barriers.value(), continuous);
+    if (!run.ok()) {
+      std::fprintf(stderr, "policy=continuous failed: %s\n",
+                   run.status().message().c_str());
+      return 1;
+    }
+    const cwin::ContinuousSessionResult& r = run.value();
+    RunPolicyRow("policy=continuous", r.final_fit, r.updates,
+                 r.wall_seconds, r.events, *r.event_to_publish_nanos,
+                 &policy_csv, &report);
   }
 
   report.WriteFile(obs_sinks.bench_out());

@@ -1,0 +1,485 @@
+#include "cwin/continuous_session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "common/serialization.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/flightrec.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dismastd {
+namespace cwin {
+
+namespace {
+
+std::string AsciiLower(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+inline constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(const std::vector<uint8_t>& bytes, uint64_t hash) {
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Canonical bytes of one published model; what the continuous
+/// determinism contract ("bit-identical published factors") is defined
+/// over.
+std::vector<uint8_t> SerializeModel(const SlidingWindowModel& model,
+                                    uint64_t publish_index) {
+  ByteWriter writer;
+  writer.WriteU64(publish_index);
+  writer.WriteU64Span(model.dims().data(), model.dims().size());
+  for (size_t n = 0; n < model.order(); ++n) {
+    const Matrix& factor = model.factor(n);
+    for (size_t i = 0; i < factor.size(); ++i) {
+      writer.WriteDouble(factor.data()[i]);
+    }
+  }
+  return writer.TakeBytes();
+}
+
+inline constexpr uint64_t kProducerDone = ~0ull;
+
+}  // namespace
+
+const char* IngestModeName(IngestMode mode) {
+  switch (mode) {
+    case IngestMode::kBatch:
+      return "batch";
+    case IngestMode::kContinuous:
+      return "continuous";
+  }
+  return "?";
+}
+
+Result<IngestMode> ParseIngestMode(const std::string& text) {
+  const std::string token = AsciiLower(text);
+  if (token == "batch") return IngestMode::kBatch;
+  if (token == "continuous" || token == "cwin") {
+    return IngestMode::kContinuous;
+  }
+  return Status::InvalidArgument("unknown ingest mode '" + text +
+                                 "' (expected batch or continuous)");
+}
+
+Result<ContinuousSessionResult> RunContinuousSession(
+    const ingest::EventLogReader& log,
+    const ContinuousSessionOptions& options,
+    const StreamStepObserver& observer) {
+  const Status valid = options.decompose.Validate();
+  if (!valid.ok()) return valid;
+  const size_t order = log.order();
+  const size_t num_producers = std::max<size_t>(1, options.num_producers);
+  const size_t num_slots = log.num_slots();
+  const size_t fuse = std::max<size_t>(1, options.fuse_events);
+  const size_t publish_interval =
+      std::max<size_t>(1, options.publish_interval_events);
+
+  SlidingWindowOptions window_options = options.window;
+  if (window_options.rank == 0) {
+    window_options.rank = options.decompose.als.rank;
+  }
+  if (window_options.seed == 0) {
+    window_options.seed = options.decompose.als.seed;
+  }
+
+  obs::Tracer* tracer = options.decompose.tracer;
+  if (obs::Active(tracer)) tracer->RegisterWallLane("cwin");
+  obs::MetricRegistry* metrics = options.decompose.metrics;
+  obs::Gauge* depth_gauge =
+      metrics != nullptr
+          ? metrics->GetGauge("dismastd_ingest_queue_depth", {},
+                              "Tokens queued between producers and consumer")
+          : nullptr;
+
+  WallTimer epoch;
+  ingest::EventQueue queue(options.queue_capacity, options.backpressure);
+  ContinuousSessionResult result;
+  result.event_to_publish_nanos = std::make_shared<obs::Pow2Histogram>();
+
+  // Per-producer replay progress; same release/acquire discipline as
+  // RunIngestSession — the consumer only processes buffered tokens below
+  // min(progress), in slot order, so the accepted-event sequence (and
+  // therefore every published model) is producer-count-invariant.
+  std::vector<std::atomic<uint64_t>> progress(num_producers);
+  for (size_t p = 0; p < num_producers; ++p) progress[p].store(p);
+  std::atomic<size_t> producers_active{num_producers};
+  const double per_producer_rate =
+      options.max_events_per_second > 0.0
+          ? options.max_events_per_second / static_cast<double>(num_producers)
+          : 0.0;
+
+  std::vector<std::thread> producers;
+  producers.reserve(num_producers);
+  for (size_t p = 0; p < num_producers; ++p) {
+    producers.emplace_back([&, p] {
+      uint64_t emitted = 0;
+      for (size_t slot = p; slot < num_slots; slot += num_producers) {
+        if (per_producer_rate > 0.0) {
+          const double target =
+              static_cast<double>(emitted) / per_producer_rate;
+          const double ahead = target - epoch.ElapsedSeconds();
+          if (ahead > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+          }
+        }
+        ingest::IngestToken token;
+        token.slot = slot;
+        token.kind = log.Decode(slot, &token.record);
+        token.enqueue_seconds = epoch.ElapsedSeconds();
+        queue.Push(std::move(token));
+        ++emitted;
+        progress[p].store(slot + num_producers, std::memory_order_release);
+      }
+      progress[p].store(kProducerDone, std::memory_order_release);
+      if (producers_active.fetch_sub(1) == 1) queue.Close();
+    });
+  }
+
+  // --- Consumer (this thread). --------------------------------------------
+  SlidingWindowModel model(order, window_options);
+  uint64_t fingerprint = kFnvOffset;
+  std::unordered_set<uint64_t> seen_seqs;
+  std::vector<WindowEvent> fuse_buffer;
+  std::vector<double> pending_enqueue;
+
+  bool has_watermark = false;
+  int64_t watermark = 0;
+  int64_t event_time_max = kNoEventTime;
+
+  // Deterministic simulated-time accounting for the publish-interval
+  // span: counted flops over the configured flop rate.
+  const double flop_rate = options.decompose.cost_model.flops_per_second;
+  double update_sim_seconds = 0.0;
+  double stitch_sim_seconds = 0.0;
+  uint64_t flops_since_publish = 0;
+  uint64_t events_since_publish = 0;
+  uint64_t groups_since_publish = 0;
+  uint64_t events_since_stitch = 0;
+  size_t publish_index = 0;
+  size_t stitch_index = 0;
+  double last_publish_wall = 0.0;
+  bool stitched_since_publish = false;
+
+  auto note_late = [&](int64_t ts) {
+    return options.allowed_lateness_ticks >= 0 && has_watermark &&
+           ts < watermark - options.allowed_lateness_ticks;
+  };
+
+  auto run_stitch = [&] {
+    // One exact DTD pass over the current window, through the shared
+    // RunDisMastdDeltaStep path (cold start: the window tensor *is* the
+    // delta). The inner step runs without the tracer — its simulated time
+    // is re-emitted below as the publish's cwin_stitch phase span — and
+    // without the health/flight sinks, which see the publish-level
+    // metrics instead.
+    DistributedOptions stitch_options = options.decompose;
+    stitch_options.tracer = nullptr;
+    stitch_options.health = nullptr;
+    stitch_options.flight = nullptr;
+    stitch_options.checkpoint_dir.clear();
+    const SparseTensor window = model.WindowTensor();
+    const std::vector<uint64_t> cold_dims(order, 0);
+    KruskalTensor stitched;
+    const StreamStepMetrics ssm =
+        RunDisMastdDeltaStep(window, cold_dims, model.dims(), &stitched,
+                             stitch_index, stitch_options);
+    const double incremental_fit = model.Snapshot().Fit(window);
+    const double exact_fit = stitched.Fit(window);
+    result.last_drift = exact_fit - incremental_fit;
+    model.ReplaceFactors(stitched.factors());
+    stitch_sim_seconds += ssm.sim_seconds_total;
+    ++stitch_index;
+    ++result.stitches;
+    events_since_stitch = 0;
+    stitched_since_publish = true;
+  };
+
+  auto publish = [&] {
+    if (options.stitch_interval_events > 0 &&
+        events_since_stitch >= options.stitch_interval_events) {
+      run_stitch();
+    }
+    obs::ScopedWallSpan publish_wall(tracer, "cwin_publish", "cwin", "cwin");
+    const KruskalTensor factors = model.Snapshot();
+    fingerprint =
+        Fnv1a(SerializeModel(model, publish_index), fingerprint);
+
+    StreamStepMetrics sm;
+    sm.step = publish_index;
+    sm.dims = model.dims();
+    sm.processed_nnz = events_since_publish;
+    sm.snapshot_nnz = model.window_events();
+    sm.iterations = groups_since_publish;
+    sm.flops = flops_since_publish;
+    const double total_sim = update_sim_seconds + stitch_sim_seconds;
+    sm.sim_seconds_total = total_sim;
+    sm.sim_seconds_per_iteration =
+        groups_since_publish > 0
+            ? total_sim / static_cast<double>(groups_since_publish)
+            : total_sim;
+    const double now = epoch.ElapsedSeconds();
+    sm.wall_seconds = now - last_publish_wall;
+    last_publish_wall = now;
+    sm.event_time_max = event_time_max;
+    if (has_watermark) sm.event_time_watermark = watermark;
+    if (options.compute_fit) {
+      sm.fit = factors.Fit(model.WindowTensor());
+      result.final_fit = sm.fit;
+    }
+
+    if (obs::Active(tracer)) {
+      // One sim step span per publish, tiled by the cwin phase spans so
+      // validate_trace.py's phase-sum check holds exactly.
+      tracer->BeginSim(obs::Tracer::kDriverLane,
+                       ("step " + std::to_string(publish_index)).c_str(),
+                       "stream", 0.0,
+                       {{"step", std::to_string(publish_index)}});
+      tracer->BeginSim(obs::Tracer::kDriverLane, "cwin_update", "phase",
+                       0.0);
+      tracer->EndSim(obs::Tracer::kDriverLane, update_sim_seconds);
+      if (stitched_since_publish) {
+        tracer->BeginSim(obs::Tracer::kDriverLane, "cwin_stitch", "phase",
+                         update_sim_seconds);
+        tracer->EndSim(obs::Tracer::kDriverLane, total_sim);
+      }
+      tracer->EndSim(obs::Tracer::kDriverLane, total_sim);
+      tracer->AdvanceSimBase(total_sim);
+    }
+    ObserveStepHealth(options.decompose, sm, options.compute_fit);
+    if (obs::Active(options.decompose.health)) {
+      options.decompose.health->Observe(
+          obs::HealthSignal::kIngestQueueDepth, sm.step,
+          static_cast<double>(queue.depth()), tracer);
+      options.decompose.health->Observe(
+          obs::HealthSignal::kCwinWindowEvents, sm.step,
+          static_cast<double>(model.window_events()), tracer);
+      if (stitched_since_publish) {
+        options.decompose.health->Observe(obs::HealthSignal::kCwinDrift,
+                                          sm.step, result.last_drift,
+                                          tracer);
+      }
+    }
+    if (observer) observer(sm, factors);
+    // The model folding these events in is now published: the freshness
+    // clock stops here.
+    const double published = epoch.ElapsedSeconds();
+    for (double enqueued : pending_enqueue) {
+      const double latency = std::max(0.0, published - enqueued);
+      result.event_to_publish_nanos->Record(
+          static_cast<uint64_t>(latency * 1e9));
+    }
+    pending_enqueue.clear();
+    result.steps.push_back(std::move(sm));
+    ++publish_index;
+    ++result.publishes;
+    update_sim_seconds = 0.0;
+    stitch_sim_seconds = 0.0;
+    flops_since_publish = 0;
+    events_since_publish = 0;
+    groups_since_publish = 0;
+    stitched_since_publish = false;
+  };
+
+  auto apply_fused = [&] {
+    if (fuse_buffer.empty()) return;
+    const UpdateStats stats =
+        model.ApplyEvents(fuse_buffer.data(), fuse_buffer.size());
+    fuse_buffer.clear();
+    ++result.updates;
+    ++groups_since_publish;
+    result.rows_solved += stats.rows_solved;
+    uint64_t flops = stats.flops;
+    const UpdateStats evict = model.AdvanceWatermark(watermark);
+    result.evicted += evict.evicted;
+    result.rows_solved += evict.rows_solved;
+    flops += evict.flops;
+    flops_since_publish += flops;
+    update_sim_seconds += static_cast<double>(flops) / flop_rate;
+    if (events_since_publish >= publish_interval) publish();
+  };
+
+  auto process_token = [&](ingest::IngestToken& token) {
+    switch (token.kind) {
+      case ingest::SlotKind::kQuarantined:
+        ++result.quarantined;
+        return;
+      case ingest::SlotKind::kBarrier: {
+        ++result.barriers;
+        apply_fused();
+        model.GrowDims(token.record.fields);
+        if (!has_watermark || token.record.ts > watermark) {
+          watermark = token.record.ts;
+          has_watermark = true;
+        }
+        const UpdateStats evict = model.AdvanceWatermark(watermark);
+        result.evicted += evict.evicted;
+        result.rows_solved += evict.rows_solved;
+        flops_since_publish += evict.flops;
+        update_sim_seconds += static_cast<double>(evict.flops) / flop_rate;
+        // Punctuation always publishes, mirroring the batch pipeline's
+        // barrier-close semantics.
+        publish();
+        return;
+      }
+      case ingest::SlotKind::kEvent:
+        break;
+    }
+    ++result.events;
+    if (!seen_seqs.insert(token.record.seq).second) {
+      ++result.duplicates;
+      return;
+    }
+    if (note_late(token.record.ts)) {
+      ++result.late_events;
+      return;
+    }
+    WindowEvent event;
+    event.ts = token.record.ts;
+    event.value = token.record.value;
+    event.index = token.record.fields;
+    if (!has_watermark || event.ts > watermark) {
+      watermark = event.ts;
+      has_watermark = true;
+    }
+    if (event.ts > event_time_max || event_time_max == kNoEventTime) {
+      event_time_max = event.ts;
+    }
+    fuse_buffer.push_back(std::move(event));
+    pending_enqueue.push_back(token.enqueue_seconds);
+    ++events_since_publish;
+    ++events_since_stitch;
+    if (fuse_buffer.size() >= fuse) apply_fused();
+  };
+
+  // Merge-in-order on the safe frontier, identical to RunIngestSession.
+  std::map<uint64_t, ingest::IngestToken> reorder;
+  std::vector<ingest::IngestToken> popped;
+  bool open = true;
+  while (open) {
+    uint64_t safe = kProducerDone;
+    for (size_t p = 0; p < num_producers; ++p) {
+      safe = std::min(safe, progress[p].load(std::memory_order_acquire));
+    }
+    popped.clear();
+    const size_t n = queue.PopAll(&popped);
+    if (depth_gauge != nullptr) {
+      depth_gauge->Set(static_cast<double>(queue.depth()));
+    }
+    if (n == 0) {
+      open = false;
+      safe = kProducerDone;
+    }
+    for (ingest::IngestToken& token : popped) {
+      reorder.emplace(token.slot, std::move(token));
+    }
+    while (!reorder.empty() && reorder.begin()->first < safe) {
+      process_token(reorder.begin()->second);
+      reorder.erase(reorder.begin());
+    }
+  }
+  for (std::thread& t : producers) t.join();
+
+  // End of stream: drain the fuse buffer, run the final stitch so the
+  // published model is drift-bounded, and publish.
+  apply_fused();
+  if (options.stitch_interval_events > 0 && events_since_stitch > 0) {
+    run_stitch();
+  }
+  if (events_since_publish > 0 || stitched_since_publish ||
+      result.publishes == 0) {
+    publish();
+  }
+
+  result.factors = model.Snapshot();
+  result.dims = model.dims();
+  result.model_fingerprint = fingerprint;
+  result.window_events = model.window_events();
+  result.dropped_oldest = queue.dropped_oldest_total();
+  result.rejected = queue.rejected_total();
+  result.block_waits = queue.block_waits_total();
+  result.max_queue_depth = queue.max_depth();
+  result.wall_seconds = epoch.ElapsedSeconds();
+
+  if (metrics != nullptr) {
+    metrics
+        ->GetCounter("dismastd_ingest_events_total", {},
+                     "Event records the consumer saw")
+        ->Add(result.events);
+    metrics
+        ->GetCounter("dismastd_ingest_barriers_total", {},
+                     "Barrier records the consumer saw")
+        ->Add(result.barriers);
+    metrics
+        ->GetCounter("dismastd_ingest_quarantined_total", {},
+                     "Log slots quarantined (CRC mismatch / unknown kind)")
+        ->Add(result.quarantined);
+    metrics
+        ->GetCounter("dismastd_ingest_duplicate_events_total", {},
+                     "Events dropped for an already-seen seq")
+        ->Add(result.duplicates);
+    metrics
+        ->GetCounter("dismastd_ingest_late_events_total", {},
+                     "Events quarantined as older than the lateness bound")
+        ->Add(result.late_events);
+    metrics
+        ->GetCounter("dismastd_cwin_updates_total", {},
+                     "Fused update groups applied to the window model")
+        ->Add(result.updates);
+    metrics
+        ->GetCounter("dismastd_cwin_rows_solved_total", {},
+                     "Factor rows re-solved by the continuous path")
+        ->Add(result.rows_solved);
+    metrics
+        ->GetCounter("dismastd_cwin_evicted_total", {},
+                     "Events slid out of the window (down-dated)")
+        ->Add(result.evicted);
+    metrics
+        ->GetCounter("dismastd_cwin_stitches_total", {},
+                     "Exact DTD stitch passes over the window")
+        ->Add(result.stitches);
+    metrics
+        ->GetCounter("dismastd_cwin_publishes_total", {},
+                     "Models published by the continuous path")
+        ->Add(result.publishes);
+    metrics
+        ->GetGauge("dismastd_cwin_window_events", {},
+                   "Events retained in the window at exit")
+        ->Set(static_cast<double>(result.window_events));
+    metrics
+        ->GetGauge("dismastd_ingest_queue_max_depth", {},
+                   "High-water mark of the ingest queue depth")
+        ->Set(static_cast<double>(result.max_queue_depth));
+    metrics
+        ->GetCounter("dismastd_ingest_block_waits_total", {},
+                     "Times a producer blocked waiting for queue space")
+        ->Add(result.block_waits);
+    metrics
+        ->GetHistogram("dismastd_ingest_event_to_publish_nanoseconds", {},
+                       "Accepted-event enqueue to published-model latency")
+        ->MergeFrom(*result.event_to_publish_nanos);
+  }
+  return result;
+}
+
+}  // namespace cwin
+}  // namespace dismastd

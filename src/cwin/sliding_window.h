@@ -1,0 +1,185 @@
+#ifndef DISMASTD_CWIN_SLIDING_WINDOW_H_
+#define DISMASTD_CWIN_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "tensor/coo_tensor.h"
+#include "tensor/kruskal.h"
+
+namespace dismastd {
+namespace cwin {
+
+/// How old contributions leave the model.
+enum class DecayKind : uint8_t {
+  /// SliceNStitch-style sliding window: an event contributes with full
+  /// weight while inside the window and is *down-dated* (dropped from the
+  /// touched rows' data terms, which are then re-solved) once the
+  /// watermark slides past `window_ticks`.
+  kSliding = 0,
+  /// OnlineGCP-style exponential forgetting: an event's contribution to
+  /// the rows it touches is weighted by exp(-decay_lambda * age) at solve
+  /// time, so aged data fades smoothly instead of dropping out at a
+  /// window edge. Events older than `window_ticks` (if set) are trimmed
+  /// from the retained buffer without a re-solve — by then their weight
+  /// is negligible.
+  kExponential = 1,
+};
+
+const char* DecayKindName(DecayKind kind);
+Result<DecayKind> ParseDecayKind(const std::string& text);
+
+struct SlidingWindowOptions {
+  /// Rank bound R; 0 = inherit decompose.als.rank (RunContinuousSession).
+  /// SlidingWindowModel itself requires rank >= 1.
+  size_t rank = 0;
+  /// Seeds the per-row initializer streams for factor rows first touched
+  /// by an event (the continuous analogue of DTD's rand(d_n, R) rows);
+  /// 0 = inherit decompose.als.seed (RunContinuousSession).
+  uint64_t seed = 0;
+  DecayKind decay = DecayKind::kSliding;
+  /// Event-time length of the retained window; 0 = unbounded (nothing is
+  /// ever evicted or down-dated). Also bounds the stitch tensor in
+  /// exponential mode.
+  int64_t window_ticks = 0;
+  /// Exponential forgetting rate per tick (kExponential only).
+  double decay_lambda = 1e-3;
+  /// Diagonal ridge added to the Gram-Hadamard normal matrix before each
+  /// row solve, scaled by 1 + trace/R so the damping tracks the matrix's
+  /// magnitude as dims grow.
+  double ridge = 1e-6;
+};
+
+/// One timestamped non-zero flowing through the continuous path.
+struct WindowEvent {
+  int64_t ts = 0;
+  double value = 0.0;
+  std::vector<uint64_t> index;
+};
+
+/// What one fused update (or one eviction pass) cost.
+struct UpdateStats {
+  size_t events = 0;
+  size_t rows_solved = 0;
+  size_t evicted = 0;
+  /// Arithmetic performed, for deterministic simulated-time accounting.
+  uint64_t flops = 0;
+};
+
+/// Incrementally maintained CP model of the current event-time window.
+///
+/// For every mode n the model owns the factor matrix A_n, its R x R Gram
+/// G_n = A_nᵀA_n (updated by rank-one row swaps as rows are re-solved),
+/// and — for each factor row ever touched — the list of retained events
+/// hitting that row. When an event arrives (or expires), each row it
+/// touches is re-solved against the zero-filled ALS normal equations:
+///
+///   A_n[i,:] = s_i · (⊛_{m≠n} G_m + ridge·I)⁻¹,
+///   s_i      = Σ_{e in row i} w_e · v_e · h_e,
+///
+/// where h_e is the Hadamard product of the *other* modes' current rows at
+/// event e and w_e is the decay weight (1 inside a sliding window,
+/// exp(-λ·age) under exponential forgetting). Because s_i is rebuilt from
+/// current rows at solve time, each solve is an exact block-coordinate
+/// step on the same zero-filled least-squares objective batch CP-ALS
+/// optimizes — the objective cannot increase through a solve, so the
+/// incremental path is stable by construction. (An earlier formulation
+/// that accumulated s_i incrementally was abandoned: CP's scale
+/// indeterminacy lets column gauge migrate between modes, making stale
+/// accumulator entries inconsistent with the current normal matrix, and
+/// the inconsistency compounds per touch until the factors explode.)
+/// What the periodic stitch (exact DTD over the window) corrects is the
+/// cross-row coupling: rows not touched recently — including the randomly
+/// seeded rows of freshly grown dims — are stale until it runs.
+///
+/// Determinism: all state is a pure function of the accepted-event
+/// sequence and the options (new rows are initialized from an Rng keyed on
+/// seed/mode/row), so replays are bit-identical regardless of producer
+/// count or execution thread count.
+class SlidingWindowModel {
+ public:
+  SlidingWindowModel(size_t order, SlidingWindowOptions options);
+
+  size_t order() const { return order_; }
+  size_t rank() const { return options_.rank; }
+  const std::vector<uint64_t>& dims() const { return dims_; }
+  const SlidingWindowOptions& options() const { return options_; }
+
+  /// Events retained in the window buffer.
+  size_t window_events() const { return window_.size(); }
+  /// Event-time high-water mark over everything applied.
+  bool has_watermark() const { return has_watermark_; }
+  int64_t watermark() const { return watermark_; }
+
+  /// Applies one fused group of events: grows dims (seeding any new factor
+  /// rows), appends each event to the touched rows' data terms, and
+  /// re-solves every touched row once. Events must already be deduplicated
+  /// and lateness-filtered by the caller.
+  UpdateStats ApplyEvents(const WindowEvent* events, size_t count);
+
+  /// Grows the mode sizes to at least `dims` (barrier punctuation),
+  /// seeding any new factor rows. No-op entries may be smaller.
+  void GrowDims(const std::vector<uint64_t>& dims);
+
+  /// Advances the watermark and, in sliding mode, down-dates (drops and
+  /// re-solves) rows touched by events that fell out of the window. In
+  /// exponential mode only the retained buffer (used for stitching) is
+  /// trimmed.
+  UpdateStats AdvanceWatermark(int64_t watermark);
+
+  /// Copy of the current factors as a Kruskal model.
+  KruskalTensor Snapshot() const;
+  const Matrix& factor(size_t mode) const { return factors_[mode]; }
+  const Matrix& gram(size_t mode) const { return grams_[mode]; }
+
+  /// The retained window as a coalesced sparse tensor (dims = dims()),
+  /// i.e. what the periodic exact stitch decomposes.
+  SparseTensor WindowTensor() const;
+
+  /// Replaces the factors with a stitched (exactly decomposed) model and
+  /// rebuilds the Grams; the per-row event lists are untouched (data terms
+  /// are rebuilt from current rows at every solve, so no re-accumulation
+  /// is needed). `factors` must have rank() columns and at least dims()
+  /// rows per mode.
+  void ReplaceFactors(const std::vector<Matrix>& factors);
+
+ private:
+  /// Monotone ids of the retained events touching one factor row. Expired
+  /// ids (below the window deque's front) are pruned lazily at solve time.
+  struct RowEvents {
+    std::vector<uint64_t> ids;
+  };
+
+  /// Seeds rows [old_rows, new_rows) of mode `mode`.
+  void SeedNewRows(size_t mode, uint64_t old_rows, uint64_t new_rows);
+  void GrowForIndex(const uint64_t* index);
+  /// Re-solves the given (mode, row) pairs; deduplicates in order.
+  uint64_t SolveTouched(std::vector<std::pair<size_t, uint64_t>>* touched,
+                        size_t* rows_solved);
+  void RefreshGramRow(size_t mode, uint64_t row, const double* old_row);
+
+  const size_t order_;
+  const SlidingWindowOptions options_;
+
+  std::vector<uint64_t> dims_;
+  std::vector<Matrix> factors_;  // capacity rows == dims_[n]
+  std::vector<Matrix> grams_;    // R x R, tracks factors_ exactly
+  std::vector<std::unordered_map<uint64_t, RowEvents>> rows_;
+
+  /// Retained events, arrival order (eviction pops from the front). Event
+  /// id = front_id_ + offset into the deque; ids never repeat.
+  std::deque<WindowEvent> window_;
+  uint64_t front_id_ = 0;
+  bool has_watermark_ = false;
+  int64_t watermark_ = 0;
+};
+
+}  // namespace cwin
+}  // namespace dismastd
+
+#endif  // DISMASTD_CWIN_SLIDING_WINDOW_H_

@@ -288,7 +288,7 @@ Result<IngestSessionResult> RunIngestSession(
                      "Log slots quarantined (CRC mismatch / unknown kind)")
         ->Add(result.quarantined);
     metrics
-        ->GetCounter("dismastd_ingest_duplicates_total", {},
+        ->GetCounter("dismastd_ingest_duplicate_events_total", {},
                      "Events dropped for an already-seen seq")
         ->Add(result.duplicates);
     metrics

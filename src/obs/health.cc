@@ -46,6 +46,10 @@ const char* HealthSignalName(HealthSignal signal) {
       return "retransmitted_bytes";
     case HealthSignal::kFitness:
       return "fit";
+    case HealthSignal::kCwinWindowEvents:
+      return "cwin_window_events";
+    case HealthSignal::kCwinDrift:
+      return "cwin_drift";
   }
   return "?";
 }
@@ -231,6 +235,10 @@ Result<std::vector<SloRule>> ParseSloSpec(const std::string& spec) {
 HealthMonitor::HealthMonitor(HealthOptions options)
     : options_(std::move(options)),
       spike_{{EwmaDetector(options_.ewma_alpha, options_.z_threshold,
+                           options_.warmup),
+              EwmaDetector(options_.ewma_alpha, options_.z_threshold,
+                           options_.warmup),
+              EwmaDetector(options_.ewma_alpha, options_.z_threshold,
                            options_.warmup),
               EwmaDetector(options_.ewma_alpha, options_.z_threshold,
                            options_.warmup),

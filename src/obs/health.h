@@ -31,8 +31,14 @@ enum class HealthSignal : uint8_t {
   kRetransmittedBytes,
   /// Streaming fitness estimate (1 - relative error); watched for decay.
   kFitness,
+  /// Events retained in the continuous path's sliding window (watched for
+  /// unbounded growth when eviction stalls).
+  kCwinWindowEvents,
+  /// Drift the last stitch corrected: exact-fit minus incremental-fit
+  /// over the window (watched for incremental-update divergence).
+  kCwinDrift,
 };
-inline constexpr size_t kNumHealthSignals = 6;
+inline constexpr size_t kNumHealthSignals = 8;
 
 const char* HealthSignalName(HealthSignal signal);
 Result<HealthSignal> ParseHealthSignal(const std::string& text);

@@ -576,6 +576,9 @@ TEST(CliTest, ExportEventsInfoAndIngestReplayPipeline) {
   EXPECT_NE(output.find("barriers: 3"), std::string::npos);
   EXPECT_NE(output.find("dims    : 30 20 10 (high-water)"),
             std::string::npos);
+  // The event-time range is what --horizon/--window get sized against.
+  EXPECT_NE(output.find("time    : ["), std::string::npos);
+  EXPECT_NE(output.find(", 2999] ticks (span "), std::string::npos);
 
   // stream --ingest replays the log through the live pipeline.
   ASSERT_TRUE(RunCommand({"stream", "--ingest", log_path, "--workers", "2",
@@ -592,6 +595,55 @@ TEST(CliTest, ExportEventsInfoAndIngestReplayPipeline) {
       ReadStreamCheckpointFile(checkpoint_path);
   ASSERT_TRUE(checkpoint.ok());
   EXPECT_EQ(checkpoint.value().dims, (std::vector<uint64_t>{30, 20, 10}));
+
+  std::remove(tensor_path.c_str());
+  std::remove(log_path.c_str());
+  std::remove(checkpoint_path.c_str());
+}
+
+TEST(CliTest, ContinuousIngestReplayPublishesAndCheckpoints) {
+  const std::string tensor_path = TempPath("cli_cwin_tensor.tns");
+  const std::string log_path = TempPath("cli_cwin_log.tevt");
+  const std::string checkpoint_path = TempPath("cli_cwin.ckpt");
+  std::string output;
+
+  ASSERT_TRUE(RunCommand({"generate", "--output", tensor_path, "--dims",
+                          "24x18x12", "--nnz", "800", "--rank", "2",
+                          "--seed", "9"},
+                         &output)
+                  .ok())
+      << output;
+  ASSERT_TRUE(RunCommand({"export-events", "--input", tensor_path,
+                          "--output", log_path, "--steps", "3", "--start",
+                          "0.7", "--step", "0.15"},
+                         &output)
+                  .ok())
+      << output;
+
+  // Same log, second ingest policy: per-event continuous-window updates.
+  ASSERT_TRUE(RunCommand({"stream", "--ingest", log_path, "--ingest-mode",
+                          "continuous", "--rank", "2", "--producers", "2",
+                          "--fuse-events", "4", "--publish-interval", "64",
+                          "--stitch-interval", "400", "--checkpoint",
+                          checkpoint_path},
+                         &output)
+                  .ok())
+      << output;
+  EXPECT_NE(output.find("continuous replay"), std::string::npos);
+  EXPECT_NE(output.find("sliding decay"), std::string::npos);
+  EXPECT_NE(output.find("stitches"), std::string::npos);
+  EXPECT_NE(output.find("event->publish"), std::string::npos);
+  EXPECT_NE(output.find("model fingerprint"), std::string::npos);
+  Result<StreamCheckpoint> checkpoint =
+      ReadStreamCheckpointFile(checkpoint_path);
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint.value().dims, (std::vector<uint64_t>{24, 18, 12}));
+
+  // Unknown mode strings are rejected up front.
+  EXPECT_FALSE(RunCommand({"stream", "--ingest", log_path, "--ingest-mode",
+                           "micro"},
+                          &output)
+                   .ok());
 
   std::remove(tensor_path.c_str());
   std::remove(log_path.c_str());

@@ -111,6 +111,40 @@ TEST(DeltaBuilderTest, BarrierAlwaysClosesEvenEmpty) {
   EXPECT_EQ(out[1].delta.nnz(), 0u);
 }
 
+TEST(DeltaBuilderTest, HorizonCloseThenImmediateBarrierClose) {
+  DeltaBuilderOptions options;
+  options.max_batch_events = 0;
+  options.horizon_ticks = 10;
+  DeltaBuilder builder(2, options);
+  std::vector<MicroBatchDelta> out;
+
+  Push(&builder, 0, {0, 0}, 1.0, &out);
+  EXPECT_TRUE(out.empty());
+  // ts 50 breaches the horizon: close #1 excludes the triggering event,
+  // which re-opens the batch holding only that event.
+  Push(&builder, 50, {1, 1}, 2.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].reason, BatchCloseReason::kHorizon);
+  EXPECT_EQ(out[0].num_events, 1u);
+
+  // A barrier lands before anything else: it must close the re-opened
+  // batch unconditionally, carrying exactly the horizon-excluded event
+  // and the barrier's dims.
+  builder.PushBarrier(51, {4, 4}, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].reason, BatchCloseReason::kBarrier);
+  EXPECT_EQ(out[1].num_events, 1u);
+  EXPECT_EQ(out[1].delta.nnz(), 1u);
+  EXPECT_EQ(out[1].new_dims, (std::vector<uint64_t>{4, 4}));
+
+  // And a barrier immediately after that closes a genuinely empty batch.
+  builder.PushBarrier(52, {4, 4}, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].reason, BatchCloseReason::kBarrier);
+  EXPECT_EQ(out[2].num_events, 0u);
+  EXPECT_EQ(out[2].delta.nnz(), 0u);
+}
+
 TEST(DeltaBuilderTest, InteriorUpdatesAreExcluded) {
   DeltaBuilder builder(2, {});
   std::vector<MicroBatchDelta> out;

@@ -84,6 +84,66 @@ TEST(EventLogTest, CorruptedRecordIsQuarantinedNotFatal) {
   EXPECT_EQ(record.fields, (std::vector<uint64_t>{2, 2}));
 }
 
+TEST(EventLogTest, FileReaderResumesPastQuarantinedSlotMidFile) {
+  // A replay re-opening an on-disk log with a corrupt slot in the middle
+  // must quarantine exactly that slot and keep decoding everything after
+  // it — corruption mid-file costs one record, not the tail of the log.
+  TempFile file("event_log_corrupt_resume.tevt");
+  EventLogWriter writer(2);
+  for (int64_t t = 0; t < 6; ++t) {
+    writer.AppendEvent(t, {static_cast<uint64_t>(t), 0}, 1.0 + t);
+  }
+  writer.AppendBarrier(6, {6, 1});
+  ASSERT_TRUE(writer.WriteFile(file.path()).ok());
+
+  {
+    // Corrupt one byte inside slot 3 on disk.
+    std::FILE* f = std::fopen(file.path().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long offset = static_cast<long>(kEventLogHeaderBytes +
+                                          3 * EventRecordBytes(2) + 12);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(byte ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  Result<EventLogReader> reader = EventLogReader::OpenFile(file.path());
+  ASSERT_TRUE(reader.ok()) << reader.status().message();
+  const EventLogReader& log = reader.value();
+  ASSERT_EQ(log.num_slots(), 7u);
+
+  EventRecord record;
+  size_t quarantined = 0;
+  for (size_t slot = 0; slot < log.num_slots(); ++slot) {
+    const SlotKind kind = log.Decode(slot, &record);
+    if (kind == SlotKind::kQuarantined) {
+      EXPECT_EQ(slot, 3u);
+      ++quarantined;
+      continue;
+    }
+    if (slot < 6) {
+      ASSERT_EQ(kind, SlotKind::kEvent) << "slot " << slot;
+      EXPECT_EQ(record.ts, static_cast<int64_t>(slot));
+    } else {
+      ASSERT_EQ(kind, SlotKind::kBarrier);
+      EXPECT_EQ(record.fields, (std::vector<uint64_t>{6, 1}));
+    }
+  }
+  EXPECT_EQ(quarantined, 1u);
+
+  // The summary used by `dismastd info` sees the same census.
+  Result<EventLogInfo> info = SummarizeEventLogFile(file.path());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().quarantined, 1u);
+  EXPECT_EQ(info.value().events, 5u);
+  EXPECT_EQ(info.value().barriers, 1u);
+  EXPECT_EQ(info.value().min_ts, 0);
+  EXPECT_EQ(info.value().max_ts, 6);
+}
+
 TEST(EventLogTest, TruncatedFileExposesSurvivingSlots) {
   EventLogWriter writer(2);
   writer.AppendEvent(0, {0, 0}, 1.0);

@@ -7,6 +7,8 @@
 # engine, the observability layer (lock-free metric registry and the
 # span tracer's multi-thread wall lanes), the ingest pipeline
 # (bounded MPSC queue plus multi-producer ingest sessions), the
+# continuous-window session (producer threads feeding per-event row
+# updates with the execution engine running inside periodic stitches), the
 # compute-kernel dispatch (mutex-guarded table selection that every
 # worker thread reads through), the ANN serving layer (the LSH index
 # riding inside RCU-published models while queries shortlist against it,
@@ -32,9 +34,10 @@ cmake --build "${build_dir}" -j \
   model_store_test query_engine_test serve_metrics_test \
   ann_index_test result_cache_test \
   histogram_test metric_registry_test trace_test health_test \
-  event_log_test event_queue_test delta_builder_test ingest_session_test
+  event_log_test event_queue_test delta_builder_test ingest_session_test \
+  cwin_test
 
 ctest --test-dir "${build_dir}" --output-on-failure \
-  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|elastic_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|ann_index_test|result_cache_test|histogram_test|metric_registry_test|trace_test|health_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test)$'
+  -R '^(thread_pool_test|cluster_test|determinism_test|fault_test|fault_recovery_test|elastic_test|kernels_test|model_store_test|query_engine_test|serve_metrics_test|ann_index_test|result_cache_test|histogram_test|metric_registry_test|trace_test|health_test|event_log_test|event_queue_test|delta_builder_test|ingest_session_test|cwin_test)$'
 
 echo "TSan: all clean"

@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "core/driver.h"
+#include "cwin/continuous_session.h"
 #include "kernels/kernels.h"
 #include "ingest/event_log.h"
 #include "ingest/ingest_session.h"
@@ -218,7 +219,10 @@ Status CmdInfoEventLog(const std::string& path, std::ostream& out) {
     out << "quarantined: " << FormatWithCommas(i.quarantined) << "\n";
   }
   if (i.events + i.barriers > 0) {
-    out << "time    : [" << i.min_ts << ", " << i.max_ts << "] ticks\n";
+    // The span is what --horizon and the continuous mode's --window are
+    // sized against, so print it without requiring a replay.
+    out << "time    : [" << i.min_ts << ", " << i.max_ts << "] ticks (span "
+        << (i.max_ts - i.min_ts) << ")\n";
   }
   out << "dims    :";
   for (uint64_t d : i.dims_high_water) out << " " << d;
@@ -545,9 +549,143 @@ Status CmdExportEvents(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+/// `stream --ingest LOG --ingest-mode continuous`: replays a TEVT log
+/// through the continuous-window pipeline — per-event (or fused-group)
+/// factor-row updates on a sliding event-time window with periodic exact
+/// DTD stitches — instead of barrier-aligned micro-batch recompute.
+Status CmdStreamIngestContinuous(const Args& args,
+                                 const DistributedOptions& decompose,
+                                 ObsSinks& obs_sinks,
+                                 const ingest::EventLogReader& log,
+                                 std::ostream& out) {
+  cwin::ContinuousSessionOptions session;
+  session.decompose = decompose;
+  session.decompose.tracer = obs_sinks.tracer.get();
+  session.decompose.metrics = obs_sinks.metrics.get();
+  session.decompose.health = obs_sinks.health.get();
+  session.decompose.flight = obs_sinks.flight.get();
+  session.compute_fit = true;
+
+  Result<uint64_t> producers = GetU64(args, "producers", 1);
+  if (!producers.ok()) return producers.status();
+  if (producers.value() == 0) {
+    return Status::InvalidArgument("--producers must be >= 1");
+  }
+  session.num_producers = static_cast<size_t>(producers.value());
+  Result<uint64_t> capacity = GetU64(args, "queue-capacity", 1024);
+  if (!capacity.ok()) return capacity.status();
+  session.queue_capacity = static_cast<size_t>(capacity.value());
+  Result<ingest::BackpressurePolicy> policy =
+      ingest::ParseBackpressurePolicy(args.Get("backpressure", "block"));
+  if (!policy.ok()) return policy.status();
+  session.backpressure = policy.value();
+  Result<double> rate = GetDouble(args, "rate", 0.0);
+  if (!rate.ok()) return rate.status();
+  session.max_events_per_second = rate.value();
+  Result<double> lateness = GetDouble(args, "lateness", -1.0);
+  if (!lateness.ok()) return lateness.status();
+  session.allowed_lateness_ticks = static_cast<int64_t>(lateness.value());
+
+  Result<uint64_t> fuse = GetU64(args, "fuse-events", 1);
+  if (!fuse.ok()) return fuse.status();
+  if (fuse.value() == 0) {
+    return Status::InvalidArgument("--fuse-events must be >= 1");
+  }
+  session.fuse_events = static_cast<size_t>(fuse.value());
+  Result<uint64_t> window = GetU64(args, "window", 0);
+  if (!window.ok()) return window.status();
+  session.window.window_ticks = static_cast<int64_t>(window.value());
+  Result<cwin::DecayKind> decay =
+      cwin::ParseDecayKind(args.Get("decay", "sliding"));
+  if (!decay.ok()) return decay.status();
+  session.window.decay = decay.value();
+  Result<double> lambda =
+      GetDouble(args, "decay-lambda", session.window.decay_lambda);
+  if (!lambda.ok()) return lambda.status();
+  session.window.decay_lambda = lambda.value();
+  Result<uint64_t> publish_interval = GetU64(args, "publish-interval", 256);
+  if (!publish_interval.ok()) return publish_interval.status();
+  if (publish_interval.value() == 0) {
+    return Status::InvalidArgument("--publish-interval must be >= 1");
+  }
+  session.publish_interval_events =
+      static_cast<size_t>(publish_interval.value());
+  Result<uint64_t> stitch = GetU64(args, "stitch-interval", 0);
+  if (!stitch.ok()) return stitch.status();
+  session.stitch_interval_events = static_cast<size_t>(stitch.value());
+
+  Result<cwin::ContinuousSessionResult> run =
+      cwin::RunContinuousSession(log, session);
+  if (!run.ok()) return run.status();
+  const cwin::ContinuousSessionResult& r = run.value();
+
+  out << "DisMASTD continuous replay ("
+      << cwin::DecayKindName(session.window.decay) << " decay, "
+      << session.num_producers << " producer(s), "
+      << ingest::BackpressurePolicyName(session.backpressure)
+      << " backpressure)\n";
+  out << "publish events  window_nnz  dims_0  fit\n";
+  char line[160];
+  for (const StreamStepMetrics& m : r.steps) {
+    std::snprintf(line, sizeof(line), "%-7zu %-7llu %-11llu %-7llu %.4f",
+                  m.step, (unsigned long long)m.processed_nnz,
+                  (unsigned long long)m.snapshot_nnz,
+                  (unsigned long long)(m.dims.empty() ? 0 : m.dims[0]),
+                  m.fit);
+    out << line << "\n";
+  }
+  out << "events  : " << FormatWithCommas(r.events) << " (" << r.duplicates
+      << " duplicate, " << r.late_events << " late, " << r.quarantined
+      << " quarantined)\n";
+  out << "updates : " << FormatWithCommas(r.updates) << " groups, "
+      << FormatWithCommas(r.rows_solved) << " rows solved, "
+      << FormatWithCommas(r.evicted) << " evicted, " << r.stitches
+      << " stitches\n";
+  std::snprintf(line, sizeof(line),
+                "window  : %llu events retained, last stitch drift %.3e",
+                (unsigned long long)r.window_events, r.last_drift);
+  out << line << "\n";
+  out << "queue   : max depth " << r.max_queue_depth << "/"
+      << session.queue_capacity << ", " << r.block_waits
+      << " block waits, " << r.dropped_oldest << " dropped, " << r.rejected
+      << " rejected\n";
+  const obs::HistogramSummary lat =
+      obs::Summarize(*r.event_to_publish_nanos, 1e-3);  // ns -> us
+  std::snprintf(line, sizeof(line),
+                "latency : event->publish p50 %.1f us, p95 %.1f us over "
+                "%llu events",
+                lat.p50, lat.p95, (unsigned long long)lat.count);
+  out << line << "\n";
+  std::snprintf(line, sizeof(line),
+                "wall    : %.3f s (%.0f events/s)", r.wall_seconds,
+                r.wall_seconds > 0.0
+                    ? static_cast<double>(r.events) / r.wall_seconds
+                    : 0.0);
+  out << line << "\n";
+  std::snprintf(line, sizeof(line),
+                "publishes: %llu, model fingerprint %016llx",
+                (unsigned long long)r.publishes,
+                (unsigned long long)r.model_fingerprint);
+  out << line << "\n";
+
+  const std::string checkpoint_path = args.Get("checkpoint");
+  if (!checkpoint_path.empty()) {
+    StreamCheckpoint checkpoint;
+    checkpoint.factors = r.factors;
+    checkpoint.dims = r.dims;
+    checkpoint.step = r.steps.empty() ? 0 : r.steps.back().step;
+    DISMASTD_RETURN_IF_ERROR(
+        WriteStreamCheckpointFile(checkpoint, checkpoint_path));
+    out << "checkpoint written to " << checkpoint_path << "\n";
+  }
+  return WriteObsSinks(obs_sinks, out);
+}
+
 /// `stream --ingest LOG`: replays a TEVT log through the live pipeline —
 /// producer threads -> bounded queue -> micro-batch delta builder ->
-/// DisMASTD — instead of materializing schedule-driven deltas.
+/// DisMASTD — instead of materializing schedule-driven deltas. With
+/// `--ingest-mode continuous` the DeltaBuilder is bypassed for per-event
+/// continuous-window updates (CmdStreamIngestContinuous).
 Status CmdStreamIngest(const Args& args, std::ostream& out) {
   Result<MethodKind> method = ParseMethodKind(args.Get("method", "dismastd"));
   if (!method.ok()) return method.status();
@@ -564,6 +702,14 @@ Status CmdStreamIngest(const Args& args, std::ostream& out) {
   Result<ingest::EventLogReader> log =
       ingest::EventLogReader::OpenFile(args.Get("ingest"));
   if (!log.ok()) return log.status();
+
+  Result<cwin::IngestMode> mode =
+      cwin::ParseIngestMode(args.Get("ingest-mode", "batch"));
+  if (!mode.ok()) return mode.status();
+  if (mode.value() == cwin::IngestMode::kContinuous) {
+    return CmdStreamIngestContinuous(args, options_result.value(), obs_sinks,
+                                     log.value(), out);
+  }
 
   ingest::IngestSessionOptions session;
   session.decompose = options_result.value();
@@ -1090,6 +1236,12 @@ std::string UsageText() {
       "                  [--rate EV_PER_S] [--batch-events N]\n"
       "                  [--growth-limit G] [--horizon TICKS]\n"
       "                  [--lateness TICKS]\n"
+      "                  [--ingest-mode batch|continuous]  (continuous =\n"
+      "                   per-event window updates, no batch barrier)\n"
+      "                  continuous-mode flags:\n"
+      "                  [--fuse-events N] [--window TICKS]\n"
+      "                  [--decay sliding|exponential] [--decay-lambda L]\n"
+      "                  [--publish-interval N] [--stitch-interval N]\n"
       "  serve-bench     --input F [stream flags above]\n"
       "                  [--queries N --clients C --k K --batch B]\n"
       "                  [--precision f64|bf16|int8]  (top-K scan factors)\n"

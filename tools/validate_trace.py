@@ -31,6 +31,9 @@ WALL_PID = 2
 # Superstep names the decomposition commits as 'phase'-category spans.
 # 'repartition' and 'migrate' are the elastic cluster's online rebalance
 # supersteps (partition recompute and factor-row/Gram-shard migration).
+# 'cwin_update'/'cwin_stitch' are the continuous-window session's phases:
+# fused per-event row updates and the periodic exact re-decomposition,
+# tiling each publish's 'step N' span.
 KNOWN_PHASES = {
     "partition",
     "products",
@@ -40,6 +43,8 @@ KNOWN_PHASES = {
     "recovery",
     "repartition",
     "migrate",
+    "cwin_update",
+    "cwin_stitch",
 }
 
 
